@@ -1,0 +1,86 @@
+"""E10/E11 — Figs. 7-8 / Exs. 5.29-5.30: bad SM-proof sequences.
+
+* Fig. 7: the paper's first sequence fails goodness at the last step
+  (empty label intersection); a different good sequence exists and the
+  search finds it.
+* Fig. 8: every step has common labels, yet label 1 never reaches a copy
+  of 1̂ — bad for a different reason.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.proofs import SMProof, SMStep, find_good_sm_proof
+from repro.lattice.builders import fig7_lattice, fig8_lattice
+
+from helpers import print_table
+
+
+def replay(lat, names, steps):
+    """Apply the given label-element steps, returning the proof object."""
+    elements = [lat.index(n) for n in names]
+    proof = SMProof(lat, list(elements), {i: n for i, n in enumerate(names)})
+    handles = {n: i for i, n in enumerate(names)}
+    for a_name, b_name in steps:
+        a, b = handles[a_name], handles[b_name]
+        x, y = proof.elements[a], proof.elements[b]
+        meet_item = len(proof.elements)
+        proof.elements.extend([lat.meet(x, y), lat.join(x, y)])
+        proof.steps.append(SMStep(a, b))
+        proof.produced.append((meet_item, meet_item + 1))
+        handles[lat.label(proof.elements[meet_item])] = meet_item
+        handles[lat.label(proof.elements[meet_item + 1])] = meet_item + 1
+    return proof
+
+
+def test_fig7_paper_sequence_bad(benchmark):
+    lat, _ = fig7_lattice()
+    proof = benchmark.pedantic(
+        lambda: replay(
+            lat, ["X", "Y", "Z", "U"],
+            [("X", "Y"), ("A", "Z"), ("B", "U"), ("C", "D")],
+        ),
+        rounds=1, iterations=1,
+    )
+    good, labels = proof.label_trace()
+    print_table(
+        "E10 Fig. 7 paper sequence (Ex. 5.29)",
+        ["status", "reason"],
+        [["BAD", "A(C, D) = ∅ at the last step"]],
+    )
+    assert not good
+
+
+def test_fig7_good_sequence_exists(benchmark):
+    lat, inputs = fig7_lattice()
+    weights = {name: Fraction(1, 2) for name in inputs}
+    proof = benchmark.pedantic(
+        lambda: find_good_sm_proof(lat, weights, inputs),
+        rounds=1, iterations=1,
+    )
+    assert proof is not None and proof.is_good()
+    print("\nE10 good sequence found by search:")
+    print(proof.pretty())
+
+
+def test_fig8_paper_sequence_bad(benchmark):
+    lat, _ = fig8_lattice()
+    proof = benchmark.pedantic(
+        lambda: replay(
+            lat, ["X", "Y", "Z", "W"],
+            [("X", "Y"), ("Z", "W"), ("A", "D"), ("B", "C")],
+        ),
+        rounds=1, iterations=1,
+    )
+    good, labels = proof.label_trace()
+    print_table(
+        "E11 Fig. 8 paper sequence (Ex. 5.30)",
+        ["status", "reason"],
+        [["BAD", "label 1 reaches no copy of 1̂"]],
+    )
+    assert not good
+    # Every step did intersect: the failure is only at the final check.
+    from repro.core.proofs import _prefix_labels_ok
+
+    assert _prefix_labels_ok(proof)

@@ -1,0 +1,88 @@
+"""E12 — Fig. 9 / Ex. 5.31 / Sec. 5.3: CSMA's motivating example.
+
+* The inequality h(M)+h(N)+h(O) >= 2h(1̂) holds but admits NO SM-proof.
+* The chain bound is N², GLVV is N^{3/2}.
+* CSMA evaluates the worst-case instance within the GLVV budget shape.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.csma import csma
+from repro.core.proofs import sm_proof_exists
+from repro.datagen.from_lattice import worst_case_database
+from repro.engine.binary_join import binary_join_plan
+from repro.lattice.builders import fig9_lattice, lattice_from_query
+from repro.lattice.chains import best_chain_bound
+from repro.lp.llp import glvv_bound_log2
+
+from helpers import measured_exponent, print_table
+
+
+def setup(scale):
+    lat0, inp0 = fig9_lattice()
+    query, db, h = worst_case_database(lat0, inp0, scale=scale)
+    lattice, inputs = lattice_from_query(query)
+    return query, db, lattice, inputs
+
+
+def test_no_sm_proof_but_bounds_gap(benchmark):
+    lat, inputs = fig9_lattice()
+    logs = {name: 1.0 for name in inputs}
+
+    def compute():
+        glvv = glvv_bound_log2(lat, inputs, logs)
+        chain, _, _ = best_chain_bound(lat, inputs, logs)
+        weights = {name: Fraction(1, 2) for name in inputs}
+        return glvv, chain, sm_proof_exists(lat, weights, inputs)
+
+    glvv, chain, has_sm = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12 Fig. 9 landscape",
+        ["quantity", "value", "paper"],
+        [
+            ["GLVV", f"N^{glvv:.2f}", "N^{3/2}"],
+            ["best chain", f"N^{chain:.2f}", "N² (suboptimal)"],
+            ["SM-proof exists", has_sm, "False (Ex. 5.31)"],
+        ],
+    )
+    assert glvv == pytest.approx(1.5)
+    assert chain == pytest.approx(2.0)
+    assert not has_sm
+
+
+def test_csma_correct(benchmark):
+    query, db, lattice, inputs = setup(scale=3)
+    result = benchmark.pedantic(
+        lambda: csma(query, db, lattice, inputs), rounds=2, iterations=1
+    )
+    reference, _ = binary_join_plan(query, db)
+    assert set(result.relation.tuples) == set(
+        reference.project(result.relation.schema).tuples
+    )
+    assert result.stats.fallbacks == 0
+    print("\nE12 CSM proof sequence executed:")
+    for rule in result.stats.rules:
+        print(f"  {rule}")
+
+
+def test_csma_work_shape(benchmark):
+    def series():
+        rows = []
+        for scale in (2, 3, 4, 5):
+            query, db, lattice, inputs = setup(scale)
+            result = csma(query, db, lattice, inputs)
+            n = len(db["M"])
+            assert len(result.relation) == scale ** 3  # N^{3/2}
+            rows.append([n, len(result.relation),
+                         result.stats.tuples_touched])
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    print_table("E12 CSMA on Fig. 9 worst case",
+                ["N", "|Q| = N^1.5", "work"], rows)
+    exponent = measured_exponent([r[0] for r in rows], [r[2] for r in rows])
+    print(f"  measured exponent {exponent:.2f} "
+          "(GLVV budget 1.5 + polylog, chain bound would be 2.0)")
+    assert exponent < 1.9

@@ -1,0 +1,124 @@
+"""E13 — Fig. 10: the lattice taxonomy, regenerated.
+
+For every lattice in the paper's catalog compute: distributive?, chain
+bound tight (== GLVV)?, SM bound tight (good SM-proof exists)?, normal?,
+and verify every containment the figure draws:
+
+    Boolean ⊂ simple-FD ⊂ distributive ⊂ chain-tight ⊂ SM-tight ⊂ normal
+    (all within "all lattices"; M3 outside normal).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.proofs import find_good_sm_proof
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig9_lattice,
+    m3_query_lattice,
+)
+from repro.lattice.chains import best_chain_bound
+from repro.lattice.properties import is_distributive, is_normal_lattice
+from repro.lp.llp import LatticeLinearProgram
+
+from helpers import print_table
+
+
+def catalog():
+    b3 = boolean_algebra("xyz")
+    return {
+        "boolean3": (
+            b3,
+            {
+                "R": b3.index(frozenset("xy")),
+                "S": b3.index(frozenset("yz")),
+                "T": b3.index(frozenset("xz")),
+            },
+        ),
+        "fig1": fig1_lattice(),
+        "fig4": fig4_lattice(),
+        "fig5": fig5_lattice(),
+        "fig9": fig9_lattice(),
+        "m3": m3_query_lattice(),
+    }
+
+
+def classify(lattice, inputs):
+    logs = {name: 1.0 for name in inputs}
+    program = LatticeLinearProgram(lattice, inputs, logs)
+    solution = program.solve()
+    glvv = solution.objective
+    chain_value, chain, _ = best_chain_bound(lattice, inputs, logs)
+    chain_tight = chain is not None and chain_value <= glvv + 1e-6
+    proof = find_good_sm_proof(
+        lattice, solution.inequality.weights, inputs, max_steps=12
+    )
+    sm_tight = proof is not None
+    return {
+        "distributive": is_distributive(lattice),
+        "chain_tight": chain_tight,
+        "sm_tight": sm_tight,
+        "normal": is_normal_lattice(lattice, inputs),
+        "glvv": glvv,
+        "chain": chain_value,
+    }
+
+
+EXPECTED = {
+    #            dist   chain  sm     normal
+    "boolean3": (True,  True,  True,  True),
+    "fig1":     (False, True,  True,  True),
+    "fig4":     (False, False, True,  True),
+    "fig5":     (False, True,  True,  True),
+    "fig9":     (False, False, False, True),
+    # M3 is chain-tight, hence SM-tight (one SM-step proves the integral
+    # cover h(x)+h(y) >= h(1̂)); it is the catalog's only non-normal lattice.
+    "m3":       (False, True,  True,  False),
+}
+
+
+def test_taxonomy(benchmark):
+    def build():
+        return {
+            name: classify(lattice, inputs)
+            for name, (lattice, inputs) in catalog().items()
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            r["distributive"],
+            r["chain_tight"],
+            r["sm_tight"],
+            r["normal"],
+            f"{r['glvv']:.2f}",
+            f"{r['chain']:.2f}",
+        ]
+        for name, r in results.items()
+    ]
+    print_table(
+        "E13 Fig. 10 taxonomy",
+        ["lattice", "distrib", "chain=glvv", "sm-proof", "normal",
+         "glvv", "chain"],
+        rows,
+    )
+    for name, (dist, chain_t, sm_t, normal) in EXPECTED.items():
+        r = results[name]
+        assert r["distributive"] == dist, name
+        assert r["chain_tight"] == chain_t, name
+        assert r["sm_tight"] == sm_t, name
+        assert r["normal"] == normal, name
+
+    # The containments of Fig. 10 on this catalog:
+    for name, r in results.items():
+        if r["distributive"]:
+            assert r["chain_tight"], f"{name}: distributive ⇒ chain-tight"
+        if r["chain_tight"]:
+            assert r["sm_tight"], f"{name}: chain-tight ⇒ SM-tight"
+        if not r["normal"]:
+            assert name == "m3"

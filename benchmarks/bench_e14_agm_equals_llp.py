@@ -1,0 +1,71 @@
+"""E14 — Thm. 2.1 / Sec. 3.3: AGM == LLP on Boolean algebras (Eq. (6)).
+
+Random hypergraph queries without fds: the fractional edge cover LP on
+the query hypergraph and the LLP on the Boolean-algebra lattice agree,
+and the product instance attains them.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.bounds import agm_bound_log2
+from repro.datagen.product import product_database
+from repro.engine.generic_join import generic_join
+from repro.core.bounds import glvv_bound_log2
+from repro.query.query import Atom, Query
+
+from helpers import print_table
+
+
+def random_query(rng: random.Random, n_vars: int = 4, n_atoms: int = 4) -> Query:
+    variables = list("wxyz")[:n_vars]
+    atoms = []
+    for k in range(n_atoms):
+        size = rng.randint(1, 3)
+        attrs = rng.sample(variables, size)
+        atoms.append(Atom(f"R{k}", tuple(attrs)))
+    covered = {v for atom in atoms for v in atom.attrs}
+    missing = [v for v in variables if v not in covered]
+    if missing:
+        atoms.append(Atom("Rfix", tuple(missing)))
+    return Query(atoms)
+
+
+def test_agm_equals_llp_random(benchmark):
+    def run():
+        rng = random.Random(42)
+        rows = []
+        for trial in range(8):
+            query = random_query(rng)
+            sizes = {
+                atom.name: rng.choice([4, 16, 64, 256])
+                for atom in query.atoms
+            }
+            agm = agm_bound_log2(query, sizes)
+            llp = glvv_bound_log2(query, sizes)[0]
+            rows.append([trial, f"{agm:.3f}", f"{llp:.3f}"])
+            assert agm == pytest.approx(llp, abs=1e-5)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E14 AGM == LLP on random no-fd queries",
+                ["trial", "AGM log2", "LLP log2"], rows)
+
+
+def test_product_instance_tight(benchmark):
+    """Thm. 2.1(2): the product database attains the bound."""
+    query = Query(
+        [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))]
+    )
+    db = product_database(query, {"x": 4, "y": 8, "z": 4})
+
+    def run():
+        out, _ = generic_join(query, db)
+        return out
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    agm = agm_bound_log2(query, db.sizes())
+    assert len(out) == pytest.approx(2 ** agm, rel=0.01)
+    print(f"\nE14 product instance: |Q| = {len(out)} = 2^{agm:.2f}")

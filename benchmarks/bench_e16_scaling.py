@@ -1,0 +1,83 @@
+"""E16 — Thms. 5.7 / 5.28 / 5.37: runtime-shape sweep across algorithms.
+
+Measured growth exponents of every algorithm on its flagship workload,
+compared to the analytic budget.  The key shapes:
+
+* Chain Algorithm ~N on the skew instance (output-linear) vs. baselines ~N².
+* SMA ~N^{4/3} on Fig. 4 vs. the chain budget N^{3/2}.
+* CSMA ~N^{3/2}·polylog on Fig. 9 vs. the chain budget N².
+"""
+
+import pytest
+
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.csma import csma
+from repro.core.sma import submodularity_algorithm
+from repro.datagen.from_lattice import worst_case_database
+from repro.datagen.worstcase import fig4_instance, skew_instance_example_5_8
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import fig9_lattice, lattice_from_query
+from repro.lattice.chains import best_chain_bound
+
+from helpers import measured_exponent, print_table
+
+
+def test_scaling_summary(benchmark):
+    def sweep():
+        summary = []
+
+        # Chain Algorithm + baselines on the skew instance.
+        sizes, ca_w, gj_w, bj_w = [], [], [], []
+        for n in (64, 128, 256):
+            query, db = skew_instance_example_5_8(n)
+            lattice, inputs = lattice_from_query(query)
+            logs = {k: db.log_sizes()[k] for k in inputs}
+            _, chain, _ = best_chain_bound(lattice, inputs, logs)
+            _, st = chain_algorithm(query, db, lattice, inputs, chain)
+            _, gj = generic_join(query, db, order=("y", "z", "x", "u"),
+                                 fd_aware=True)
+            _, bj = binary_join_plan(query, db, order=["R", "S", "T"])
+            sizes.append(n)
+            ca_w.append(st.tuples_touched)
+            gj_w.append(gj.tuples_touched)
+            bj_w.append(bj.tuples_touched)
+        summary.append(["chain-alg @ skew", measured_exponent(sizes, ca_w), "<= 1.5"])
+        summary.append(["generic @ skew", measured_exponent(sizes, gj_w), "~2.0"])
+        summary.append(["binary @ skew", measured_exponent(sizes, bj_w), "~2.0"])
+
+        # SMA on Fig. 4.
+        sizes, works = [], []
+        for n in (27, 125, 343):
+            query, db = fig4_instance(n)
+            lattice, inputs = lattice_from_query(query)
+            _, st = submodularity_algorithm(query, db, lattice, inputs)
+            sizes.append(len(db["R"]))
+            works.append(st.tuples_touched)
+        summary.append(["sma @ fig4", measured_exponent(sizes, works), "~4/3"])
+
+        # CSMA on Fig. 9.
+        sizes, works = [], []
+        for scale in (2, 3, 4, 5):
+            lat0, inp0 = fig9_lattice()
+            query, db, _ = worst_case_database(lat0, inp0, scale=scale)
+            lattice, inputs = lattice_from_query(query)
+            result = csma(query, db, lattice, inputs)
+            sizes.append(len(db["M"]))
+            works.append(result.stats.tuples_touched)
+        summary.append(["csma @ fig9", measured_exponent(sizes, works),
+                        "~1.5 (+polylog)"])
+        return summary
+
+    summary = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E16 measured growth exponents",
+        ["algorithm @ workload", "exponent", "analytic budget"],
+        [[name, f"{exp:.2f}", budget] for name, exp, budget in summary],
+    )
+    by_name = {name: exp for name, exp, _ in summary}
+    assert by_name["chain-alg @ skew"] < 1.5
+    assert by_name["generic @ skew"] > 1.7
+    assert by_name["binary @ skew"] > 1.7
+    assert by_name["sma @ fig4"] < 1.45
+    assert by_name["csma @ fig9"] < 1.9

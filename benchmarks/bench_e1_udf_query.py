@@ -1,0 +1,103 @@
+"""E1 — Eq. (1) / Fig. 1 / Ex. 5.5-5.8: the UDF query.
+
+Paper claims regenerated:
+* GLVV bound of query (1) is N^{3/2} while AGM is N².
+* The Chain Algorithm runs within Õ(N^{3/2}); on the skew instance every
+  FD-oblivious WCOJ (and any binary plan) does Ω(N²) work.
+"""
+
+import pytest
+
+from repro.core.bounds import compute_bounds
+from repro.core.chain_algorithm import chain_algorithm
+from repro.datagen.worstcase import (
+    grid_instance_example_5_5,
+    skew_instance_example_5_8,
+)
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import lattice_from_query
+from repro.lattice.chains import best_chain_bound
+
+from helpers import measured_exponent, print_table
+
+N = 256
+
+
+@pytest.fixture(scope="module")
+def skew():
+    query, db = skew_instance_example_5_8(N)
+    lattice, inputs = lattice_from_query(query)
+    logs = {k: db.log_sizes()[k] for k in inputs}
+    _, chain, _ = best_chain_bound(lattice, inputs, logs)
+    return query, db, lattice, inputs, chain
+
+
+def test_bounds_table(benchmark):
+    query, db = grid_instance_example_5_5(N)
+    report = benchmark(compute_bounds, query, db.sizes())
+    n = len(db["R"])
+    print_table(
+        "E1 bounds for query (1), N = %d" % n,
+        ["bound", "log2", "tuples", "paper"],
+        [
+            ["agm", f"{report.agm:.2f}", f"{2**report.agm:.0f}", "N^2"],
+            ["glvv", f"{report.glvv:.2f}", f"{2**report.glvv:.0f}", "N^1.5"],
+            ["chain", f"{report.chain:.2f}", f"{2**report.chain:.0f}", "N^1.5"],
+        ],
+    )
+    assert report.glvv == pytest.approx(1.5 * report.agm / 2.0, rel=0.01)
+
+
+def test_chain_algorithm_work(benchmark, skew):
+    query, db, lattice, inputs, chain = skew
+    out, stats = benchmark.pedantic(
+        lambda: chain_algorithm(query, db, lattice, inputs, chain),
+        rounds=3, iterations=1,
+    )
+    assert stats.tuples_touched < N ** 1.5 * 4
+
+
+def test_generic_join_work(benchmark, skew):
+    query, db, *_ = skew
+    out, stats = benchmark.pedantic(
+        lambda: generic_join(query, db, order=("y", "z", "x", "u"),
+                             fd_aware=True),
+        rounds=3, iterations=1,
+    )
+    assert stats.tuples_touched > (N // 2) ** 2 / 2
+
+
+def test_binary_plan_work(benchmark, skew):
+    query, db, *_ = skew
+    out, stats = benchmark.pedantic(
+        lambda: binary_join_plan(query, db, order=["R", "S", "T"]),
+        rounds=3, iterations=1,
+    )
+    assert stats.intermediate_peak > (N // 2) ** 2 / 2
+
+
+def test_separation_series(benchmark):
+    """The headline series: work of CA vs generic join over N."""
+
+    def series():
+        rows = []
+        for n in (64, 128, 256):
+            query, db = skew_instance_example_5_8(n)
+            lattice, inputs = lattice_from_query(query)
+            logs = {k: db.log_sizes()[k] for k in inputs}
+            _, chain, _ = best_chain_bound(lattice, inputs, logs)
+            _, ca = chain_algorithm(query, db, lattice, inputs, chain)
+            _, gj = generic_join(query, db, order=("y", "z", "x", "u"),
+                                 fd_aware=True)
+            rows.append([n, ca.tuples_touched, gj.tuples_touched])
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    print_table("E1 separation (work)", ["N", "chain-alg", "generic-join"], rows)
+    ns = [r[0] for r in rows]
+    ca_exp = measured_exponent(ns, [r[1] for r in rows])
+    gj_exp = measured_exponent(ns, [r[2] for r in rows])
+    print(f"  measured exponents: chain-alg {ca_exp:.2f}, generic {gj_exp:.2f}")
+    assert ca_exp < 1.5
+    assert gj_exp > 1.7

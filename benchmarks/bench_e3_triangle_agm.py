@@ -1,0 +1,74 @@
+"""E3 — Eq. (4) / Thm. 2.1: the triangle AGM bound.
+
+Regenerates AGM(Q) = min(sqrt(N_R N_S N_T), N_R N_S, N_R N_T, N_S N_T)
+over a cardinality sweep, and verifies the product-instance lower bound
+and generic join's worst-case optimality shape.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bounds import agm_bound_log2
+from repro.datagen.product import product_database, random_database
+from repro.engine.generic_join import generic_join
+from repro.query.query import triangle_query
+
+from helpers import measured_exponent, print_table
+
+
+def eq4(r: int, s: int, t: int) -> float:
+    return min(
+        0.5 * (math.log2(r) + math.log2(s) + math.log2(t)),
+        math.log2(r) + math.log2(s),
+        math.log2(r) + math.log2(t),
+        math.log2(s) + math.log2(t),
+    )
+
+
+def test_agm_table(benchmark):
+    query = triangle_query()
+    profiles = [
+        (64, 64, 64), (16, 64, 256), (4, 4, 4096), (1024, 2, 2),
+    ]
+
+    def table():
+        return [
+            [r, s, t, f"{agm_bound_log2(query, {'R': r, 'S': s, 'T': t}):.2f}",
+             f"{eq4(r, s, t):.2f}"]
+            for r, s, t in profiles
+        ]
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print_table("E3 AGM bound (Eq. 4)", ["R", "S", "T", "LP", "Eq.(4)"], rows)
+    for row in rows:
+        assert float(row[3]) == pytest.approx(float(row[4]), abs=1e-6)
+
+
+def test_product_instance_attains_bound(benchmark):
+    query = triangle_query()
+    db = product_database(query, {"x": 8, "y": 8, "z": 8})
+    out, _ = benchmark.pedantic(
+        lambda: generic_join(query, db), rounds=2, iterations=1
+    )
+    agm = agm_bound_log2(query, db.sizes())
+    assert len(out) == pytest.approx(2 ** agm, rel=0.01)
+
+
+def test_generic_join_worst_case_shape(benchmark):
+    """Generic join's work on random instances grows ~N^{3/2} at worst."""
+    query = triangle_query()
+
+    def series():
+        rows = []
+        for n in (100, 400, 1600):
+            db = random_database(query, n, seed=1)
+            _, stats = generic_join(query, db)
+            rows.append([n, stats.tuples_touched])
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    print_table("E3 generic join work", ["N", "work"], rows)
+    exponent = measured_exponent([r[0] for r in rows], [r[1] for r in rows])
+    print(f"  measured exponent {exponent:.2f} (AGM budget: 1.5)")
+    assert exponent < 1.6

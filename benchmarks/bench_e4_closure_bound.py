@@ -1,0 +1,101 @@
+"""E4 — Sec. 2 "Closure": AGM(Q⁺) is tight for simple keys and fails
+otherwise.
+
+* Simple key y→z in R,S,T,K 4-cycle: AGM(Q⁺) adds the R·K cover option.
+* Counterexample R(x), S(y), T(x,y,z), xy→z with |T| = M >> N²:
+  AGM(Q⁺) = M yet |Q| <= N² = GLVV.
+"""
+
+import pytest
+
+from repro.core.bounds import agm_bound_log2, closure_bound_log2, glvv_bound_log2
+from repro.datagen.product import product_database
+from repro.engine.generic_join import generic_join
+from repro.fds.fd import FD, FDSet
+from repro.query.query import Atom, Query
+
+from helpers import print_table
+
+
+def four_cycle_with_key() -> Query:
+    atoms = [
+        Atom("R", ("x", "y")), Atom("S", ("y", "z")),
+        Atom("T", ("z", "u")), Atom("K", ("u", "x")),
+    ]
+    return Query(atoms, FDSet([FD("y", "z")], "xyzu"))
+
+
+def counterexample() -> Query:
+    return Query(
+        [Atom("R", ("x",)), Atom("S", ("y",)), Atom("T", ("x", "y", "z"))],
+        FDSet([FD("xy", "z")], "xyz"),
+    )
+
+
+def test_simple_key_closure_table(benchmark):
+    query = four_cycle_with_key()
+    sizes = {"R": 16, "S": 1 << 16, "T": 1 << 16, "K": 16}
+
+    def compute():
+        return (
+            agm_bound_log2(query, sizes),
+            closure_bound_log2(query, sizes),
+            glvv_bound_log2(query, sizes)[0],
+        )
+
+    agm, closure, glvv = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4 simple key y→z (|R|=|K|=16, |S|=|T|=2^16)",
+        ["bound", "log2"],
+        [["AGM", f"{agm:.1f}"], ["AGM(Q+)", f"{closure:.1f}"],
+         ["GLVV", f"{glvv:.1f}"]],
+    )
+    # AGM = min(R·T, S·K) = 20 bits; closure adds R·K = 8 bits.
+    assert agm == pytest.approx(20.0)
+    assert closure == pytest.approx(8.0)
+    assert glvv == pytest.approx(closure)  # tight for simple keys
+
+
+def test_nonsimple_counterexample(benchmark):
+    query = counterexample()
+    sizes = {"R": 16, "S": 16, "T": 1 << 20}
+
+    def compute():
+        return (
+            closure_bound_log2(query, sizes),
+            glvv_bound_log2(query, sizes)[0],
+        )
+
+    closure, glvv = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4 counterexample xy→z (|T| = 2^20 >> N²)",
+        ["bound", "log2", "paper"],
+        [["AGM(Q+)", f"{closure:.1f}", "M = 20"],
+         ["GLVV", f"{glvv:.1f}", "N² = 8"]],
+    )
+    assert closure == pytest.approx(20.0)
+    assert glvv == pytest.approx(8.0)
+
+
+def test_output_really_is_n_squared(benchmark):
+    # Materialize: T = full x,y grid with z = x (key xy). |Q| = N².
+    query = counterexample()
+    n = 32
+    from repro.engine.database import Database
+    from repro.engine.relation import Relation
+
+    db = Database(
+        [
+            Relation("R", ("x",), [(i,) for i in range(n)]),
+            Relation("S", ("y",), [(i,) for i in range(n)]),
+            Relation(
+                "T", ("x", "y", "z"),
+                [(i, j, (i * j) % n) for i in range(n) for j in range(n)],
+            ),
+        ],
+        fds=query.fds,
+    )
+    out, _ = benchmark.pedantic(
+        lambda: generic_join(query, db), rounds=2, iterations=1
+    )
+    assert len(out) == n * n

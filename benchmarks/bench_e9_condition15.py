@@ -1,0 +1,80 @@
+"""E9 — Fig. 6 / Thm. 5.14 / Ex. 5.16: the tightness condition (15).
+
+The Fig. 1 lattice with chain 0̂ ≺ y ≺ yz ≺ 1̂ satisfies condition (15)
+even though the lattice is not distributive — the chain bound is tight
+there, witnessed by an actual product-style materialization.
+"""
+
+import pytest
+
+from repro.lattice.builders import boolean_algebra, fig1_lattice, m3_query_lattice
+from repro.lattice.chains import (
+    Chain,
+    all_maximal_chains,
+    chain_tight_polymatroid,
+    condition_15_holds,
+)
+from repro.lattice.polymatroid import LatticeFunction
+from repro.lattice.properties import is_distributive
+from repro.lp.llp import LatticeLinearProgram
+
+from helpers import print_table
+
+
+def fig1_chain():
+    lat, inputs = fig1_lattice()
+    chain = Chain(
+        lat,
+        (
+            lat.bottom,
+            lat.index(frozenset("y")),
+            lat.index(frozenset("yz")),
+            lat.top,
+        ),
+    )
+    return lat, inputs, chain
+
+
+def test_condition_15_fig1(benchmark):
+    lat, inputs, chain = fig1_chain()
+    holds = benchmark.pedantic(
+        lambda: condition_15_holds(chain), rounds=1, iterations=1
+    )
+    print_table(
+        "E9 condition (15)",
+        ["lattice", "distributive", "chain", "cond. (15)"],
+        [["fig1", is_distributive(lat), str(chain), holds]],
+    )
+    assert holds
+    assert not is_distributive(lat)  # strictly beyond Cor. 5.15
+
+
+def test_distributive_always_satisfies(benchmark):
+    lat = boolean_algebra("xyz")
+
+    def check():
+        return all(
+            condition_15_holds(chain) for chain in all_maximal_chains(lat)
+        )
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_tight_polymatroid_materializable(benchmark):
+    """Thm. 5.14's u is optimal and <= h* — the tightness witness."""
+    lat, inputs, chain = fig1_chain()
+    program = LatticeLinearProgram(lat, inputs, {n: 1.0 for n in inputs})
+
+    def compute():
+        _, h_raw = program.solve_primal()
+        h_star = h_raw.lovasz_monotonization()
+        u = chain_tight_polymatroid(chain, h_star.values)
+        return h_star, LatticeFunction(lat, u)
+
+    h_star, hu = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert hu.is_polymatroid()
+    assert hu.values[lat.top] == h_star.values[lat.top]
+    assert hu.restrict_leq(h_star)
+    # Doubled, u is integral & normal: materializable by Lemma 4.5.
+    doubled = hu.scale(2)
+    assert doubled.is_normal()

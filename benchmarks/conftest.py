@@ -1,0 +1,6 @@
+"""Make helpers importable and benchmarks discoverable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

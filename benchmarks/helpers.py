@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures/claims: it
+prints the rows (paper value vs. measured) and asserts the *shape* — who
+wins, by what exponent, where crossovers fall — not absolute timings.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def measured_exponent(sizes: list[int], works: list[int]) -> float:
+    """Least-squares slope of log(work) vs log(size): the growth exponent."""
+    logs_n = [math.log(s) for s in sizes]
+    logs_w = [math.log(max(1, w)) for w in works]
+    n = len(sizes)
+    mean_n = sum(logs_n) / n
+    mean_w = sum(logs_w) / n
+    num = sum((a - mean_n) * (b - mean_w) for a, b in zip(logs_n, logs_w))
+    den = sum((a - mean_n) ** 2 for a in logs_n)
+    return num / den
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    print(f"\n== {title}")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Known maximum degrees (Sec. 1.2): tighter bounds and faster joins.
+
+A social-network-style triangle count where each account follows at most
+d others: the CLLP bound drops from N^{3/2} to N·d, and CSMA — the only
+algorithm of the paper that accepts degree constraints natively — runs
+within the smaller budget.
+
+Run:  python examples/bounded_degrees.py
+"""
+
+import math
+import random
+
+from repro.core.csma import csma
+from repro.engine.database import Database
+from repro.engine.generic_join import generic_join
+from repro.engine.relation import Relation
+from repro.lattice.builders import lattice_from_query
+from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+from repro.query.query import triangle_query
+
+
+def follows_graph(n: int, d: int, seed: int = 0) -> set[tuple[int, int]]:
+    """n follow-edges where every account follows at most d others."""
+    rng = random.Random(seed)
+    nodes = n // d
+    return {
+        (x, (x * 31 + 7 * k + rng.randrange(3)) % nodes)
+        for x in range(nodes)
+        for k in range(d)
+    }
+
+
+def main() -> None:
+    n, d = 1200, 3
+    query = triangle_query()
+    follows = follows_graph(n, d)
+    nodes = n // d
+    rng = random.Random(1)
+    mentions = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+    replies = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+    db = Database(
+        [
+            Relation("R", ("x", "y"), follows),
+            Relation("S", ("y", "z"), mentions),
+            Relation("T", ("z", "x"), replies),
+        ]
+    )
+    lattice, inputs = lattice_from_query(query)
+    logs = db.log_sizes()
+
+    # Bound without vs. with the degree constraint.
+    base = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+    x = lattice.index(frozenset("x"))
+    xy = lattice.index(frozenset("xy"))
+    observed_d = db["R"].max_degree(("x",))
+    constraint = DegreeConstraint(x, xy, math.log2(observed_d), guard="R")
+    plain, _ = base.solve_primal()
+    tight, _ = base.with_constraint(constraint).solve_primal()
+    print(f"|R| = {len(db['R'])}, max out-degree(R) = {observed_d}")
+    print(f"CLLP bound, cardinalities only: 2^{plain:.2f} = {2**plain:12.0f}")
+    print(f"CLLP bound, with degree bound:  2^{tight:.2f} = {2**tight:12.0f}")
+    print(f"(paper: min(N^1.5, N·d) = {min(len(db['R'])**1.5, len(db['S'])*observed_d):.0f})")
+
+    # Run CSMA with the constraint; cross-check with generic join.
+    result = csma(
+        query, db, lattice, inputs, extra_degree_constraints=[constraint]
+    )
+    reference, _ = generic_join(query, db)
+    assert set(result.relation.tuples) == set(
+        reference.project(result.relation.schema).tuples
+    )
+    print(
+        f"\nCSMA: |Q| = {len(result.relation)}, work = "
+        f"{result.stats.tuples_touched}, branches = {result.stats.branches}, "
+        f"restarts = {result.stats.restarts}"
+    )
+    print("proof sequence executed:")
+    for rule in result.stats.rules:
+        print(f"  {rule}")
+
+
+if __name__ == "__main__":
+    main()

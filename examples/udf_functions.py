@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""User-defined functions as FDs: the Sec. 1.1 motivation, measured.
+
+On the skew instance of Ex. 5.8 (R = S = T = {(1,i)} ∪ {(i,1)}) every
+FD-oblivious strategy — a traditional binary plan *and* a worst-case
+optimal generic join — does Θ(N²) work, while the paper's Chain Algorithm
+finishes in Õ(N^{3/2}) (here even ~N, since the output is linear).
+
+Run:  python examples/udf_functions.py
+"""
+
+from repro.core.chain_algorithm import chain_algorithm
+from repro.datagen.worstcase import skew_instance_example_5_8
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import lattice_from_query
+from repro.lattice.chains import best_chain_bound
+
+
+def main() -> None:
+    print(f"{'N':>6} {'|Q|':>6} {'chain-alg':>10} {'generic-join':>13} "
+          f"{'binary-plan':>12}   (work = tuples touched)")
+    for n in (64, 128, 256, 512):
+        query, db = skew_instance_example_5_8(n)
+        lattice, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        _, chain, _ = best_chain_bound(lattice, inputs, logs)
+
+        out, ca = chain_algorithm(query, db, lattice, inputs, chain)
+        _, gj = generic_join(
+            query, db, order=("y", "z", "x", "u"), fd_aware=True
+        )
+        _, bj = binary_join_plan(query, db, order=["R", "S", "T"])
+        print(
+            f"{n:>6} {len(out):>6} {ca.tuples_touched:>10} "
+            f"{gj.tuples_touched:>13} {bj.tuples_touched:>12}"
+        )
+    print(
+        "\nDoubling N roughly doubles the Chain Algorithm's work but "
+        "quadruples the baselines' — the Sec. 1.1 asymptotic separation."
+    )
+
+
+if __name__ == "__main__":
+    main()

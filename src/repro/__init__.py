@@ -1,0 +1,73 @@
+"""repro — FD-aware worst-case-optimal join processing.
+
+A complete implementation of Abo Khamis, Ngo, Suciu, *Computing Join
+Queries with Functional Dependencies* (PODS 2016): the GLVV/LLP bound on
+FD lattices, normal lattices and quasi-product instances, and the Chain /
+Submodularity / CSMA algorithms with their proof-sequence machinery.
+
+Public API highlights::
+
+    from repro import (
+        FD, FDSet, UDF,                 # functional dependencies
+        Atom, Query, parse_query,       # queries
+        Relation, Database,             # data
+        compute_bounds,                 # AGM / closure / GLVV / chain / ...
+        Planner,                        # pick & run the right algorithm
+        chain_algorithm, submodularity_algorithm, csma,
+    )
+"""
+
+from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF, UDFRegistry
+from repro.query.query import Atom, Query, triangle_query, paper_example_query
+from repro.query.parse import parse_query
+from repro.query.hypergraph import Hypergraph
+from repro.engine.relation import Relation
+from repro.engine.database import Database
+from repro.engine.generic_join import generic_join
+from repro.engine.binary_join import binary_join_plan
+from repro.lattice.lattice import Lattice
+from repro.lattice.builders import lattice_from_fds, lattice_from_query
+from repro.lattice.polymatroid import LatticeFunction, step_function
+from repro.lp.llp import LatticeLinearProgram, glvv_bound_log2
+from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+from repro.core.bounds import BoundReport, compute_bounds
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.sma import submodularity_algorithm
+from repro.core.csma import csma
+from repro.core.planner import Planner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FD",
+    "FDSet",
+    "UDF",
+    "UDFRegistry",
+    "Atom",
+    "Query",
+    "triangle_query",
+    "paper_example_query",
+    "parse_query",
+    "Hypergraph",
+    "Relation",
+    "Database",
+    "generic_join",
+    "binary_join_plan",
+    "Lattice",
+    "lattice_from_fds",
+    "lattice_from_query",
+    "LatticeFunction",
+    "step_function",
+    "LatticeLinearProgram",
+    "glvv_bound_log2",
+    "ConditionalLLP",
+    "DegreeConstraint",
+    "BoundReport",
+    "compute_bounds",
+    "chain_algorithm",
+    "submodularity_algorithm",
+    "csma",
+    "Planner",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""The paper's contribution: output-size bounds and FD-aware join algorithms.
+
+* :mod:`repro.core.bounds` — AGM, closure (Q⁺), GLVV/LLP, chain, SM and
+  normal-polymatroid bounds, plus degree-aware CLLP bounds.
+* :mod:`repro.core.chain_algorithm` — Algorithm 1 (Sec. 5.1).
+* :mod:`repro.core.proofs` — SM proof sequences + goodness (Def. 5.26).
+* :mod:`repro.core.sma` — Algorithm 2 (Sec. 5.2).
+* :mod:`repro.core.csma` — CSMA (Sec. 5.3): CSM proofs + the algorithm.
+* :mod:`repro.core.planner` — strategy selection per query.
+"""
+
+from repro.core.bounds import BoundReport, compute_bounds
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.proofs import SMStep, SMProof, find_good_sm_proof, sm_proof_exists
+from repro.core.sma import submodularity_algorithm
+from repro.core.csma import csma, CSMAResult
+from repro.core.planner import Planner, PlanChoice
+from repro.core.simple_keys import all_guarded_simple_keys, closure_trick_join
+from repro.core.report import analyze_query, classify_lattice, taxonomy_table
+from repro.core.colorings import Coloring, coloring_from_polymatroid, color_number_bound_log2
+
+__all__ = [
+    "BoundReport",
+    "compute_bounds",
+    "chain_algorithm",
+    "SMStep",
+    "SMProof",
+    "find_good_sm_proof",
+    "sm_proof_exists",
+    "submodularity_algorithm",
+    "csma",
+    "CSMAResult",
+    "Planner",
+    "PlanChoice",
+    "all_guarded_simple_keys",
+    "closure_trick_join",
+    "analyze_query",
+    "classify_lattice",
+    "taxonomy_table",
+    "Coloring",
+    "coloring_from_polymatroid",
+    "color_number_bound_log2",
+]

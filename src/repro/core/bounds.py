@@ -1,0 +1,137 @@
+"""Output-size bound calculators (the paper's full hierarchy, Fig. 10).
+
+For a query with cardinalities this module computes, all in log2:
+
+* ``agm``          — the AGM bound (Thm. 2.1), ignoring fds;
+* ``closure``      — AGM(Q⁺) (Sec. 2, tight for simple keys);
+* ``glvv``         — the GLVV bound = LLP optimum (Prop. 3.4);
+* ``chain``        — the best chain bound over good chains (Thm. 5.3);
+* ``normal``       — max over *normal* polymatroids (= co-atomic cover
+  bound on normal lattices, Thm. 4.9); also the GLVV "color number" bound;
+* ``coatomic``     — the fractional edge cover bound of H_co (Lemma 4.8).
+
+On a normal lattice glvv == normal == coatomic; chain >= glvv always,
+with equality on distributive lattices (Cor. 5.15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.lattice.builders import lattice_from_query
+from repro.lattice.chains import best_chain_bound
+from repro.lattice.lattice import Lattice
+from repro.lattice.properties import coatomic_hypergraph
+from repro.lp.llp import LatticeLinearProgram
+from repro.lp.solver import solve_lp
+from repro.query.query import Query
+
+
+@dataclass
+class BoundReport:
+    """All bounds for one (query, cardinalities) pair, in log2."""
+
+    agm: float
+    closure: float
+    glvv: float
+    chain: float
+    normal: float
+    coatomic: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "agm": self.agm,
+            "closure": self.closure,
+            "glvv": self.glvv,
+            "chain": self.chain,
+            "normal": self.normal,
+            "coatomic": self.coatomic,
+        }
+
+    def sizes(self) -> dict[str, float]:
+        """The bounds as tuple counts (2^log2)."""
+        return {k: 2.0**v for k, v in self.as_dict().items()}
+
+
+def agm_bound_log2(query: Query, sizes: Mapping[str, int]) -> float:
+    """ρ*(Q, (N_j)) — weighted fractional edge cover of the query hypergraph."""
+    logs = query.cardinalities_log(sizes)
+    objective, _ = query.hypergraph().fractional_edge_cover_number(logs)
+    return float(objective)
+
+
+def closure_bound_log2(query: Query, sizes: Mapping[str, int]) -> float:
+    """AGM(Q⁺): replace every relation by its closure, drop the fds."""
+    return agm_bound_log2(query.closure_query(), sizes)
+
+
+def glvv_bound_log2(
+    query: Query, sizes: Mapping[str, int]
+) -> tuple[float, Lattice, dict[str, int]]:
+    """The GLVV bound via the LLP (Prop. 3.4); returns the lattice too."""
+    lattice, inputs = lattice_from_query(query)
+    logs = query.cardinalities_log(sizes)
+    program = LatticeLinearProgram(lattice, inputs, logs)
+    objective, _ = program.solve_primal()
+    return objective, lattice, inputs
+
+
+def normal_bound_log2(
+    lattice: Lattice, inputs: Mapping[str, int], log_sizes: Mapping[str, float]
+) -> float:
+    """max h(1̂) over *normal* polymatroids with h(R_j) <= n_j.
+
+    Decomposing h = Σ_Z a_Z h_Z into step functions (Sec. 4) turns this
+    into the LP of Thm. 4.9's proof: max Σ_Z a_Z s.t.
+    Σ {a_Z : R_j ≰ Z} <= n_j.  Via the coloring correspondence (Sec. 4.3)
+    this is also the fractional relaxation of the GLVV color-number bound.
+    """
+    candidates = [z for z in range(lattice.n) if z != lattice.top]
+    costs = [-1.0] * len(candidates)  # maximize Σ a_Z
+    a_ub = []
+    b_ub = []
+    for name, r in inputs.items():
+        row = [
+            1.0 if not lattice.leq(r, z) else 0.0 for z in candidates
+        ]
+        a_ub.append(row)
+        b_ub.append(float(log_sizes[name]))
+    solution = solve_lp(costs, a_ub, b_ub)
+    return -solution.objective
+
+
+def coatomic_bound_log2(
+    lattice: Lattice, inputs: Mapping[str, int], log_sizes: Mapping[str, float]
+) -> float:
+    """min Σ w_j n_j over fractional edge covers of H_co (Lemma 4.8).
+
+    Infinite when H_co has an isolated vertex (an input above every
+    co-atom is impossible since inputs join to 1̂ — but a co-atom above
+    *all* inputs is possible and makes the cover infeasible).
+    """
+    graph = coatomic_hypergraph(lattice, inputs)
+    if graph.isolated_vertices():
+        return math.inf
+    objective, _ = graph.fractional_edge_cover_number(dict(log_sizes))
+    return float(objective)
+
+
+def compute_bounds(query: Query, sizes: Mapping[str, int]) -> BoundReport:
+    """The full bound hierarchy for one query + cardinalities."""
+    logs = query.cardinalities_log(sizes)
+    agm = agm_bound_log2(query, sizes)
+    closure = closure_bound_log2(query, sizes)
+    glvv, lattice, inputs = glvv_bound_log2(query, sizes)
+    chain, _, _ = best_chain_bound(lattice, inputs, logs)
+    normal = normal_bound_log2(lattice, inputs, logs)
+    coatomic = coatomic_bound_log2(lattice, inputs, logs)
+    return BoundReport(
+        agm=agm,
+        closure=closure,
+        glvv=glvv,
+        chain=chain,
+        normal=normal,
+        coatomic=coatomic,
+    )

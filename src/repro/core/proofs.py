@@ -1,0 +1,297 @@
+"""SM-proof sequences (Sec. 5.2): construction, goodness, and search.
+
+An SM-proof starts from a multiset B of lattice elements (q_j copies of
+each input R_j, where w_j = q_j/d) and repeatedly replaces an incomparable
+pair (X, Y) by (X∧Y, X∨Y) until all elements are pairwise comparable; it
+proves Σ_j q_j h(R_j) >= d·h(1̂) + (dangling terms).
+
+*Goodness* (Def. 5.26) is the label discipline guaranteeing that SMA's
+heavy/light branches re-join into output tables: every SM-step's operand
+label sets must intersect, and every label must eventually reach a copy of
+1̂.  Following Ex. 5.30, the fresh-label assignment maps the whole
+intersection to a single new label (the most permissive valid choice).
+
+The search enumerates step choices depth-first with labels tracked
+incrementally; it finds the good sequences for Figs. 4 and 7 and correctly
+reports that Fig. 9's inequality admits no SM-proof at all (Ex. 5.31).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+
+
+@dataclass(frozen=True)
+class SMStep:
+    """One elementary compression: items at ``left``/``right`` (indices into
+    the item list) are consumed; their meet/join become new items."""
+
+    left: int
+    right: int
+
+
+@dataclass
+class SMProof:
+    """A full SM-proof over a lattice.
+
+    ``items`` records every item ever created: (element, alive) evolves as
+    steps execute.  ``initial`` maps item index -> input name for the
+    starting multiset.  ``steps`` give, per SM-step, the consumed item
+    indices; ``produced`` the created item indices (meet, join).
+    """
+
+    lattice: Lattice
+    elements: list[int]                  # element of each item ever created
+    initial: dict[int, str]              # item index -> input name
+    steps: list[SMStep] = field(default_factory=list)
+    produced: list[tuple[int, int]] = field(default_factory=list)  # (meet, join)
+
+    def final_items(self) -> list[int]:
+        """Indices of items alive after all steps."""
+        consumed = {s.left for s in self.steps} | {s.right for s in self.steps}
+        return [i for i in range(len(self.elements)) if i not in consumed]
+
+    def reaches_top(self) -> int:
+        """Number of alive copies of 1̂ (the d of inequality (16))."""
+        top = self.lattice.top
+        return sum(1 for i in self.final_items() if self.elements[i] == top)
+
+    def is_terminal(self) -> bool:
+        """All alive items pairwise comparable (the proof has finished)."""
+        alive = [self.elements[i] for i in self.final_items()]
+        return all(
+            not self.lattice.incomparable(a, b)
+            for a, b in itertools.combinations(alive, 2)
+        )
+
+    def verify(self) -> bool:
+        """Each step's operands were alive and incomparable at step time."""
+        alive = set(range(len(self.initial)))
+        count = len(self.initial)
+        for step, (meet_item, join_item) in zip(self.steps, self.produced):
+            if step.left not in alive or step.right not in alive:
+                return False
+            x = self.elements[step.left]
+            y = self.elements[step.right]
+            if not self.lattice.incomparable(x, y):
+                return False
+            if self.elements[meet_item] != self.lattice.meet(x, y):
+                return False
+            if self.elements[join_item] != self.lattice.join(x, y):
+                return False
+            alive.discard(step.left)
+            alive.discard(step.right)
+            alive.add(meet_item)
+            alive.add(join_item)
+            count += 2
+        return count == len(self.elements)
+
+    # ------------------------------------------------------------------
+    # Goodness (Def. 5.26)
+    # ------------------------------------------------------------------
+    def label_trace(self) -> tuple[bool, list[frozenset[int]]]:
+        """Run the label bookkeeping.  Returns (good, final labels per item).
+
+        Labels accumulate on *all* items ever created (consumed items keep
+        receiving labels, per the Def. 5.26 discussion).
+        """
+        labels: list[set[int]] = [set() for _ in self.elements]
+        for i in self.initial:
+            labels[i] = {1}
+        next_label = 2
+        bottom = self.lattice.bottom
+        for step, (meet_item, join_item) in zip(self.steps, self.produced):
+            common = labels[step.left] & labels[step.right]
+            if not common:
+                return False, [frozenset(l) for l in labels]
+            labels[join_item] = set(common)
+            fresh: int | None = None
+            if self.elements[meet_item] != bottom:
+                fresh = next_label
+                next_label += 1
+                labels[meet_item] = {fresh}
+            if fresh is not None:
+                for idx in range(len(labels)):
+                    if idx in (step.left, step.right, meet_item, join_item):
+                        continue
+                    if labels[idx] & common:
+                        labels[idx].add(fresh)
+        # Every label must reach a copy of 1̂ among *final* top items.
+        top = self.lattice.top
+        reached: set[int] = set()
+        for i in self.final_items():
+            if self.elements[i] == top:
+                reached |= labels[i]
+        all_labels = set().union(*labels) if labels else set()
+        good = all_labels <= reached
+        return good, [frozenset(l) for l in labels]
+
+    def is_good(self) -> bool:
+        return self.is_terminal() and self.label_trace()[0]
+
+    def pretty(self) -> str:
+        """Human-readable rendering for the benchmark reports."""
+
+        def show(el: int) -> str:
+            label = self.lattice.label(el)
+            if isinstance(label, frozenset):
+                return "".join(sorted(map(str, label))) or "∅"
+            return str(label)
+
+        lines = []
+        for step, (meet_item, join_item) in zip(self.steps, self.produced):
+            lines.append(
+                f"h({show(self.elements[step.left])}) + "
+                f"h({show(self.elements[step.right])}) >= "
+                f"h({show(self.elements[join_item])}) + "
+                f"h({show(self.elements[meet_item])})"
+            )
+        return "\n".join(lines)
+
+
+def initial_multiset(
+    weights: Mapping[str, Fraction], inputs: Mapping[str, int]
+) -> tuple[list[int], dict[int, str], int]:
+    """Clear denominators: w_j = q_j/d -> q_j copies of R_j (Sec. 5.2).
+
+    Returns (elements, item->name, d)."""
+    fracs = {name: Fraction(w) for name, w in weights.items() if Fraction(w) > 0}
+    if not fracs:
+        raise ValueError("no positive weights")
+    d = 1
+    for w in fracs.values():
+        d = d * w.denominator // _gcd(d, w.denominator)
+    elements: list[int] = []
+    origin: dict[int, str] = {}
+    for name, w in sorted(fracs.items()):
+        copies = int(w * d)
+        for _ in range(copies):
+            origin[len(elements)] = name
+            elements.append(inputs[name])
+    return elements, origin, d
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def find_good_sm_proof(
+    lattice: Lattice,
+    weights: Mapping[str, Fraction],
+    inputs: Mapping[str, int],
+    max_steps: int | None = None,
+    require_good: bool = True,
+) -> SMProof | None:
+    """DFS over SM-step choices for a (good) terminal proof reaching d
+    copies of 1̂.
+
+    Returns None when no such sequence exists — which is a *proof sketch*
+    of non-existence only up to the search bound ``max_steps`` (default
+    4·|L|, comfortably above the paper's sequences).
+    """
+    elements, origin, d = initial_multiset(weights, inputs)
+    if max_steps is None:
+        max_steps = 4 * lattice.n
+    base = SMProof(lattice, list(elements), dict(origin))
+    seen_states: set[tuple] = set()
+
+    def state_key(proof: SMProof) -> tuple:
+        alive = sorted(proof.elements[i] for i in proof.final_items())
+        return tuple(alive)
+
+    def dfs(proof: SMProof) -> SMProof | None:
+        if proof.is_terminal():
+            if proof.reaches_top() >= d and (
+                not require_good or proof.label_trace()[0]
+            ):
+                return proof
+            return None
+        if len(proof.steps) >= max_steps:
+            return None
+        if not require_good:
+            # The alive multiset fully determines the future when labels
+            # are ignored; with goodness required, label history matters,
+            # so memoization would be unsound.
+            key = state_key(proof)
+            if key in seen_states:
+                return None
+            seen_states.add(key)
+        alive = proof.final_items()
+        for a, b in itertools.combinations(alive, 2):
+            x, y = proof.elements[a], proof.elements[b]
+            if not lattice.incomparable(x, y):
+                continue
+            meet_item = len(proof.elements)
+            join_item = meet_item + 1
+            proof.elements.extend([lattice.meet(x, y), lattice.join(x, y)])
+            proof.steps.append(SMStep(a, b))
+            proof.produced.append((meet_item, join_item))
+            if not require_good or _prefix_labels_ok(proof):
+                found = dfs(proof)
+                if found is not None:
+                    return found
+            proof.elements.pop()
+            proof.elements.pop()
+            proof.steps.pop()
+            proof.produced.pop()
+        return None
+
+    result = dfs(base)
+    if result is None:
+        return None
+    # Return a detached copy.
+    return SMProof(
+        lattice,
+        list(result.elements),
+        dict(result.initial),
+        list(result.steps),
+        list(result.produced),
+    )
+
+
+def _prefix_labels_ok(proof: SMProof) -> bool:
+    """All steps so far had non-empty label intersections."""
+    labels: list[set[int]] = [set() for _ in proof.elements]
+    for i in proof.initial:
+        labels[i] = {1}
+    next_label = 2
+    bottom = proof.lattice.bottom
+    for step, (meet_item, join_item) in zip(proof.steps, proof.produced):
+        common = labels[step.left] & labels[step.right]
+        if not common:
+            return False
+        labels[join_item] = set(common)
+        if proof.elements[meet_item] != bottom:
+            fresh = next_label
+            next_label += 1
+            labels[meet_item] = {fresh}
+            for idx in range(len(labels)):
+                if idx in (step.left, step.right, meet_item, join_item):
+                    continue
+                if labels[idx] & common:
+                    labels[idx].add(fresh)
+    return True
+
+
+def sm_proof_exists(
+    lattice: Lattice,
+    weights: Mapping[str, Fraction],
+    inputs: Mapping[str, int],
+    max_steps: int | None = None,
+) -> bool:
+    """Does *any* terminal SM-proof reach d copies of 1̂ (goodness ignored)?
+
+    Ex. 5.31 / Fig. 9: returns False for h(M)+h(N)+h(O) >= 2 h(1̂)."""
+    return (
+        find_good_sm_proof(
+            lattice, weights, inputs, max_steps=max_steps, require_good=False
+        )
+        is not None
+    )

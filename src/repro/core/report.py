@@ -1,0 +1,151 @@
+"""Reporting: per-query analysis and the Fig. 10 taxonomy, programmatic.
+
+These drive the benchmark harness and `examples/lattice_explorer.py`, and
+give downstream users a one-call diagnosis of a query: its lattice, every
+bound, which algorithm is optimal, and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.bounds import coatomic_bound_log2, normal_bound_log2
+from repro.core.proofs import find_good_sm_proof
+from repro.lattice.builders import lattice_from_query
+from repro.lattice.chains import best_chain_bound, condition_15_holds
+from repro.lattice.lattice import Lattice
+from repro.lattice.properties import (
+    has_m3_with_top,
+    is_distributive,
+    is_modular,
+    is_normal_lattice,
+)
+from repro.lp.llp import LatticeLinearProgram
+from repro.query.query import Query
+
+
+@dataclass
+class LatticeClassification:
+    """One row of the Fig. 10 taxonomy."""
+
+    size: int
+    distributive: bool
+    modular: bool
+    m3_at_top: bool
+    normal: bool
+    chain_tight: bool
+    sm_tight: bool
+    glvv_log2: float
+    chain_log2: float
+    coatomic_log2: float
+
+    def region(self) -> str:
+        """The innermost Fig. 10 region containing this lattice."""
+        if self.distributive:
+            return "distributive"
+        if self.chain_tight:
+            return "chain-tight"
+        if self.sm_tight:
+            return "sm-tight"
+        if self.normal:
+            return "normal"
+        return "general"
+
+
+def classify_lattice(
+    lattice: Lattice,
+    inputs: Mapping[str, int],
+    log_sizes: Mapping[str, float] | None = None,
+    sm_search_steps: int | None = None,
+) -> LatticeClassification:
+    """Compute every Fig. 10 membership for one lattice presentation."""
+    logs = (
+        {name: float(v) for name, v in log_sizes.items()}
+        if log_sizes is not None
+        else {name: 1.0 for name in inputs}
+    )
+    program = LatticeLinearProgram(lattice, inputs, logs)
+    solution = program.solve()
+    glvv = solution.objective
+    chain_value, chain, _ = best_chain_bound(lattice, inputs, logs)
+    chain_tight = chain is not None and chain_value <= glvv + 1e-6
+    proof = find_good_sm_proof(
+        lattice, solution.inequality.weights, inputs,
+        max_steps=sm_search_steps,
+    )
+    return LatticeClassification(
+        size=lattice.n,
+        distributive=is_distributive(lattice),
+        modular=is_modular(lattice),
+        m3_at_top=has_m3_with_top(lattice),
+        normal=is_normal_lattice(lattice, inputs),
+        chain_tight=chain_tight,
+        sm_tight=proof is not None,
+        glvv_log2=glvv,
+        chain_log2=chain_value,
+        coatomic_log2=coatomic_bound_log2(lattice, inputs, logs),
+    )
+
+
+@dataclass
+class QueryAnalysis:
+    """Full diagnosis of one (query, cardinalities) pair."""
+
+    query: Query
+    lattice: Lattice
+    inputs: dict[str, int]
+    classification: LatticeClassification
+    normal_log2: float
+    recommended: str
+    notes: list[str] = field(default_factory=list)
+
+
+def analyze_query(query: Query, sizes: Mapping[str, int]) -> QueryAnalysis:
+    """Classify a query's lattice and recommend an algorithm, with the
+    paper-facts justifying the choice."""
+    lattice, inputs = lattice_from_query(query)
+    logs = query.cardinalities_log(sizes)
+    classification = classify_lattice(lattice, inputs, logs)
+    notes: list[str] = []
+    if not query.fds:
+        recommended = "generic-join"
+        notes.append("no fds: AGM bound applies (Thm. 2.1)")
+    elif classification.chain_tight:
+        recommended = "chain"
+        notes.append("a good chain meets GLVV (Thm. 5.3)")
+        if classification.distributive:
+            notes.append("distributive lattice: tightness by Cor. 5.15")
+    elif classification.sm_tight:
+        recommended = "sma"
+        notes.append("good SM-proof exists (Thm. 5.28)")
+    else:
+        recommended = "csma"
+        notes.append("needs conditional rules (Sec. 5.3, Thm. 5.37)")
+    if not classification.normal:
+        notes.append(
+            "lattice is NOT normal: no quasi-product worst case "
+            "(Thm. 4.9); GLVV exceeds the co-atomic cover bound"
+        )
+    if query.fds.all_simple:
+        notes.append("all fds simple: lattice distributive (Prop. 3.2)")
+    return QueryAnalysis(
+        query=query,
+        lattice=lattice,
+        inputs=inputs,
+        classification=classification,
+        normal_log2=normal_bound_log2(lattice, inputs, logs),
+        recommended=recommended,
+        notes=notes,
+    )
+
+
+def taxonomy_table(
+    catalog: Mapping[str, tuple[Lattice, Mapping[str, int]]]
+) -> dict[str, LatticeClassification]:
+    """Fig. 10 for a catalog of lattice presentations."""
+    return {
+        name: classify_lattice(lattice, inputs)
+        for name, (lattice, inputs) in catalog.items()
+    }

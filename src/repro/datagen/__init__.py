@@ -1,0 +1,22 @@
+"""Instance generators: product, quasi-product, and adversarial workloads."""
+
+from repro.datagen.product import product_database, random_database
+from repro.datagen.worstcase import (
+    skew_instance_example_5_8,
+    grid_instance_example_5_5,
+    m3_modular_instance,
+    fig4_instance,
+    fig9_instance,
+    colored_degree_triangle,
+)
+
+__all__ = [
+    "product_database",
+    "random_database",
+    "skew_instance_example_5_8",
+    "grid_instance_example_5_5",
+    "m3_modular_instance",
+    "fig4_instance",
+    "fig9_instance",
+    "colored_degree_triangle",
+]

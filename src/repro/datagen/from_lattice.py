@@ -1,0 +1,187 @@
+"""The Sec. 3.1 correspondence, executably: lattice → query → database.
+
+* :func:`query_from_lattice` builds the conjunctive query whose lattice
+  presentation is (L, R): variables are L's join-irreducibles, relation
+  R_j has attributes Λ_{R_j}, and FD = {X → Λ_{∨X} : X ⊆ vars}.
+* :func:`database_from_world` turns a single "world" relation D over all
+  variables (a database instance *for the lattice*, Sec. 3.2) into a
+  runnable :class:`~repro.engine.database.Database`: inputs are the
+  projections Π_{Λ_{R_j}}(D) and every unguarded fd gets a lookup-table
+  UDF built from D (values outside D's support map to a ⊥ sentinel that
+  the final filters eliminate).
+* :func:`worst_case_database` materializes the LLP-optimal polymatroid as
+  a quasi-product world when it is normal (Lemma 4.5) — the generic
+  worst-case generator used by the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF
+from repro.lattice.embedding import quasi_product_instance
+from repro.lattice.lattice import Lattice
+from repro.lattice.polymatroid import LatticeFunction
+from repro.query.query import Atom, Query
+
+BOTTOM = "⊥"  # sentinel for UDF lookups outside the world's support
+
+
+def join_irreducible_names(lattice: Lattice) -> dict[str, int]:
+    """Stable variable names for the join-irreducibles.
+
+    String labels are lowercased ('M' → 'm'); frozenset labels use their
+    sorted concatenation.  Raises on collisions.
+    """
+    names: dict[str, int] = {}
+    for ji in lattice.join_irreducibles:
+        label = lattice.label(ji)
+        if isinstance(label, frozenset):
+            name = "".join(sorted(map(str, label)))
+        else:
+            name = str(label).lower()
+        if name in names:
+            raise ValueError(f"join-irreducible name collision: {name!r}")
+        names[name] = ji
+    return names
+
+
+def query_from_lattice(
+    lattice: Lattice, inputs: Mapping[str, int]
+) -> tuple[Query, dict[str, int]]:
+    """The query of a lattice presentation (L, R) (Sec. 3.1).
+
+    Returns (query, var_to_ji).  FDs are X → Λ_{∨X} for every subset X of
+    variables with a non-trivial closure jump (all subsets, not only
+    pairs: pairwise fds do not always reconstruct the lattice).
+    """
+    var_to_ji = join_irreducible_names(lattice)
+    ji_to_var = {ji: name for name, ji in var_to_ji.items()}
+
+    def lambda_of(element: int) -> frozenset[str]:
+        return frozenset(
+            ji_to_var[z] for z in lattice.join_irreducibles_below(element)
+        )
+
+    atoms = [
+        Atom(name, sorted(lambda_of(element)))
+        for name, element in inputs.items()
+    ]
+    variables = sorted(var_to_ji)
+    # Compact generating set for the closure system {Λ_Z : Z ∈ L}:
+    # for every Z and join-irreducible x ≰ Z,  Λ_Z ∪ {x} → Λ_{Z ∨ x}.
+    # Absorbing the members of any set X one at a time shows the closure of
+    # X under these fds is exactly Λ_{∨X}, and each Λ_Z is closed, so the
+    # induced lattice is L (Sec. 3.1) without enumerating all 2^k subsets.
+    seen: set[tuple[frozenset, frozenset]] = set()
+    fds: list[FD] = []
+    for z in range(lattice.n):
+        lam_z = lambda_of(z)
+        for name, ji in var_to_ji.items():
+            if lattice.leq(ji, z):
+                continue
+            lhs = lam_z | {name}
+            rhs = lambda_of(lattice.join(z, ji))
+            if rhs <= lhs:
+                continue
+            key = (frozenset(lhs), frozenset(rhs))
+            if key in seen:
+                continue
+            seen.add(key)
+            fds.append(FD(lhs, rhs))
+    query = Query(atoms, FDSet(fds, variables))
+    return query, var_to_ji
+
+
+def database_from_world(
+    query: Query,
+    world_variables: Sequence[str],
+    world_tuples: Sequence[tuple],
+) -> Database:
+    """Make a runnable Database from a world relation over all variables.
+
+    Input relations are projections of the world; each fd in a minimal
+    cover of the query's fds becomes a lookup-table UDF derived from the
+    world (Sec. 3.2: unguarded fds are accessible as UDFs during
+    evaluation).
+    """
+    world = Relation("__world__", world_variables, world_tuples)
+    relations = [
+        world.project(atom.attrs, name=atom.name) for atom in query.atoms
+    ]
+    udfs: list[UDF] = []
+    for fd in query.fds:
+        lhs = tuple(sorted(fd.lhs))
+        for target in sorted(fd.rhs - fd.lhs):
+            if any(u.output == target and tuple(u.inputs) == lhs for u in udfs):
+                continue
+            table: dict[tuple, object] = {}
+            lhs_positions = world.positions(lhs)
+            target_pos = world.positions((target,))[0]
+            for t in world.tuples:
+                table[tuple(t[p] for p in lhs_positions)] = t[target_pos]
+            udfs.append(
+                UDF(
+                    f"{target}_of_{''.join(lhs)}",
+                    lhs,
+                    target,
+                    _make_lookup(table),
+                )
+            )
+    return Database(relations, fds=query.fds, udfs=udfs)
+
+
+def _make_lookup(table: dict[tuple, object]):
+    def fn(*args: object) -> object:
+        return table.get(tuple(args), BOTTOM)
+
+    return fn
+
+
+def worst_case_database(
+    lattice: Lattice,
+    inputs: Mapping[str, int],
+    scale: int = 2,
+) -> tuple[Query, Database, LatticeFunction]:
+    """Generic worst-case generator for a lattice presentation.
+
+    Solves the LLP with unit log-cardinalities, scales the optimal
+    polymatroid to integrality, checks normality, and materializes it as a
+    quasi-product world with per-color domain ``scale`` (Lemma 4.5).  Each
+    input then has ~scale^{h*(R_j)·denom} tuples.  Raises ``ValueError``
+    when the optimal polymatroid is not normal (e.g. M3 — use the mod-N
+    instance instead).
+    """
+    from repro.lp.llp import LatticeLinearProgram
+
+    query, var_to_ji = query_from_lattice(lattice, inputs)
+    log_sizes = {name: 1.0 for name in inputs}
+    program = LatticeLinearProgram(lattice, inputs, log_sizes)
+    solution = program.solve()
+    h = solution.h
+    denominators = [Fraction(v).denominator for v in h.values]
+    lcm = 1
+    for d in denominators:
+        lcm = lcm * d // _gcd(lcm, d)
+    h_int = h.scale(lcm)
+    if not h_int.is_normal():
+        raise ValueError(
+            "optimal polymatroid is not normal; no quasi-product worst case "
+            "exists (Thm. 4.9) — supply a bespoke instance"
+        )
+    variables, tuples = quasi_product_instance(
+        h_int, base=scale, var_to_ji=var_to_ji
+    )
+    db = database_from_world(query, variables, tuples)
+    return query, db, h_int
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

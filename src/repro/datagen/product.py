@@ -1,0 +1,52 @@
+"""Product and random database instances (Thm. 2.1's worst case)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Mapping
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.query.query import Query
+
+
+def product_database(
+    query: Query, domain_sizes: Mapping[str, int]
+) -> Database:
+    """The product instance: R_j = Π_{x ∈ vars(R_j)} [D_x] (Sec. 2).
+
+    On such an instance the query output is the full cross product
+    Π_x [D_x] — the AGM lower-bound construction.
+    """
+    relations = []
+    for atom in query.atoms:
+        domains = [range(domain_sizes[v]) for v in atom.attrs]
+        relations.append(
+            Relation(atom.name, atom.attrs, itertools.product(*domains))
+        )
+    return Database(relations, fds=query.fds)
+
+
+def random_database(
+    query: Query,
+    size: int,
+    domain: int | None = None,
+    seed: int = 0,
+) -> Database:
+    """Uniform random instance with ``size`` tuples per relation.
+
+    Only meaningful for queries without fds (enforcing fds on random data
+    needs the quasi-product construction of
+    :func:`repro.lattice.embedding.quasi_product_instance`).
+    """
+    rng = random.Random(seed)
+    domain = domain if domain is not None else max(4, int(size**0.5) * 2)
+    relations = []
+    for atom in query.atoms:
+        tuples = {
+            tuple(rng.randrange(domain) for _ in atom.attrs)
+            for _ in range(size)
+        }
+        relations.append(Relation(atom.name, atom.attrs, tuples))
+    return Database(relations, fds=query.fds)

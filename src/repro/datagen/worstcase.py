@@ -1,0 +1,339 @@
+"""Adversarial instances from the paper's examples.
+
+Each generator returns a ready :class:`~repro.engine.database.Database`
+(and where relevant the query) reproducing a specific lower-bound or
+separation construction:
+
+* ``skew_instance_example_5_8`` — R = S = T = {(1,i)} ∪ {(i,1)}: all
+  FD-oblivious WCOJ algorithms take Ω(N²) on query (1), the Chain
+  Algorithm O(N^{3/2}).
+* ``grid_instance_example_5_5`` — R = S = T = [√N]²: the chain bound
+  N^{3/2} is attained (output = N^{3/2}).
+* ``m3_modular_instance`` — D = {(i,j,k) : i+j+k ≡ 0 mod N}: materializes
+  the non-normal M3 polymatroid (Sec. 3.2); output N², no quasi-product
+  instance can achieve it.
+* ``fig4_instance`` / ``fig9_instance`` — quasi-product worst cases from
+  the optimal normal polymatroids of those lattices.
+* ``colored_degree_triangle`` — query (2): the triangle with bounded
+  degrees via colors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF
+from repro.query.query import Atom, Query, paper_example_query
+
+
+def skew_instance_example_5_8(n: int) -> tuple[Query, Database]:
+    """R = S = T = {(1, i)} ∪ {(i, 1)}, i ∈ [N/2], with the UDFs
+    u = f(x,z) = x and x = g(y,u) = u (Ex. 5.5/5.8).
+
+    |Q| = Θ(N) but every FD-oblivious WCOJ order materializes Θ(N²)
+    partial bindings.
+    """
+    query = paper_example_query()
+    half = max(1, n // 2)
+    pairs = {(1, i) for i in range(1, half + 1)} | {
+        (i, 1) for i in range(1, half + 1)
+    }
+    db = Database(
+        [
+            Relation("R", ("x", "y"), pairs),
+            Relation("S", ("y", "z"), pairs),
+            Relation("T", ("z", "u"), pairs),
+        ],
+        udfs=[
+            UDF("f", ("x", "z"), "u", lambda x, z: x),
+            UDF("g", ("y", "u"), "x", lambda y, u: u),
+        ],
+    )
+    return query, db
+
+
+def grid_instance_example_5_5(n: int) -> tuple[Query, Database]:
+    """R = S = T = [√N] × [√N] with the same UDFs; |Q| = N^{3/2}
+    (the chain-bound-tight instance of Ex. 5.5)."""
+    query = paper_example_query()
+    side = max(1, int(round(math.sqrt(n))))
+    grid = list(itertools.product(range(side), range(side)))
+    db = Database(
+        [
+            Relation("R", ("x", "y"), grid),
+            Relation("S", ("y", "z"), grid),
+            Relation("T", ("z", "u"), grid),
+        ],
+        udfs=[
+            UDF("f", ("x", "z"), "u", lambda x, z: x),
+            UDF("g", ("y", "u"), "x", lambda y, u: u),
+        ],
+    )
+    return query, db
+
+
+def m3_query() -> Query:
+    """Q :- R(x), S(y), T(z) with xy→z, xz→y, yz→x (lattice M3)."""
+    atoms = [Atom("R", ("x",)), Atom("S", ("y",)), Atom("T", ("z",))]
+    fds = FDSet([FD("xy", "z"), FD("xz", "y"), FD("yz", "x")], "xyz")
+    return Query(atoms, fds)
+
+
+def m3_modular_instance(n: int) -> tuple[Query, Database]:
+    """The mod-N instance D = {(i,j,k) : i+j+k ≡ 0 (mod N)} for the M3
+    query (Sec. 3.2).  The three unguarded fds are realized by UDFs
+    z = (-x-y) mod N etc.; the output has N² tuples, achieving the chain
+    bound of Ex. 5.12 — and beating every quasi-product instance."""
+    query = m3_query()
+
+    def third(a: object, b: object) -> int:
+        return (-int(a) - int(b)) % n
+
+    db = Database(
+        [
+            Relation("R", ("x",), ((i,) for i in range(n))),
+            Relation("S", ("y",), ((i,) for i in range(n))),
+            Relation("T", ("z",), ((i,) for i in range(n))),
+        ],
+        udfs=[
+            UDF("fz", ("x", "y"), "z", third),
+            UDF("fy", ("x", "z"), "y", third),
+            UDF("fx", ("y", "z"), "x", third),
+        ],
+    )
+    return query, db
+
+
+def fig4_query() -> Query:
+    """The Fig. 4 query: R(a,b,c), S(a,d,e), T(b,d,f), U(c,e,f) with the
+    fds that close the Fig. 4 lattice (every pair of variables inside an
+    atom determines nothing extra; the lattice needs each atom's variable
+    set closed and each single variable closed, which holds with no fds).
+
+    Without fds the Fig. 4 lattice is *not* the Boolean algebra — the
+    lattice arises because only the sets shown exist as closures of the
+    inputs' subsets.  To realize exactly that lattice we add, for every
+    pair of variables from different atoms, an fd making their closure
+    jump to the top, e.g. a,f → everything (those pairs' joins are 1̂ in
+    Fig. 4).
+    """
+    atoms = [
+        Atom("R", ("a", "b", "c")),
+        Atom("S", ("a", "d", "e")),
+        Atom("T", ("b", "d", "f")),
+        Atom("U", ("c", "e", "f")),
+    ]
+    all_vars = "abcdef"
+    pair_to_atom = {}
+    for atom in atoms:
+        for pair in itertools.combinations(sorted(atom.attrs), 2):
+            pair_to_atom[pair] = atom.name
+    fds = []
+    for pair in itertools.combinations(all_vars, 2):
+        if pair in pair_to_atom:
+            # Two variables in a common atom: their join is that atom's
+            # variable set.
+            target = next(a for a in atoms if a.name == pair_to_atom[pair])
+            fds.append(FD(frozenset(pair), target.varset))
+        else:
+            fds.append(FD(frozenset(pair), frozenset(all_vars)))
+    return Query(atoms, FDSet(fds, all_vars))
+
+
+def fig4_instance(n: int) -> tuple[Query, Database]:
+    """A quasi-product instance for Fig. 4 realizing the SM bound N^{4/3}:
+    variables get coordinate pairs from a [m]³ cube (m = N^{1/3}) so that
+    each relation has m³ = N tuples and the output has m⁴ = N^{4/3}."""
+    query = fig4_query()
+    m = max(1, int(round(n ** (1.0 / 3.0))))
+    # Coordinates p,q,r,s: a=(p,q), b=(p,r), c=(q,r) style... The optimal
+    # normal polymatroid of Fig. 4 has h(v) = 2/3 for atoms, h = 1 on the
+    # inputs, h(1̂) = 4/3: realized with 4 coordinates of size m = N^{1/3},
+    # each variable seeing 2 of them:
+    #   a=(p,q) b=(p,r) c=(q,r) d=(p,s) e=(q,s) f=(r,s)
+    # R(a,b,c) is determined by (p,q,r): m³ = N tuples; the output ranges
+    # over (p,q,r,s): m⁴ = N^{4/3}.
+    tuples_r = []
+    tuples_s = []
+    tuples_t = []
+    tuples_u = []
+    rng = range(m)
+    for p, q, r in itertools.product(rng, rng, rng):
+        tuples_r.append(((p, q), (p, r), (q, r)))
+    for p, q, s in itertools.product(rng, rng, rng):
+        tuples_s.append(((p, q), (p, s), (q, s)))
+    for p, r, s in itertools.product(rng, rng, rng):
+        tuples_t.append(((p, r), (p, s), (r, s)))
+    for q, r, s in itertools.product(rng, rng, rng):
+        tuples_u.append(((q, r), (q, s), (r, s)))
+    db = Database(
+        [
+            Relation("R", ("a", "b", "c"), tuples_r),
+            Relation("S", ("a", "d", "e"), tuples_s),
+            Relation("T", ("b", "d", "f"), tuples_t),
+            Relation("U", ("c", "e", "f"), tuples_u),
+        ],
+        fds=query.fds,
+        udfs=_coordinate_udfs(),
+    )
+    return query, db
+
+
+def _coordinate_udfs() -> list[UDF]:
+    """UDFs realizing the Fig. 4 fds on coordinate-pair values.
+
+    Variables carry coordinate pairs: a=(p,q), b=(p,r), c=(q,r),
+    d=(p,s), e=(q,s), f=(r,s).  Any two variables of an atom determine the
+    third; any cross-atom pair determines everything.
+    """
+
+    def make(out_coords: tuple[int, int], in1: str, c1: tuple[int, int],
+             in2: str, c2: tuple[int, int]):
+        # Coordinate ids: 0=p 1=q 2=r 3=s.  Build the output variable's
+        # value from whichever inputs carry its two coordinates.
+        def fn(v1, v2):
+            have = {c1[0]: v1[0], c1[1]: v1[1], c2[0]: v2[0], c2[1]: v2[1]}
+            return (have[out_coords[0]], have[out_coords[1]])
+
+        return fn
+
+    coords = {
+        "a": (0, 1), "b": (0, 2), "c": (1, 2),
+        "d": (0, 3), "e": (1, 3), "f": (2, 3),
+    }
+    udfs = []
+    for v1, v2 in itertools.combinations(coords, 2):
+        known = set(coords[v1]) | set(coords[v2])
+        for out, oc in coords.items():
+            if out in (v1, v2):
+                continue
+            if set(oc) <= known:
+                udfs.append(
+                    UDF(
+                        f"{out}_from_{v1}{v2}",
+                        (v1, v2),
+                        out,
+                        make(oc, v1, coords[v1], v2, coords[v2]),
+                    )
+                )
+    return udfs
+
+
+def fig9_query() -> Query:
+    """A concrete query whose FD lattice embeds the Fig. 9 structure.
+
+    We realize the three inputs T(M), T(N), T(O) as ternary relations over
+    coordinate variables: the lattice elements of Fig. 9 are generated by
+    coordinates p, q, r, s (as in the running CSMA example): M=(p,q),
+    N=(p,r), O=(q,r) extended with a shared "spine" coordinate... For the
+    executable benchmark we use the direct formulation below: variables
+    g, i, j (join-irreducibles below Z) plus m, n, o; fds g,i→j-style
+    relations make Z = {g,i,j} the common join.  M = {g, m}, N = {i, n},
+    O = {j, o}; any two of g,i,j determine the third (Z's diamond), and
+    (m, Z) determines everything M-side, etc.
+    """
+    atoms = [
+        Atom("M", ("g", "m")),
+        Atom("N", ("i", "n")),
+        Atom("O", ("j", "o")),
+    ]
+    fds = FDSet(
+        [
+            FD("gi", "j"), FD("gj", "i"), FD("ij", "g"),
+        ],
+        "gimnjo",
+    )
+    return Query(atoms, fds)
+
+
+def fig9_instance(n: int) -> tuple[Query, Database]:
+    """Worst-case-flavoured instance for the Fig.9-style query: the
+    g/i/j triangle is the mod-m M3 instance (m = √N) and m, n, o fan out
+    √N values each, giving |M|=|N|=|O| = N and output ≈ N^{3/2}."""
+    query = fig9_query()
+    m = max(1, int(round(math.sqrt(n))))
+
+    def third(a: object, b: object) -> int:
+        return (-int(a) - int(b)) % m
+
+    tuples_m = [(g, x) for g in range(m) for x in range(m)]
+    tuples_n = [(i, x) for i in range(m) for x in range(m)]
+    tuples_o = [(j, x) for j in range(m) for x in range(m)]
+    db = Database(
+        [
+            Relation("M", ("g", "m"), tuples_m),
+            Relation("N", ("i", "n"), tuples_n),
+            Relation("O", ("j", "o"), tuples_o),
+        ],
+        udfs=[
+            UDF("fj", ("g", "i"), "j", third),
+            UDF("fi", ("g", "j"), "i", third),
+            UDF("fg", ("i", "j"), "g", third),
+        ],
+    )
+    return query, db
+
+
+def colored_degree_triangle(
+    n: int, d1: int, d2: int, seed: int = 0
+) -> tuple[Query, Database]:
+    """Query (2): the triangle where R's out-degrees are bounded by d1 and
+    in-degrees by d2, modelled with color relations C1, C2 (Sec. 1.2).
+
+    R(x, c1, c2, y): each x has at most d1 successors (one per color c1),
+    each y at most d2 predecessors (one per color c2).
+    """
+    import random
+
+    rng = random.Random(seed)
+    atoms = [
+        Atom("R", ("x", "c1", "c2", "y")),
+        Atom("S", ("y", "z")),
+        Atom("T", ("z", "x")),
+        Atom("C1", ("c1",)),
+        Atom("C2", ("c2",)),
+    ]
+    fds = FDSet(
+        [FD("xc1", "y"), FD("yc2", "x"), FD("xy", frozenset({"c1", "c2"}))],
+        {"x", "y", "z", "c1", "c2"},
+    )
+    query = Query(atoms, fds)
+    nodes = max(2, n // max(1, d1))
+    r_tuples: set[tuple] = set()
+    out_count: dict[int, int] = {}
+    in_count: dict[int, int] = {}
+    attempts = 0
+    while len(r_tuples) < n and attempts < 20 * n:
+        attempts += 1
+        x = rng.randrange(nodes)
+        y = rng.randrange(nodes)
+        if out_count.get(x, 0) >= d1 or in_count.get(y, 0) >= d2:
+            continue
+        c1 = out_count.get(x, 0)
+        c2 = in_count.get(y, 0)
+        if (x, c1, c2, y) in r_tuples:
+            continue
+        r_tuples.add((x, c1, c2, y))
+        out_count[x] = c1 + 1
+        in_count[y] = c2 + 1
+    edges = {
+        (rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)
+    }
+    t_edges = {
+        (rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)
+    }
+    db = Database(
+        [
+            Relation("R", ("x", "c1", "c2", "y"), r_tuples),
+            Relation("S", ("y", "z"), edges),
+            Relation("T", ("z", "x"), t_edges),
+            Relation("C1", ("c1",), ((c,) for c in range(d1))),
+            Relation("C2", ("c2",), ((c,) for c in range(d2))),
+        ],
+        fds=query.fds,
+    )
+    return query, db

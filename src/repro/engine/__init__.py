@@ -1,0 +1,31 @@
+"""In-memory relational engine: relations, operators, databases, baselines."""
+
+from repro.engine.relation import Relation
+from repro.engine.database import Database
+from repro.engine.ops import natural_join, semijoin, project, select_eq, union_all
+from repro.engine.generic_join import generic_join, GenericJoinStats
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.leapfrog import leapfrog_triejoin, TrieIndex
+from repro.engine.statistics import (
+    derive_degree_constraints,
+    data_aware_bound_log2,
+    degree_profiles,
+)
+
+__all__ = [
+    "Relation",
+    "Database",
+    "natural_join",
+    "semijoin",
+    "project",
+    "select_eq",
+    "union_all",
+    "generic_join",
+    "GenericJoinStats",
+    "binary_join_plan",
+    "leapfrog_triejoin",
+    "TrieIndex",
+    "derive_degree_constraints",
+    "data_aware_bound_log2",
+    "degree_profiles",
+]

@@ -1,0 +1,80 @@
+"""Traditional pairwise join plans — the pre-WCOJ baseline (Sec. 1).
+
+A left-deep plan materializes every intermediate result, which is exactly
+what makes it Ω(N²) on the paper's intro example: the intermediate
+R(x,y) ⋈ S(y,z) ⋈ T(z,u) has N² tuples before the UDF predicates apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.database import Database
+from repro.engine.ops import WorkCounter, natural_join
+from repro.engine.relation import Relation
+from repro.query.query import Query
+
+
+@dataclass
+class BinaryJoinStats:
+    tuples_touched: int = 0
+    intermediate_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def intermediate_peak(self) -> int:
+        return max(self.intermediate_sizes, default=0)
+
+
+def binary_join_plan(
+    query: Query,
+    db: Database,
+    order: Sequence[str] | None = None,
+    apply_fd_filters: bool = True,
+) -> tuple[Relation, BinaryJoinStats]:
+    """Left-deep hash-join plan over the query atoms.
+
+    ``order`` is the atom order (defaults to ascending size, a common
+    greedy heuristic).  After the joins, FD/UDF predicates are applied as a
+    final selection when ``apply_fd_filters`` is set — mirroring a classical
+    engine that evaluates interpreted predicates last, and variables
+    determined only by UDFs are filled by expansion at the end.
+    """
+    stats = BinaryJoinStats()
+    counter = WorkCounter()
+    atom_names = (
+        list(order)
+        if order is not None
+        else sorted(
+            (atom.name for atom in query.atoms), key=lambda n: len(db[n])
+        )
+    )
+    current = db[atom_names[0]]
+    stats.intermediate_sizes.append(len(current))
+    for name in atom_names[1:]:
+        current = natural_join(current, db[name], counter=counter)
+        stats.intermediate_sizes.append(len(current))
+    if apply_fd_filters and set(current.schema) != set(query.variables):
+        # Fill UDF-determined variables and drop inconsistent tuples.
+        filled = []
+        target = frozenset(query.variables)
+        for row in current.as_dicts():
+            counter.add()
+            expanded = db.expand_tuple(row, target=target, counter=counter)
+            if expanded is not None and db.udf_consistent(expanded):
+                filled.append(tuple(expanded[v] for v in query.variables))
+        current = Relation("Q", query.variables, filled)
+    elif apply_fd_filters:
+        # Check every fd that has a UDF witness (predicates u = f(x, z)).
+        def consistent(row: dict[str, object]) -> bool:
+            counter.add()
+            for udf in db.udfs:
+                if set(udf.inputs) <= row.keys() and udf.output in row:
+                    if db.udfs.apply(udf, row) != row[udf.output]:
+                        return False
+            return True
+
+        current = current.restrict(consistent, name="Q")
+        current = current.project(query.variables, name="Q")
+    stats.tuples_touched = counter.tuples_touched
+    return current, stats

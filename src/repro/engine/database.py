@@ -1,0 +1,234 @@
+"""Database instances and the expansion procedure (Sec. 2).
+
+A :class:`Database` bundles the relation instances, the FD set with its
+guards, the UDF registry for unguarded fds, and optional declared degree
+bounds.  The *expansion* of a relation fills in functionally-determined
+attributes: guarded fds by joining with a projection of the guard relation,
+unguarded fds by evaluating the UDF — in time Õ(N), as the paper requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.ops import WorkCounter, natural_join
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet, VarSet, varset
+from repro.fds.udf import UDF, UDFRegistry
+
+
+class ExpansionError(RuntimeError):
+    """An fd could not be applied: no guard relation and no UDF."""
+
+
+class Database:
+    """Relations + FDs + UDFs + declared degree bounds for one query run."""
+
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        fds: FDSet | None = None,
+        udfs: Iterable[UDF] = (),
+        degree_bounds: Mapping[tuple[VarSet, str], int] | None = None,
+    ):
+        self.relations: dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+        self.fds: FDSet = fds if fds is not None else FDSet()
+        self.udfs = UDFRegistry(udfs)
+        for udf in self.udfs:
+            # UDFs always contribute their fd (possibly already declared).
+            if not self.fds.implies(udf.fd):
+                self.fds.add(udf.fd)
+        # Declared max-degree bounds: (X, y) -> max #distinct y per X-value.
+        self.degree_bounds: dict[tuple[VarSet, str], int] = dict(
+            degree_bounds or {}
+        )
+
+    # ------------------------------------------------------------------
+    def add(self, relation: Relation) -> None:
+        if relation.name in self.relations:
+            raise ValueError(f"duplicate relation {relation.name!r}")
+        self.relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def sizes(self) -> dict[str, int]:
+        return {name: len(rel) for name, rel in self.relations.items()}
+
+    def log_sizes(self) -> dict[str, float]:
+        return {
+            name: (math.log2(len(rel)) if len(rel) > 0 else 0.0)
+            for name, rel in self.relations.items()
+        }
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(rel) for rel in self.relations.values())
+
+    # ------------------------------------------------------------------
+    # Guard resolution
+    # ------------------------------------------------------------------
+    def guard_relation(self, fd: FD) -> Relation | None:
+        """A stored relation containing lhs ∪ rhs — the fd's guard."""
+        needed = fd.lhs | fd.rhs
+        for rel in self.relations.values():
+            if needed <= rel.varset:
+                return rel
+        return None
+
+    def applicable_fds(self, bound: VarSet) -> list[FD]:
+        """Non-trivial fds whose lhs is within ``bound``."""
+        return [
+            fd for fd in self.fds if fd.lhs <= bound and not fd.rhs <= bound
+        ]
+
+    # ------------------------------------------------------------------
+    # The expansion procedure (Sec. 2)
+    # ------------------------------------------------------------------
+    def expand_relation(
+        self,
+        relation: Relation,
+        counter: WorkCounter | None = None,
+    ) -> Relation:
+        """R⁺: extend ``relation`` to the closure of its attributes.
+
+        Repeatedly applies fds X -> y with X ⊆ current attributes: guarded
+        fds join with Π_{X∪y}(guard) (a function on X, so the size does not
+        grow; tuples with no guard partner are dangling and dropped);
+        unguarded fds evaluate their UDF per tuple.
+        """
+        current = relation
+        target = self.fds.closure(current.varset)
+        while current.varset != target:
+            progressed = False
+            for fd in self.applicable_fds(current.varset):
+                new_attrs = fd.rhs - current.varset
+                if not new_attrs:
+                    continue
+                current = self._apply_fd(current, fd, counter)
+                progressed = True
+                break
+            if not progressed:
+                raise ExpansionError(
+                    f"cannot expand {current.schema} towards {sorted(target)}: "
+                    "missing guard/UDF"
+                )
+        return current
+
+    def _apply_fd(
+        self, relation: Relation, fd: FD, counter: WorkCounter | None
+    ) -> Relation:
+        guard = self.guard_relation(fd)
+        if guard is not None:
+            attrs = tuple(sorted(fd.lhs | fd.rhs))
+            lookup = guard.project(attrs, name=f"Π({guard.name})")
+            return natural_join(
+                relation, lookup, name=relation.name, counter=counter
+            )
+        # Unguarded: fill each rhs attribute via a UDF.
+        current = relation
+        for target_attr in sorted(fd.rhs - relation.varset):
+            udf = self.udfs.resolve(current.varset, target_attr)
+            if udf is None:
+                raise ExpansionError(
+                    f"no guard relation and no UDF for fd {fd!r} "
+                    f"(attribute {target_attr!r})"
+                )
+            positions = current.positions(udf.inputs)
+            new_tuples = []
+            for t in current.tuples:
+                if counter is not None:
+                    counter.add()
+                new_tuples.append(t + (udf(*(t[p] for p in positions)),))
+            current = Relation(
+                current.name, current.schema + (target_attr,), new_tuples
+            )
+        return current
+
+    def expand_tuple(
+        self,
+        binding: dict[str, object],
+        target: VarSet | None = None,
+        counter: WorkCounter | None = None,
+    ) -> dict[str, object] | None:
+        """Expand a single tuple (as an attr->value dict) to the closure of
+        its attributes.  Returns None when a guard lookup misses (dangling)
+        or a guarded fd maps the tuple to several images inconsistently.
+        """
+        bound = varset(binding)
+        goal = target if target is not None else self.fds.closure(bound)
+        while bound != goal:
+            progressed = False
+            for fd in self.applicable_fds(bound):
+                missing = (fd.rhs - bound) & goal
+                if not missing:
+                    continue
+                guard = self.guard_relation(fd)
+                if guard is not None:
+                    key_binding = {a: binding[a] for a in fd.lhs}
+                    matches = guard.matching(key_binding)
+                    if counter is not None:
+                        counter.add()
+                    if not matches:
+                        return None
+                    reference = matches[0]
+                    for attr in missing:
+                        pos = guard.positions((attr,))[0]
+                        value = reference[pos]
+                        # All matches must agree (the guard satisfies the fd).
+                        binding[attr] = value
+                else:
+                    for attr in sorted(missing):
+                        udf = self.udfs.resolve(bound, attr)
+                        if udf is None:
+                            raise ExpansionError(
+                                f"no guard and no UDF for {fd!r} -> {attr!r}"
+                            )
+                        if counter is not None:
+                            counter.add()
+                        binding[attr] = self.udfs.apply(udf, binding)
+                bound = varset(binding)
+                progressed = True
+                break
+            if not progressed:
+                raise ExpansionError(
+                    f"cannot expand tuple over {sorted(bound)} to {sorted(goal)}"
+                )
+        return binding
+
+    def udf_consistent(self, row: Mapping[str, object]) -> bool:
+        """Does ``row`` satisfy every UDF-defined fd it fully covers?
+
+        A tuple is a query answer only when t[out] = f(t[inputs]) for every
+        UDF f with inputs ∪ {out} ⊆ attrs(t).  All algorithms apply this
+        in their final filter, making the output semantics identical across
+        engines even for partial (lookup-table) UDFs.
+        """
+        for udf in self.udfs:
+            if udf.output in row and all(a in row for a in udf.inputs):
+                if self.udfs.apply(udf, row) != row[udf.output]:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Statistics for CLLP constraints
+    # ------------------------------------------------------------------
+    def observed_degree_bound(
+        self, relation_name: str, group: Sequence[str], target: Sequence[str]
+    ) -> int:
+        """max over group-values of #distinct target-values — an honest
+        n_{Y|X} witness from the data."""
+        rel = self.relations[relation_name]
+        index = rel.index_on(tuple(group))
+        target_positions = rel.positions(tuple(target))
+        worst = 0
+        for bucket in index.values():
+            distinct = {tuple(t[p] for p in target_positions) for t in bucket}
+            worst = max(worst, len(distinct))
+        return worst

@@ -1,0 +1,131 @@
+"""Generic worst-case-optimal join (NPRR / Generic-Join / LFTJ family).
+
+This is the FD-*oblivious* baseline: it runs in time Õ(N + AGM(Q)) but
+cannot exploit functional dependencies analytically (Sec. 1.2).  With
+``fd_aware=True`` it adds LFTJ's practical FD handling (footnote 1 of the
+paper): a variable functionally determined by the bound prefix is computed
+via the expansion procedure instead of enumerated — this prunes per-branch
+work but provably does not change the Ω(N²) worst case of Ex. 5.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.database import Database
+from repro.engine.ops import WorkCounter
+from repro.engine.relation import Relation
+from repro.query.query import Query
+
+
+@dataclass
+class GenericJoinStats:
+    """Work accounting for one generic-join run."""
+
+    tuples_touched: int = 0
+    intermediate_peak: int = 0
+    per_depth: list[int] = field(default_factory=list)
+
+
+def generic_join(
+    query: Query,
+    db: Database,
+    order: Sequence[str] | None = None,
+    fd_aware: bool = False,
+    counter: WorkCounter | None = None,
+) -> tuple[Relation, GenericJoinStats]:
+    """Evaluate ``query`` on ``db`` by variable elimination.
+
+    ``order`` is the global variable order (defaults to the query's variable
+    order).  For each prefix binding, the candidate set for the next
+    variable is the intersection of the matching values across all atoms
+    containing it, iterated from the smallest candidate list — the classic
+    worst-case-optimality argument.  UDF-defined predicates participate
+    only through ``fd_aware`` (an oblivious engine cannot see them as
+    relations it can scan).
+    """
+    order = tuple(order) if order is not None else query.variables
+    if set(order) != set(query.variables):
+        raise ValueError("order must be a permutation of the query variables")
+    stats = GenericJoinStats(per_depth=[0] * len(order))
+    relations = {atom.name: db[atom.name] for atom in query.atoms}
+    atoms_with = {
+        var: [atom for atom in query.atoms if var in atom.varset]
+        for var in order
+    }
+    results: list[tuple] = []
+
+    def verify_binding(binding: dict[str, object], var: str) -> bool:
+        """Check the new value against every atom fully bound so far."""
+        for atom in atoms_with[var]:
+            rel = relations[atom.name]
+            partial = {a: binding[a] for a in atom.attrs if a in binding}
+            if rel.degree(partial) == 0:
+                return False
+        return True
+
+    def extend(depth: int, binding: dict[str, object]) -> None:
+        if depth == len(order):
+            if db.udf_consistent(binding):
+                results.append(tuple(binding[v] for v in order))
+            return
+        var = order[depth]
+        if fd_aware:
+            determined = var in db.fds.closure(frozenset(binding))
+            if determined:
+                extended = db.expand_tuple(
+                    dict(binding),
+                    target=frozenset(binding) | {var},
+                    counter=counter,
+                )
+                stats.per_depth[depth] += 1
+                stats.tuples_touched += 1
+                if counter is not None:
+                    counter.add()
+                if extended is None:
+                    return
+                value = extended[var]
+                candidate = dict(binding)
+                candidate[var] = value
+                if verify_binding(candidate, var):
+                    extend(depth + 1, candidate)
+                return
+        # Choose the atom with the fewest matching extensions.
+        best_atom = None
+        best_count = None
+        for atom in atoms_with[var]:
+            rel = relations[atom.name]
+            partial = {a: binding[a] for a in atom.attrs if a in binding}
+            count = rel.degree(partial)
+            if best_count is None or count < best_count:
+                best_atom, best_count = atom, count
+        if best_atom is None:
+            # Variable in no atom: it must be FD-determined; oblivious
+            # engines cannot handle it.
+            raise ValueError(
+                f"variable {var!r} appears in no atom; "
+                "use fd_aware=True or the core algorithms"
+            )
+        rel = relations[best_atom.name]
+        partial = {a: binding[a] for a in best_atom.attrs if a in binding}
+        pos = rel.positions((var,))[0]
+        seen: set = set()
+        for t in rel.matching(partial):
+            stats.tuples_touched += 1
+            stats.per_depth[depth] += 1
+            if counter is not None:
+                counter.add()
+            value = t[pos]
+            if value in seen:
+                continue
+            seen.add(value)
+            candidate = dict(binding)
+            candidate[var] = value
+            if verify_binding(candidate, var):
+                extend(depth + 1, candidate)
+
+    extend(0, {})
+    out = Relation("Q", order, results)
+    stats.intermediate_peak = len(out)
+    return out, stats

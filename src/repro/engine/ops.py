@@ -1,0 +1,124 @@
+"""Relational operators over :class:`~repro.engine.relation.Relation`.
+
+All operators are set-semantics (duplicates eliminated) as in the paper's
+model.  ``natural_join`` is index-nested-loops over the smaller side, which
+is the right primitive for the per-tuple joins inside the paper's
+algorithms; full query evaluation goes through the algorithms in
+``repro.core`` or the baselines in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.engine.relation import Relation
+
+
+class WorkCounter:
+    """Counts tuple-touch operations so benchmarks can compare *work* shapes
+    without OS timer noise.  All engine algorithms accept an optional
+    counter."""
+
+    __slots__ = ("tuples_touched",)
+
+    def __init__(self):
+        self.tuples_touched = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.tuples_touched += amount
+
+
+def project(relation: Relation, attrs: Sequence[str]) -> Relation:
+    return relation.project(attrs)
+
+
+def select_eq(relation: Relation, **binding) -> Relation:
+    return relation.select(binding)
+
+
+def natural_join(
+    left: Relation,
+    right: Relation,
+    name: str | None = None,
+    counter: WorkCounter | None = None,
+) -> Relation:
+    """Hash join on the shared attributes; output schema = left ++ new right."""
+    shared = tuple(a for a in left.schema if a in right.varset)
+    right_extra = tuple(a for a in right.schema if a not in left.varset)
+    out_schema = left.schema + right_extra
+    if len(left) > len(right) and set(left.schema) >= set(right.schema):
+        # Heuristic only matters for speed, not semantics.
+        pass
+    index = right.index_on(shared)
+    extra_positions = right.positions(right_extra)
+    shared_positions = left.positions(shared)
+    out = []
+    for t in left.tuples:
+        key = tuple(t[p] for p in shared_positions)
+        for match in index.get(key, ()):
+            out.append(t + tuple(match[p] for p in extra_positions))
+            if counter is not None:
+                counter.add()
+    return Relation(name or f"({left.name}⋈{right.name})", out_schema, out)
+
+
+def semijoin(
+    left: Relation, right: Relation, counter: WorkCounter | None = None
+) -> Relation:
+    """left ⋉ right: keep left tuples with a join partner in right."""
+    shared = tuple(a for a in left.schema if a in right.varset)
+    if not shared:
+        return left if len(right) else Relation(left.name, left.schema, ())
+    index = right.index_on(shared)
+    positions = left.positions(shared)
+    kept = []
+    for t in left.tuples:
+        if counter is not None:
+            counter.add()
+        if tuple(t[p] for p in positions) in index:
+            kept.append(t)
+    return Relation(left.name, left.schema, kept)
+
+
+def intersect(left: Relation, right: Relation) -> Relation:
+    """Set intersection of two relations with identical attribute sets."""
+    if left.varset != right.varset:
+        raise ValueError("intersect requires identical attribute sets")
+    aligned = right.project(left.schema)
+    other = set(aligned.tuples)
+    return Relation(
+        f"({left.name}∩{right.name})",
+        left.schema,
+        (t for t in left.tuples if t in other),
+    )
+
+
+def union_all(relations: Iterable[Relation], name: str = "∪") -> Relation:
+    """Set union of relations with identical attribute sets (schemas are
+    aligned to the first relation's order)."""
+    relations = list(relations)
+    if not relations:
+        raise ValueError("union of no relations")
+    schema = relations[0].schema
+    tuples: list[tuple] = []
+    for rel in relations:
+        if rel.varset != frozenset(schema):
+            raise ValueError("union requires identical attribute sets")
+        tuples.extend(rel.project(schema).tuples)
+    return Relation(name, schema, tuples)
+
+
+def cross_product(
+    left: Relation, right: Relation, counter: WorkCounter | None = None
+) -> Relation:
+    if left.varset & right.varset:
+        raise ValueError("cross product requires disjoint schemas")
+    out = []
+    for t in left.tuples:
+        for u in right.tuples:
+            out.append(t + u)
+            if counter is not None:
+                counter.add()
+    return Relation(
+        f"({left.name}×{right.name})", left.schema + right.schema, out
+    )

@@ -1,0 +1,133 @@
+"""Named-column in-memory relations with hash prefix indexes.
+
+A :class:`Relation` is an immutable set of tuples over a named schema.
+Indexes on attribute subsets are built lazily and cached; they give O(1)
+degree lookups (`|σ_{X=v}(R)|`), which the Chain Algorithm, SMA and CSMA
+all rely on (the paper charges a log factor for this via sorted indexes;
+hashing gives amortized O(1) and does not change any shape).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class Relation:
+    """An immutable relation: ``schema`` (attribute names) + distinct tuples."""
+
+    __slots__ = ("name", "schema", "tuples", "_indexes", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        tuples: Iterable[tuple] = (),
+    ):
+        self.name = name
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError(f"duplicate attributes in schema {self.schema}")
+        width = len(self.schema)
+        deduped = dict.fromkeys(tuple(t) for t in tuples)
+        for t in deduped:
+            if len(t) != width:
+                raise ValueError(f"tuple {t} does not match schema {self.schema}")
+        self.tuples: tuple[tuple, ...] = tuple(deduped)
+        self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+        self._positions: dict[str, int] = {a: i for i, a in enumerate(self.schema)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __contains__(self, t: tuple) -> bool:
+        index = self.index_on(self.schema)
+        return tuple(t) in index
+
+    @property
+    def varset(self) -> frozenset:
+        return frozenset(self.schema)
+
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        return tuple(self._positions[a] for a in attrs)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.schema, t)) for t in self.tuples]
+
+    # ------------------------------------------------------------------
+    # Indexing / degrees
+    # ------------------------------------------------------------------
+    def index_on(self, attrs: Sequence[str]) -> dict[tuple, list[tuple]]:
+        """Hash index keyed on the given attributes (cached)."""
+        key = tuple(attrs)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        positions = self.positions(key)
+        index: dict[tuple, list[tuple]] = {}
+        for t in self.tuples:
+            index.setdefault(tuple(t[p] for p in positions), []).append(t)
+        self._indexes[key] = index
+        return index
+
+    def matching(self, binding: Mapping[str, object]) -> list[tuple]:
+        """Tuples agreeing with ``binding`` on the bound attributes in schema."""
+        attrs = tuple(a for a in self.schema if a in binding)
+        if not attrs:
+            return list(self.tuples)
+        index = self.index_on(attrs)
+        return index.get(tuple(binding[a] for a in attrs), [])
+
+    def degree(self, binding: Mapping[str, object]) -> int:
+        """|σ_{binding}(R)| via the prefix index."""
+        attrs = tuple(a for a in self.schema if a in binding)
+        if not attrs:
+            return len(self.tuples)
+        index = self.index_on(attrs)
+        return len(index.get(tuple(binding[a] for a in attrs), ()))
+
+    def max_degree(self, group_attrs: Sequence[str]) -> int:
+        """max_v |σ_{group_attrs = v}(R)| — the degree bound of Sec. 1.2."""
+        if not group_attrs:
+            return len(self.tuples)
+        index = self.index_on(tuple(group_attrs))
+        return max((len(bucket) for bucket in index.values()), default=0)
+
+    def distinct_values(self, attr: str) -> list:
+        pos = self._positions[attr]
+        return list(dict.fromkeys(t[pos] for t in self.tuples))
+
+    # ------------------------------------------------------------------
+    # Relational operators (see also repro.engine.ops)
+    # ------------------------------------------------------------------
+    def project(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
+        positions = self.positions(tuple(attrs))
+        return Relation(
+            name or f"π({self.name})",
+            tuple(attrs),
+            (tuple(t[p] for p in positions) for t in self.tuples),
+        )
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        schema = tuple(mapping.get(a, a) for a in self.schema)
+        return Relation(name or self.name, schema, self.tuples)
+
+    def select(self, binding: Mapping[str, object], name: str | None = None) -> "Relation":
+        return Relation(
+            name or f"σ({self.name})", self.schema, self.matching(binding)
+        )
+
+    def restrict(self, predicate, name: str | None = None) -> "Relation":
+        """Keep tuples where ``predicate(row_dict)`` is truthy."""
+        kept = [
+            t
+            for t in self.tuples
+            if predicate(dict(zip(self.schema, t)))
+        ]
+        return Relation(name or f"σ({self.name})", self.schema, kept)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Relation({self.name}[{','.join(self.schema)}], {len(self)} tuples)"

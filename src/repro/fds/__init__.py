@@ -1,0 +1,6 @@
+"""Functional dependencies: closure, implication, guards, and UDF-backed FDs."""
+
+from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF, UDFRegistry
+
+__all__ = ["FD", "FDSet", "UDF", "UDFRegistry"]

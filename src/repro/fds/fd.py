@@ -1,0 +1,188 @@
+"""Functional dependencies and attribute-set closure (Sec. 2 of the paper).
+
+An FD ``U -> V`` over variable sets is *guarded* when some input relation
+contains ``U ∪ V`` (so the dependency can be enforced/looked up by joining
+with a projection of that relation), and *unguarded* when it is defined by a
+user-defined function (Sec. 1.1).  Guard resolution lives in the engine; this
+module is purely symbolic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator
+
+VarSet = FrozenSet[str]
+
+
+def varset(variables: Iterable[str] | str) -> VarSet:
+    """Normalize ``variables`` into a frozenset of variable names.
+
+    Accepts an iterable of names or a single compact string such as ``"xyz"``
+    (each character a variable) — the compact form matches the paper's
+    notation and is convenient in tests.
+    """
+    if isinstance(variables, str):
+        return frozenset(variables)
+    return frozenset(variables)
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs``."""
+
+    lhs: VarSet
+    rhs: VarSet
+
+    def __init__(self, lhs: Iterable[str] | str, rhs: Iterable[str] | str):
+        object.__setattr__(self, "lhs", varset(lhs))
+        object.__setattr__(self, "rhs", varset(rhs))
+
+    @property
+    def is_simple(self) -> bool:
+        """A *simple fd* has single-variable lhs and rhs (Sec. 2)."""
+        return len(self.lhs) == 1 and len(self.rhs) == 1
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.rhs <= self.lhs
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        lhs = "".join(sorted(self.lhs)) or "∅"
+        rhs = "".join(sorted(self.rhs)) or "∅"
+        return f"FD({lhs}→{rhs})"
+
+
+class FDSet:
+    """A set of functional dependencies over a fixed variable universe."""
+
+    def __init__(self, fds: Iterable[FD] = (), variables: Iterable[str] | str = ()):
+        self._fds: list[FD] = list(fds)
+        universe = varset(variables)
+        for fd in self._fds:
+            universe |= fd.lhs | fd.rhs
+        self._variables: VarSet = universe
+
+    @property
+    def variables(self) -> VarSet:
+        return self._variables
+
+    def add(self, fd: FD) -> None:
+        self._fds.append(fd)
+        self._variables |= fd.lhs | fd.rhs
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __bool__(self) -> bool:
+        return bool(self._fds)
+
+    @property
+    def all_simple(self) -> bool:
+        """True when every fd is simple; then the FD lattice is distributive
+        (Prop. 3.2)."""
+        return all(fd.is_simple for fd in self._fds)
+
+    def closure(self, attrs: Iterable[str] | str) -> VarSet:
+        """The closure ``X⁺``: smallest superset of ``X`` closed under all fds.
+
+        Standard fixpoint chase; linear in ``|FD| * |X|`` per round.
+        """
+        closed = set(varset(attrs))
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def is_closed(self, attrs: Iterable[str] | str) -> bool:
+        attrs = varset(attrs)
+        return self.closure(attrs) == attrs
+
+    def implies(self, fd: FD) -> bool:
+        """Armstrong implication test: ``FD ⊨ (U -> V)`` iff ``V ⊆ U⁺``."""
+        return fd.rhs <= self.closure(fd.lhs)
+
+    def equivalent(self, other: "FDSet") -> bool:
+        """Two FD sets are equivalent when each implies the other's fds."""
+        return all(self.implies(fd) for fd in other) and all(
+            other.implies(fd) for fd in self
+        )
+
+    def closed_sets(self, variables: Iterable[str] | str | None = None) -> set[VarSet]:
+        """All closed subsets of the universe — the elements of the FD lattice.
+
+        Computed by the standard "next closure" observation in a simple form:
+        closed sets are exactly intersections of closures reachable from the
+        top by removing one variable at a time.  We use a BFS from the top of
+        the lattice; each closed set has at most ``k`` closed lower
+        neighbours of the form ``(X - {x})⁺ ∩ X``-style candidates, and the
+        family of closed sets is intersection-closed, so BFS over
+        ``closure(X - {x})``-candidates intersected pairwise covers
+        everything.  For the small variable counts of queries (k ≤ ~16) a
+        direct intersection-closure fixpoint is simplest and fast enough.
+        """
+        universe = varset(variables) if variables is not None else self._variables
+        # Every closed set X equals closure(∪_{x∈X} {x}), so saturating the
+        # singleton closures (plus the bottom, closure(∅)) under the binary
+        # operation (A, B) ↦ closure(A ∪ B) enumerates exactly the closed
+        # sets.  Intersections of closed sets are closed and automatically
+        # present (each is its own closure).
+        closed: set[VarSet] = {self.closure(frozenset())}
+        closed.update(self.closure(frozenset({var})) for var in universe)
+        work = list(closed)
+        while work:
+            current = work.pop()
+            for other in list(closed):
+                joined = self.closure(current | other)
+                if joined not in closed:
+                    closed.add(joined)
+                    work.append(joined)
+        return closed
+
+    def redundant_variables(self) -> VarSet:
+        """Variables ``x`` with ``Y ↔ x`` for some set Y not containing x
+        (Sec. 3.1).  Such variables can be removed w.l.o.g. because their
+        values are recoverable through expansion."""
+        redundant = set()
+        for var in self._variables:
+            # x is redundant iff some Y ∌ x has Y ↔ x.  The maximal candidate
+            # is Y* = x⁺ - {x} (any witness Y satisfies Y ⊆ Y* and
+            # closure(Y) ⊆ closure(Y*)), so testing Y* alone is exact.
+            y_star = self.closure(frozenset({var})) - {var}
+            if var in self.closure(y_star):
+                redundant.add(var)
+        return frozenset(redundant)
+
+    def minimal_cover(self) -> "FDSet":
+        """A minimal (canonical) cover: singleton rhs, no redundant fds,
+        no extraneous lhs attributes.  Classic algorithm."""
+        # Split rhs into singletons.
+        split = [FD(fd.lhs, {b}) for fd in self._fds for b in fd.rhs - fd.lhs]
+        # Remove extraneous lhs attributes.
+        reduced: list[FD] = []
+        for fd in split:
+            lhs = set(fd.lhs)
+            for attr in sorted(fd.lhs):
+                if len(lhs) == 1:
+                    break
+                trial = frozenset(lhs - {attr})
+                if next(iter(fd.rhs)) in FDSet(split, self._variables).closure(trial):
+                    lhs.discard(attr)
+            reduced.append(FD(frozenset(lhs), fd.rhs))
+        # Remove redundant fds.
+        result = list(reduced)
+        for fd in list(result):
+            rest = [g for g in result if g is not fd]
+            if FDSet(rest, self._variables).implies(fd):
+                result = rest
+        return FDSet(result, self._variables)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"FDSet({', '.join(map(repr, self._fds))})"

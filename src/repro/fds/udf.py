@@ -1,0 +1,84 @@
+"""User-defined functions as unguarded functional dependencies (Sec. 1.1).
+
+A UDF ``y = f(X)`` behaves like an infinite relation ``F(X, y)`` with the fd
+``X -> y`` and the access restriction that it can only be read by providing
+values for ``X``.  The expansion procedure (Sec. 2) applies UDFs to fill in
+functionally-determined attributes of an intermediate relation in O(1) per
+tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.fds.fd import FD, VarSet, varset
+
+
+@dataclass(frozen=True)
+class UDF:
+    """A user-defined function computing ``output`` from ``inputs``.
+
+    ``fn`` receives the input values in the (sorted) order of ``inputs`` and
+    returns the single output value.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    fn: Callable[..., object] = field(compare=False)
+
+    @property
+    def fd(self) -> FD:
+        """The unguarded fd ``inputs -> output`` induced by this UDF."""
+        return FD(frozenset(self.inputs), frozenset({self.output}))
+
+    def __call__(self, *args: object) -> object:
+        return self.fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"UDF({self.output}={self.name}({','.join(self.inputs)}))"
+
+
+class UDFRegistry:
+    """Resolves unguarded fds ``X -> y`` to the UDF that computes them.
+
+    The registry indexes UDFs by ``(frozenset(inputs), output)``; the
+    expansion procedure asks for a UDF whose input set is *contained in* the
+    currently bound attributes and whose output is the attribute to fill.
+    """
+
+    def __init__(self, udfs: Iterable[UDF] = ()):
+        self._udfs: list[UDF] = []
+        self._by_key: dict[tuple[VarSet, str], UDF] = {}
+        for udf in udfs:
+            self.register(udf)
+
+    def register(self, udf: UDF) -> None:
+        key = (varset(udf.inputs), udf.output)
+        if key in self._by_key:
+            raise ValueError(f"duplicate UDF for {key}")
+        self._udfs.append(udf)
+        self._by_key[key] = udf
+
+    def __iter__(self):
+        return iter(self._udfs)
+
+    def __len__(self) -> int:
+        return len(self._udfs)
+
+    def exact(self, inputs: Iterable[str] | str, output: str) -> UDF | None:
+        """The UDF registered exactly for ``inputs -> output``, if any."""
+        return self._by_key.get((varset(inputs), output))
+
+    def resolve(self, bound: Iterable[str] | str, target: str) -> UDF | None:
+        """Find a UDF computing ``target`` from a subset of ``bound``."""
+        bound = varset(bound)
+        for udf in self._udfs:
+            if udf.output == target and varset(udf.inputs) <= bound:
+                return udf
+        return None
+
+    def apply(self, udf: UDF, assignment: Mapping[str, object]) -> object:
+        """Evaluate ``udf`` on an attribute-value mapping."""
+        return udf(*(assignment[attr] for attr in udf.inputs))

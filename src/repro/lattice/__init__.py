@@ -1,0 +1,109 @@
+"""Lattice substrate: finite lattices, polymatroids, embeddings, chains.
+
+This package implements Sec. 3-4 of the paper: the lattice of FD-closed
+attribute sets, polymatroids and normal polymatroids on lattices, lattice
+embeddings / quasi-product instances, and chains with their hypergraphs.
+"""
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.builders import (
+    lattice_from_fds,
+    lattice_from_query,
+    boolean_algebra,
+    m3,
+    n5,
+    diamond,
+    pentagon,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig7_lattice,
+    fig8_lattice,
+    fig9_lattice,
+    named_lattices,
+)
+from repro.lattice.polymatroid import LatticeFunction, step_function
+from repro.lattice.properties import (
+    is_distributive,
+    is_modular,
+    has_m3_with_top,
+    coatomic_hypergraph,
+    atomic_hypergraph,
+    is_normal_lattice,
+    output_inequality_holds,
+)
+from repro.lattice.embedding import (
+    Embedding,
+    canonical_embedding,
+    quasi_product_instance,
+    is_embedding,
+)
+from repro.lattice.entropy import Distribution, section2_example
+from repro.lattice.extras import (
+    are_isomorphic,
+    dual_lattice,
+    lattice_product,
+    order_ideal_lattice,
+    self_dual,
+    simple_fd_lattice_via_ideals,
+)
+from repro.lattice.draw import hasse_ascii, function_table
+from repro.lattice.chains import (
+    Chain,
+    chain_hypergraph,
+    is_good_chain,
+    shearer_chain,
+    dual_shearer_chain,
+    all_maximal_chains,
+    best_chain_bound,
+    condition_15_holds,
+)
+
+__all__ = [
+    "Lattice",
+    "lattice_from_fds",
+    "lattice_from_query",
+    "boolean_algebra",
+    "m3",
+    "n5",
+    "diamond",
+    "pentagon",
+    "fig1_lattice",
+    "fig4_lattice",
+    "fig5_lattice",
+    "fig7_lattice",
+    "fig8_lattice",
+    "fig9_lattice",
+    "named_lattices",
+    "LatticeFunction",
+    "step_function",
+    "is_distributive",
+    "is_modular",
+    "has_m3_with_top",
+    "coatomic_hypergraph",
+    "atomic_hypergraph",
+    "is_normal_lattice",
+    "output_inequality_holds",
+    "Embedding",
+    "canonical_embedding",
+    "quasi_product_instance",
+    "is_embedding",
+    "Chain",
+    "chain_hypergraph",
+    "is_good_chain",
+    "shearer_chain",
+    "dual_shearer_chain",
+    "all_maximal_chains",
+    "best_chain_bound",
+    "condition_15_holds",
+    "Distribution",
+    "section2_example",
+    "are_isomorphic",
+    "dual_lattice",
+    "lattice_product",
+    "order_ideal_lattice",
+    "self_dual",
+    "simple_fd_lattice_via_ideals",
+    "hasse_ascii",
+    "function_table",
+]

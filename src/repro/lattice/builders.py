@@ -1,0 +1,224 @@
+"""Lattice builders: FD lattices and the paper's named example lattices.
+
+Abstract lattices (M3, N5 and the lattices of Figs. 4, 7, 8, 9) are built
+from their Hasse diagrams; FD lattices are built from the closure system of
+an :class:`~repro.fds.FDSet` (Def. 3.1).  Construction validates the lattice
+axioms, so these builders double as executable checks that the figures in
+the paper really are lattices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.fds.fd import FD, FDSet, varset
+from repro.lattice.lattice import Lattice
+
+
+def lattice_from_fds(
+    fds: FDSet, variables: Iterable[str] | str | None = None
+) -> Lattice:
+    """The lattice L_FD of closed sets ordered by inclusion (Def. 3.1)."""
+    universe = varset(variables) if variables is not None else fds.variables
+    closed = fds.closed_sets(universe)
+    closed.add(fds.closure(universe))  # ensure the top is present
+    return Lattice.from_closed_sets(closed)
+
+
+def lattice_from_query(query) -> tuple[Lattice, dict[str, int]]:
+    """Lattice presentation (L, R) of a query (Sec. 3.1).
+
+    Returns the lattice plus a map from atom name to the lattice element that
+    is the *closure* of the atom's attributes (the paper assumes w.l.o.g.
+    that inputs are closed sets, via the expansion procedure).
+    """
+    lattice = lattice_from_fds(query.fds, query.variables)
+    inputs = {
+        atom.name: lattice.index(query.fds.closure(atom.varset))
+        for atom in query.atoms
+    }
+    return lattice, inputs
+
+
+def boolean_algebra(variables: Iterable[str] | str) -> Lattice:
+    """The Boolean algebra 2^X — the lattice of a query with no fds."""
+    return lattice_from_fds(FDSet((), varset(variables)))
+
+
+# ----------------------------------------------------------------------
+# Named abstract lattices from the paper's figures
+# ----------------------------------------------------------------------
+
+def m3() -> Lattice:
+    """M3, the diamond: one of the two canonical non-distributive lattices
+    (right of Fig. 3).  Non-normal (Prop. 4.10)."""
+    return Lattice.from_covers(
+        {"0": ["x", "y", "z"], "x": ["1"], "y": ["1"], "z": ["1"]}
+    )
+
+
+def n5() -> Lattice:
+    """N5, the pentagon: the other canonical non-distributive lattice.
+    Interestingly, normal (Sec. 1.2)."""
+    return Lattice.from_covers(
+        {"0": ["a", "c"], "a": ["b"], "b": ["1"], "c": ["1"]}
+    )
+
+
+diamond = m3
+pentagon = n5
+
+
+def fig1_lattice() -> tuple[Lattice, dict[str, int]]:
+    """The running example (Fig. 1): R(x,y), S(y,z), T(z,u), xz→u, yu→x.
+
+    Returns (lattice, inputs) with inputs R ↦ xy, S ↦ yz, T ↦ zu.
+    """
+    fds = FDSet([FD("xz", "u"), FD("yu", "x")], "xyzu")
+    lattice = lattice_from_fds(fds)
+    inputs = {
+        "R": lattice.index(frozenset("xy")),
+        "S": lattice.index(frozenset("yz")),
+        "T": lattice.index(frozenset("zu")),
+    }
+    return lattice, inputs
+
+
+def fig4_lattice() -> tuple[Lattice, dict[str, int]]:
+    """Fig. 4: the query where no chain bound is tight (Ex. 5.18/5.20).
+
+    Inputs R=abc, S=ade, T=bdf, U=cef; SM bound N^{4/3} beats every chain
+    bound N^{3/2}.
+    """
+    closed = [
+        frozenset(),
+        *[frozenset(c) for c in "abcdef"],
+        frozenset("abc"),
+        frozenset("ade"),
+        frozenset("bdf"),
+        frozenset("cef"),
+        frozenset("abcdef"),
+    ]
+    lattice = Lattice.from_closed_sets(closed)
+    inputs = {
+        "R": lattice.index(frozenset("abc")),
+        "S": lattice.index(frozenset("ade")),
+        "T": lattice.index(frozenset("bdf")),
+        "U": lattice.index(frozenset("cef")),
+    }
+    return lattice, inputs
+
+
+def fig5_lattice() -> tuple[Lattice, dict[str, int]]:
+    """Fig. 5: Q :- R(x), S(y), xy→z (UDF z = f(x,y)); Ex. 5.10."""
+    fds = FDSet([FD("xy", "z")], "xyz")
+    lattice = lattice_from_fds(fds)
+    inputs = {
+        "R": lattice.index(frozenset("x")),
+        "S": lattice.index(frozenset("y")),
+    }
+    return lattice, inputs
+
+
+def fig7_lattice() -> tuple[Lattice, dict[str, int]]:
+    """Fig. 7: the lattice whose first SM-proof in Ex. 5.29 is not good.
+
+    Structure recovered from the proof steps: X∧Y=B, X∨Y=A, A∧Z=C, A∨Z=1̂,
+    B∧U=0̂, B∨U=D, C∧D=0̂, C∨D=1̂.
+    """
+    lattice = Lattice.from_covers(
+        {
+            "0": ["C", "B", "U"],
+            "C": ["Z", "A"],
+            "B": ["X", "Y", "D"],
+            "U": ["D"],
+            "X": ["A"],
+            "Y": ["A"],
+            "Z": ["1"],
+            "A": ["1"],
+            "D": ["1"],
+        }
+    )
+    inputs = {name: lattice.index(name) for name in ("X", "Y", "Z", "U")}
+    return lattice, inputs
+
+
+def fig8_lattice() -> tuple[Lattice, dict[str, int]]:
+    """Fig. 8: two stacked diamonds; the Ex. 5.30 SM-proof is bad because
+    label 1 never reaches a copy of 1̂.
+
+    Structure from the proof steps: X∧Y=A, X∨Y=C, Z∧W=B, Z∨W=D,
+    A∨D=1̂, A∧D=0̂, B∨C=1̂, B∧C=0̂.
+    """
+    lattice = Lattice.from_covers(
+        {
+            "0": ["A", "B"],
+            "A": ["X", "Y"],
+            "B": ["Z", "W"],
+            "X": ["C"],
+            "Y": ["C"],
+            "Z": ["D"],
+            "W": ["D"],
+            "C": ["1"],
+            "D": ["1"],
+        }
+    )
+    inputs = {name: lattice.index(name) for name in ("X", "Y", "Z", "W")}
+    return lattice, inputs
+
+
+def fig9_lattice() -> tuple[Lattice, dict[str, int]]:
+    """Fig. 9: the lattice with **no** SM-proof of
+    h(M)+h(N)+h(O) ≥ 2h(1̂) (Ex. 5.31); CSMA's motivating example.
+
+    Structure recovered from inequalities (19)-(25): M∧Z=G, M∨Z=U,
+    N∧Z=I, N∨Z=V, O∧Z=J, O∨Z=W, U∧V=P, W∧P=Z, G∧I=D, G∨I=Z, J∧D=0̂,
+    J∨D=Z, plus the symmetric completions S=U∧W, T=V∧W, E=G∧J, F=I∧J.
+    """
+    lattice = Lattice.from_covers(
+        {
+            "0": ["D", "E", "F"],
+            "D": ["G", "I"],
+            "E": ["G", "J"],
+            "F": ["I", "J"],
+            "G": ["M", "Z"],
+            "I": ["N", "Z"],
+            "J": ["O", "Z"],
+            "Z": ["P", "S", "T"],
+            "M": ["U"],
+            "N": ["V"],
+            "O": ["W"],
+            "P": ["U", "V"],
+            "S": ["U", "W"],
+            "T": ["V", "W"],
+            "U": ["1"],
+            "V": ["1"],
+            "W": ["1"],
+        }
+    )
+    inputs = {name: lattice.index(name) for name in ("M", "N", "O")}
+    return lattice, inputs
+
+
+def m3_query_lattice() -> tuple[Lattice, dict[str, int]]:
+    """M3 as the lattice of Q :- R(x), S(y), T(z), xy→z, xz→y, yz→x
+    (Sec. 3.1/3.2)."""
+    lattice = m3()
+    inputs = {"R": lattice.index("x"), "S": lattice.index("y"), "T": lattice.index("z")}
+    return lattice, inputs
+
+
+def named_lattices() -> dict[str, Callable[[], Lattice]]:
+    """A catalog of the paper's lattices, used by the Fig. 10 taxonomy bench."""
+    return {
+        "boolean_2": lambda: boolean_algebra("xy"),
+        "boolean_3": lambda: boolean_algebra("xyz"),
+        "m3": m3,
+        "n5": n5,
+        "fig1": lambda: fig1_lattice()[0],
+        "fig4": lambda: fig4_lattice()[0],
+        "fig5": lambda: fig5_lattice()[0],
+        "fig7": lambda: fig7_lattice()[0],
+        "fig8": lambda: fig8_lattice()[0],
+        "fig9": lambda: fig9_lattice()[0],
+    }

@@ -1,0 +1,279 @@
+"""Chains, chain hypergraphs, and chain selection (Sec. 5.1).
+
+A chain 0̂ = C_0 ≺ C_1 ≺ ... ≺ C_k = 1̂ (not necessarily maximal) induces a
+*chain hypergraph* (Def. 5.1) whose fractional edge covers give the chain
+bound (Thm. 5.3).  "Goodness" (Eq. (11)) is the condition letting
+submodularity telescope along the chain (Prop. 5.2); Corollaries 5.9/5.11
+construct chains whose hypergraph has no isolated vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+from repro.query.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Chain:
+    """An ascending chain of lattice elements from bottom to top."""
+
+    lattice: Lattice
+    elements: tuple[int, ...]
+
+    def __post_init__(self):
+        lat = self.lattice
+        els = self.elements
+        if not els or els[0] != lat.bottom or els[-1] != lat.top:
+            raise ValueError("chain must run from 0̂ to 1̂")
+        for a, b in zip(els, els[1:]):
+            if not lat.lt(a, b):
+                raise ValueError("chain elements must strictly increase")
+
+    def __len__(self) -> int:
+        return len(self.elements) - 1  # number of steps
+
+    def labels(self) -> list:
+        return [self.lattice.label(i) for i in self.elements]
+
+    def covers(self, x: int, i: int) -> bool:
+        """Does element x cover step i?  x ∧ C_i != x ∧ C_{i-1}."""
+        lat = self.lattice
+        return lat.meet(x, self.elements[i]) != lat.meet(x, self.elements[i - 1])
+
+    def covered_steps(self, x: int) -> list[int]:
+        """e(x) = {i : x covers step i} (Lemma 5.13)."""
+        return [i for i in range(1, len(self.elements)) if self.covers(x, i)]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        def show(el) -> str:
+            if isinstance(el, frozenset):
+                return "".join(sorted(map(str, el))) or "∅"
+            return str(el)
+
+        return " ≺ ".join(show(l) for l in self.labels())
+
+
+def is_good_for(chain: Chain, x: int) -> bool:
+    """Goodness for a single element (Eq. (11)):
+    i ∈ e_x  ⇒  C_{i-1} ∨ (x ∧ C_i) = C_i."""
+    lat = chain.lattice
+    for i in range(1, len(chain.elements)):
+        if chain.covers(x, i):
+            lifted = lat.join(
+                chain.elements[i - 1], lat.meet(x, chain.elements[i])
+            )
+            if lifted != chain.elements[i]:
+                return False
+    return True
+
+
+def is_good_chain(chain: Chain, inputs: Iterable[int]) -> bool:
+    """Good for all the given input elements (Prop. 5.2: maximal chains
+    always are)."""
+    return all(is_good_for(chain, r) for r in inputs)
+
+
+def is_good_for_all(chain: Chain) -> bool:
+    """Good for every lattice element (hypothesis of Thm. 5.14)."""
+    return all(is_good_for(chain, x) for x in range(chain.lattice.n))
+
+
+def chain_hypergraph(chain: Chain, inputs: Mapping[str, int]) -> Hypergraph:
+    """H_C (Def. 5.1): vertices are the steps 1..k, edge e_j lists the steps
+    R_j covers."""
+    steps = list(range(1, len(chain.elements)))
+    edges = {name: chain.covered_steps(r) for name, r in inputs.items()}
+    return Hypergraph(steps, edges)
+
+
+def chain_bound(
+    chain: Chain,
+    inputs: Mapping[str, int],
+    log_sizes: Mapping[str, float],
+) -> tuple[float, dict[str, Fraction]]:
+    """The chain bound for one chain: min Σ w_j n_j over fractional edge
+    covers of H_C (Thm. 5.3).  Returns (log2 bound, weights); (inf, {}) when
+    H_C has an isolated vertex (footnote 7)."""
+    graph = chain_hypergraph(chain, inputs)
+    if graph.isolated_vertices():
+        return float("inf"), {}
+    objective, weights = graph.fractional_edge_cover_number(log_sizes)
+    return float(objective), weights
+
+
+# ----------------------------------------------------------------------
+# Chain construction
+# ----------------------------------------------------------------------
+
+def shearer_chain(lattice: Lattice, inputs: Iterable[int]) -> Chain:
+    """Corollary 5.9: greedily join join-irreducibles below the inputs,
+    always picking one whose join with the prefix is minimal.  The result is
+    good for the inputs and its hypergraph has no isolated vertex."""
+    inputs = list(inputs)
+    candidates = [
+        z
+        for z in lattice.join_irreducibles
+        if any(lattice.leq(z, r) for r in inputs)
+    ]
+    if lattice.join_all(candidates) != lattice.top:
+        raise ValueError(
+            "join-irreducibles below the inputs do not reach 1̂ "
+            "(inputs must join to the top)"
+        )
+    chain = [lattice.bottom]
+    used: set[int] = set()
+    current = lattice.bottom
+    while current != lattice.top:
+        # Candidates strictly increasing the prefix.
+        options = [
+            (z, lattice.join(current, z))
+            for z in candidates
+            if z not in used and lattice.join(current, z) != current
+        ]
+        # Keep those with minimal join (no other option's join strictly below).
+        minimal = [
+            (z, join)
+            for z, join in options
+            if not any(
+                lattice.lt(other_join, join) for _, other_join in options
+            )
+        ]
+        z, join = minimal[0]
+        used.add(z)
+        chain.append(join)
+        current = join
+    return Chain(lattice, tuple(chain))
+
+
+def dual_shearer_chain(lattice: Lattice, inputs: Iterable[int]) -> Chain:
+    """Corollary 5.11: the dual construction over meet-irreducibles, working
+    down from 1̂ and meeting in a meet-irreducible with maximal result.
+
+    The paper states (without proof) that a suitable meet-irreducible
+    sequence yields no isolated vertex; the greedy choice alone does not
+    always achieve that, so uncovered steps are contracted away afterwards
+    (removing an interior chain element merges two steps and can only grow
+    coverage).
+    """
+    inputs = list(inputs)
+    chain_down = [lattice.top]
+    current = lattice.top
+    used: set[int] = set()
+    while current != lattice.bottom:
+        options = [
+            (x, lattice.meet(current, x))
+            for x in lattice.meet_irreducibles
+            if x not in used and lattice.meet(current, x) != current
+        ]
+        if not options:
+            # Fall back: step down through any lower cover.
+            nxt = lattice.lower_covers[current][0]
+            chain_down.append(nxt)
+            current = nxt
+            continue
+        maximal = [
+            (x, met)
+            for x, met in options
+            if not any(lattice.lt(met, other) for _, other in options)
+        ]
+        x, met = maximal[0]
+        used.add(x)
+        chain_down.append(met)
+        current = met
+    elements = list(reversed(chain_down))
+    # Contract uncovered steps: if no input covers step i, drop C_{i-1}
+    # (never the bottom) or C_i, merging it into the neighbouring step.
+    changed = True
+    while changed and len(elements) > 2:
+        changed = False
+        chain = Chain(lattice, tuple(elements))
+        for i in range(1, len(elements)):
+            if not any(chain.covers(r, i) for r in inputs):
+                # Drop the step's upper endpoint (lower when it is the top).
+                victim = i if i < len(elements) - 1 else i - 1
+                del elements[victim]
+                changed = True
+                break
+    return Chain(lattice, tuple(elements))
+
+
+def all_chains(lattice: Lattice, limit: int = 100_000) -> Iterator[Chain]:
+    """All chains from 0̂ to 1̂ (any strictly increasing path, not only
+    maximal).  Exponential — only for the paper's small lattices."""
+    count = 0
+    stack: list[list[int]] = [[lattice.bottom]]
+    while stack:
+        prefix = stack.pop()
+        last = prefix[-1]
+        if last == lattice.top:
+            yield Chain(lattice, tuple(prefix))
+            count += 1
+            if count >= limit:
+                return
+            continue
+        for nxt in range(lattice.n):
+            if lattice.lt(last, nxt):
+                stack.append(prefix + [nxt])
+
+
+def all_maximal_chains(lattice: Lattice, limit: int | None = None) -> Iterator[Chain]:
+    for indices in lattice.maximal_chains(limit=limit):
+        yield Chain(lattice, tuple(indices))
+
+
+def best_chain_bound(
+    lattice: Lattice,
+    inputs: Mapping[str, int],
+    log_sizes: Mapping[str, float],
+    include_non_maximal: bool = True,
+) -> tuple[float, Chain | None, dict[str, Fraction]]:
+    """min over good chains of the chain bound.
+
+    Searches all chains (maximal and, per Ex. 5.10, non-maximal) that are
+    good for the inputs; the paper's lattices are small enough for
+    exhaustive search.  Returns (log2 bound, best chain, cover weights).
+    """
+    best = (float("inf"), None, {})
+    source = all_chains(lattice) if include_non_maximal else all_maximal_chains(lattice)
+    for chain in source:
+        if not is_good_chain(chain, inputs.values()):
+            continue
+        value, weights = chain_bound(chain, inputs, log_sizes)
+        if value < best[0]:
+            best = (value, chain, weights)
+    return best
+
+
+def condition_15_holds(chain: Chain) -> bool:
+    """Theorem 5.14's tightness condition: the chain is good for every
+    lattice element and e(X ∨ Y) ⊆ e(X) ∪ e(Y) for all X, Y."""
+    if not is_good_for_all(chain):
+        return False
+    lat = chain.lattice
+    step_sets = [set(chain.covered_steps(x)) for x in range(lat.n)]
+    for x in range(lat.n):
+        for y in range(x + 1, lat.n):
+            if not step_sets[lat.join(x, y)] <= step_sets[x] | step_sets[y]:
+                return False
+    return True
+
+
+def chain_tight_polymatroid(
+    chain: Chain, h_star: "Sequence[Fraction]"
+) -> list[Fraction]:
+    """The modular polymatroid u of Thm. 5.14's proof:
+    u(X) = Σ_{i ∈ e(X)} (h*(C_i) - h*(C_{i-1})).  When condition (15) holds,
+    u is optimal and materializable by a product instance."""
+    lat = chain.lattice
+    deltas = {
+        i: Fraction(h_star[chain.elements[i]]) - Fraction(h_star[chain.elements[i - 1]])
+        for i in range(1, len(chain.elements))
+    }
+    return [
+        sum((deltas[i] for i in chain.covered_steps(x)), start=Fraction(0))
+        for x in range(lat.n)
+    ]

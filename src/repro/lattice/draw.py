@@ -1,0 +1,69 @@
+"""ASCII rendering of lattices (Hasse diagrams) and lattice functions.
+
+Used by the examples and by error messages; kept dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+
+
+def element_text(lattice: Lattice, i: int) -> str:
+    label = lattice.label(i)
+    if isinstance(label, frozenset):
+        return "".join(sorted(map(str, label))) or "∅"
+    return str(label)
+
+
+def ranks(lattice: Lattice) -> list[int]:
+    """Longest-chain-from-bottom rank of every element."""
+    rank = [0] * lattice.n
+    order = sorted(range(lattice.n), key=lambda i: len(lattice.downset(i)))
+    for i in order:
+        for j in lattice.upper_covers[i]:
+            rank[j] = max(rank[j], rank[i] + 1)
+    return rank
+
+
+def hasse_ascii(
+    lattice: Lattice,
+    annotate: Callable[[int], str] | None = None,
+) -> str:
+    """Level-by-level rendering, top first.
+
+    ``annotate(i)`` appends per-element text (e.g. polymatroid values).
+    """
+    rank = ranks(lattice)
+    levels: dict[int, list[str]] = {}
+    for i in range(lattice.n):
+        text = element_text(lattice, i)
+        if annotate is not None:
+            text += f"={annotate(i)}"
+        levels.setdefault(rank[i], []).append(text)
+    lines = []
+    for r in sorted(levels, reverse=True):
+        lines.append("  " + "   ".join(sorted(levels[r])))
+    return "\n".join(lines)
+
+
+def function_table(
+    lattice: Lattice, values: Sequence, title: str = "h"
+) -> str:
+    """Two-column table of a lattice function, bottom-up."""
+    order = sorted(range(lattice.n), key=lambda i: len(lattice.downset(i)))
+    width = max(len(element_text(lattice, i)) for i in order)
+    lines = [f"{'element'.ljust(width)}  {title}"]
+    for i in order:
+        lines.append(f"{element_text(lattice, i).ljust(width)}  {values[i]}")
+    return "\n".join(lines)
+
+
+def cover_edges(lattice: Lattice) -> list[tuple[str, str]]:
+    """The Hasse diagram as (lower, upper) label pairs."""
+    return [
+        (element_text(lattice, i), element_text(lattice, j))
+        for i in range(lattice.n)
+        for j in lattice.upper_covers[i]
+    ]

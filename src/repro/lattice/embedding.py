@@ -1,0 +1,195 @@
+"""Lattice embeddings and quasi-product instances (Secs. 3.4 and 4.1).
+
+An embedding f : L -> L' preserves all joins and the top; pulling a product
+instance back through an embedding into a Boolean algebra yields a
+*quasi-product* instance (Def. 3.7).  Lemma 4.5: integral normal
+polymatroids are exactly the entropy functions of quasi-product instances;
+the construction goes through the *canonical embedding* (Def. 4.4), which
+is also the paper's bridge to GLVV colorings (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.polymatroid import LatticeFunction
+
+
+@dataclass
+class Embedding:
+    """A join-preserving map between two lattices, stored index-to-index."""
+
+    source: Lattice
+    target: Lattice
+    mapping: tuple[int, ...]
+
+    def __call__(self, i: int) -> int:
+        return self.mapping[i]
+
+    def pull_back(self, h_target: LatticeFunction) -> LatticeFunction:
+        """h = h' ∘ f; submodular when h' is (Sec. 3.4), normal when h' is
+        normal (Lemma 4.3)."""
+        values = [h_target.values[self.mapping[i]] for i in range(self.source.n)]
+        return LatticeFunction(self.source, values)
+
+
+def is_embedding(source: Lattice, target: Lattice, mapping: Sequence[int]) -> bool:
+    """Check f(∨X) = ∨f(X) for all X ⊆ L and f(1̂) = 1̂'.
+
+    Join-preservation for all subsets follows from preservation on pairs
+    plus f(0̂) = 0̂' (the empty join), so we check exactly that.
+    """
+    if len(mapping) != source.n:
+        return False
+    if mapping[source.top] != target.top:
+        return False
+    if mapping[source.bottom] != target.bottom:
+        return False
+    for i in range(source.n):
+        for j in range(i + 1, source.n):
+            if mapping[source.join(i, j)] != target.join(mapping[i], mapping[j]):
+                return False
+    return True
+
+
+@dataclass
+class CanonicalColoring:
+    """The canonical embedding of an integral normal polymatroid (Def. 4.4).
+
+    ``colors[i]`` is f(X_i) ⊆ C for lattice element i; a GLVV coloring in
+    the sense of Sec. 4.3 assigns each variable x the color set of its
+    join-irreducible x⁺.
+    """
+
+    lattice: Lattice
+    colors: list[frozenset]
+    all_colors: frozenset
+
+    def color_count(self, i: int) -> int:
+        return len(self.colors[i])
+
+
+def canonical_embedding(h: LatticeFunction) -> CanonicalColoring:
+    """Build the canonical color assignment for an integral normal h.
+
+    For every Z != 1̂ with CMI g(Z) < 0 create |g(Z)| fresh colors C(Z);
+    then f(X) = ⋃ {C(Z) : X ≰ Z}, so |f(X)| = h(X).
+    """
+    lattice = h.lattice
+    decomposition = h.normal_decomposition()  # {Z: a_Z}, raises if not normal
+    color_sets: dict[int, list[tuple[int, int]]] = {}
+    for z, a_z in decomposition.items():
+        if a_z != int(a_z):
+            raise ValueError(
+                "canonical embedding requires an integral polymatroid; "
+                f"coefficient a_{lattice.label(z)!r} = {a_z}"
+            )
+        color_sets[z] = [(z, k) for k in range(int(a_z))]
+    all_colors = frozenset(c for cs in color_sets.values() for c in cs)
+    colors: list[frozenset] = []
+    for x in range(lattice.n):
+        fx = frozenset(
+            c
+            for z, cs in color_sets.items()
+            for c in cs
+            if not lattice.leq(x, z)
+        )
+        colors.append(fx)
+    # Sanity: |f(X)| must equal h(X) for all X.
+    for x in range(lattice.n):
+        if len(colors[x]) != h.values[x]:
+            raise AssertionError(
+                f"canonical embedding inconsistent at {lattice.label(x)!r}: "
+                f"{len(colors[x])} colors vs h = {h.values[x]}"
+            )
+    return CanonicalColoring(lattice, colors, all_colors)
+
+
+def variable_join_irreducible(lattice: Lattice, variable: str) -> int:
+    """x⁺ = the smallest closed set containing x (a join-irreducible, Sec. 3.1).
+
+    Requires a frozenset-labelled (FD) lattice.
+    """
+    containing = [
+        i
+        for i, el in enumerate(lattice.elements)
+        if isinstance(el, frozenset) and variable in el
+    ]
+    if not containing:
+        raise KeyError(f"variable {variable!r} not in the lattice universe")
+    return lattice.meet_all(containing)
+
+
+def quasi_product_instance(
+    h: LatticeFunction,
+    variables: Sequence[str] | None = None,
+    base: int = 2,
+    var_to_ji: Mapping[str, int] | None = None,
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """Materialize an integral normal polymatroid as a quasi-product instance.
+
+    Returns ``(variables, tuples)`` with |Π_X(D)| = base^{h(X)} for every
+    lattice element X (Lemma 4.5: pulling back the product instance
+    [base]^C through the canonical embedding).  Each variable's value is the
+    tuple of its colors' coordinates.
+
+    For FD lattices (frozenset labels) variables default to the top label's
+    members; for abstract lattices pass ``var_to_ji`` mapping variable name
+    -> join-irreducible element index.
+
+    The instance has base^{h(1̂)} tuples — callers control the blow-up via
+    ``base``.
+    """
+    lattice = h.lattice
+    coloring = canonical_embedding(h)
+    if var_to_ji is not None:
+        variables = tuple(var_to_ji) if variables is None else tuple(variables)
+        var_colors = {
+            v: sorted(coloring.colors[var_to_ji[v]]) for v in variables
+        }
+    else:
+        if variables is None:
+            top_label = lattice.label(lattice.top)
+            if not isinstance(top_label, frozenset):
+                raise ValueError(
+                    "provide var_to_ji (or variable names) for abstract lattices"
+                )
+            variables = tuple(sorted(top_label))
+        var_colors = {
+            v: sorted(coloring.colors[variable_join_irreducible(lattice, v)])
+            for v in variables
+        }
+    color_order = sorted(coloring.all_colors)
+    tuples: list[tuple] = []
+    for assignment in itertools.product(range(base), repeat=len(color_order)):
+        value_of = dict(zip(color_order, assignment))
+        tuples.append(
+            tuple(
+                tuple(value_of[c] for c in var_colors[v]) for v in variables
+            )
+        )
+    # Deduplicate (distinct color assignments can collide on the projection
+    # to the used colors when some color supports no variable).
+    tuples = list(dict.fromkeys(tuples))
+    return tuple(variables), tuples
+
+
+def entropy_matches(
+    h: LatticeFunction,
+    variables: Sequence[str],
+    tuples: list[tuple],
+    base: int = 2,
+) -> bool:
+    """Verify |Π_X(D)| = base^{h(X)} for all X — the materialization check."""
+    from repro.lattice.polymatroid import counting_function
+
+    counts = counting_function(h.lattice, tuples, variables)
+    for x in range(h.lattice.n):
+        expected = Fraction(base) ** int(h.values[x])
+        if h.values[x] != int(h.values[x]) or counts[x] != expected:
+            return False
+    return True

@@ -1,0 +1,172 @@
+"""Information-theoretic side of the GLVV bound (Sec. 2).
+
+The paper's starting point: view the query output as a uniform
+distribution over its tuples; marginal entropies then satisfy the
+cardinality constraints H(vars(R_j)) <= log2 |R_j| and the fd constraints
+H(XY) = H(X), and log2 |Q| = H(all vars) <= GLVV.
+
+This module computes exact marginal entropies of finite distributions,
+checks Shannon inequalities, and packages the Sec. 2 worked example (the
+five-outcome distribution for the triangle query) as executable artifacts.
+Entropies are floats (they are genuinely irrational); the polymatroid
+*checks* therefore use a configurable tolerance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+
+
+class Distribution:
+    """A finite joint distribution over named variables."""
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        outcomes: Mapping[tuple, float] | Iterable[tuple],
+    ):
+        self.variables = tuple(variables)
+        if isinstance(outcomes, Mapping):
+            weights = dict(outcomes)
+        else:
+            counts = Counter(tuple(t) for t in outcomes)
+            total = sum(counts.values())
+            weights = {t: c / total for t, c in counts.items()}
+        total = sum(weights.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"probabilities sum to {total}, not 1")
+        if any(p < 0 for p in weights.values()):
+            raise ValueError("negative probability")
+        self.weights: dict[tuple, float] = {
+            t: p for t, p in weights.items() if p > 0
+        }
+        self._positions = {v: i for i, v in enumerate(self.variables)}
+
+    @classmethod
+    def uniform(
+        cls, variables: Sequence[str], tuples: Iterable[tuple]
+    ) -> "Distribution":
+        """The uniform distribution over a tuple set — the query-output
+        distribution of Sec. 2."""
+        return cls(variables, list(tuples))
+
+    # ------------------------------------------------------------------
+    def marginal(self, attrs: Iterable[str]) -> dict[tuple, float]:
+        positions = [self._positions[a] for a in attrs]
+        out: dict[tuple, float] = {}
+        for t, p in self.weights.items():
+            key = tuple(t[i] for i in positions)
+            out[key] = out.get(key, 0.0) + p
+        return out
+
+    def entropy(self, attrs: Iterable[str] | None = None) -> float:
+        """H(X) in bits; H of all variables when attrs is None."""
+        attrs = tuple(attrs) if attrs is not None else self.variables
+        marginal = self.marginal(attrs)
+        return -sum(p * math.log2(p) for p in marginal.values() if p > 0)
+
+    def conditional_entropy(
+        self, target: Iterable[str], given: Iterable[str]
+    ) -> float:
+        """H(Y | X) = H(XY) - H(X)."""
+        target = tuple(target)
+        given = tuple(given)
+        joint = tuple(dict.fromkeys(given + target))
+        return self.entropy(joint) - self.entropy(given)
+
+    def mutual_information(
+        self, a: Iterable[str], b: Iterable[str]
+    ) -> float:
+        """I(A; B) = H(A) + H(B) - H(AB)."""
+        a, b = tuple(a), tuple(b)
+        joint = tuple(dict.fromkeys(a + b))
+        return self.entropy(a) + self.entropy(b) - self.entropy(joint)
+
+    def satisfies_fd(
+        self, lhs: Iterable[str], rhs: Iterable[str], tolerance: float = 1e-9
+    ) -> bool:
+        """The fd-constraint H(XY) = H(X) (Sec. 2)."""
+        return abs(self.conditional_entropy(rhs, lhs)) <= tolerance
+
+    # ------------------------------------------------------------------
+    def entropy_profile(self) -> dict[frozenset, float]:
+        """H(X) for every subset of variables."""
+        out: dict[frozenset, float] = {}
+        for r in range(len(self.variables) + 1):
+            for combo in itertools.combinations(self.variables, r):
+                out[frozenset(combo)] = self.entropy(combo)
+        return out
+
+    def is_polymatroid_profile(self, tolerance: float = 1e-9) -> bool:
+        """Every entropic vector satisfies the Shannon inequalities."""
+        profile = self.entropy_profile()
+        subsets = list(profile)
+        for x in subsets:
+            for y in subsets:
+                if (
+                    profile[x | y] + profile[x & y]
+                    > profile[x] + profile[y] + tolerance
+                ):
+                    return False
+                if x <= y and profile[x] > profile[y] + tolerance:
+                    return False
+        return abs(profile[frozenset()]) <= tolerance
+
+    def on_lattice(self, lattice: Lattice) -> list[float]:
+        """Entropy values indexed by a frozenset-labelled lattice."""
+        values = []
+        for el in lattice.elements:
+            if not isinstance(el, frozenset):
+                raise TypeError("frozenset-labelled lattice required")
+            values.append(self.entropy(sorted(el)))
+        return values
+
+
+def section2_example() -> Distribution:
+    """The five-outcome triangle distribution displayed in Sec. 2.
+
+        x y z       with P = 1/5 each; H(xyz) = log2 5, and the displayed
+        a 3 r       marginals: H(xy) <= log2 4 etc.
+        a 2 q
+        b 2 q
+        d 3 r
+        a 3 q
+    """
+    outcomes = [
+        ("a", 3, "r"),
+        ("a", 2, "q"),
+        ("b", 2, "q"),
+        ("d", 3, "r"),
+        ("a", 3, "q"),
+    ]
+    return Distribution.uniform(("x", "y", "z"), outcomes)
+
+
+def output_distribution(
+    tuples: Iterable[tuple], variables: Sequence[str]
+) -> Distribution:
+    """The Sec. 2 construction: uniform over a query output."""
+    return Distribution.uniform(variables, tuples)
+
+
+def entropy_upper_bounds_output(
+    tuples: list[tuple],
+    variables: Sequence[str],
+    atom_attrs: Mapping[str, Iterable[str]],
+    sizes: Mapping[str, int],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check the two GLVV premises on a concrete output: for each atom,
+    H(vars(R_j)) <= log2 N_j, and H(all) = log2 |Q|."""
+    dist = Distribution.uniform(variables, tuples)
+    if abs(dist.entropy() - math.log2(len(set(map(tuple, tuples))))) > 1e-6:
+        return False
+    for name, attrs in atom_attrs.items():
+        if dist.entropy(tuple(attrs)) > math.log2(sizes[name]) + tolerance:
+            return False
+    return True

@@ -1,0 +1,180 @@
+"""Lattice constructions and comparisons used by the paper's proofs.
+
+* :func:`order_ideal_lattice` — the distributive lattice of order ideals
+  of a poset (Prop. 3.2: simple-FD lattices arise this way; Birkhoff).
+* :func:`poset_of_simple_fds` — the DAG/poset construction inside the
+  Prop. 3.2 proof.
+* :func:`lattice_product` — direct products (closed under distributivity
+  and normality).
+* :func:`are_isomorphic` — backtracking isomorphism for the small lattices
+  here, used to validate the hand-built figures against the generic
+  constructions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.fds.fd import FDSet
+from repro.lattice.lattice import Lattice
+
+
+def order_ideal_lattice(
+    elements: Sequence[Hashable], leq_pairs: Iterable[tuple[Hashable, Hashable]]
+) -> Lattice:
+    """The lattice of order ideals (down-closed sets) of a finite poset,
+    ordered by inclusion — always distributive (Birkhoff)."""
+    elements = list(dict.fromkeys(elements))
+    index = {e: i for i, e in enumerate(elements)}
+    n = len(elements)
+    leq = np.eye(n, dtype=bool)
+    for a, b in leq_pairs:
+        leq[index[a], index[b]] = True
+    for k in range(n):
+        leq |= np.outer(leq[:, k], leq[k, :])
+    ideals: set[frozenset] = set()
+    for subset_bits in range(1 << n):
+        subset = frozenset(
+            elements[i] for i in range(n) if subset_bits >> i & 1
+        )
+        if all(
+            elements[j] in subset
+            for i in range(n)
+            if elements[i] in subset
+            for j in range(n)
+            if leq[j, i]
+        ):
+            ideals.add(subset)
+    return Lattice.from_closed_sets(ideals)
+
+
+def poset_of_simple_fds(fds: FDSet) -> tuple[list[frozenset], list[tuple]]:
+    """Prop. 3.2's construction: collapse strongly connected components of
+    the simple-fd digraph; return (SCCs, leq pairs with a <= b iff a is
+    reachable FROM b, i.e. b determines a)."""
+    if not fds.all_simple:
+        raise ValueError("construction requires simple fds")
+    variables = sorted(fds.variables)
+    edges = {
+        (next(iter(fd.lhs)), next(iter(fd.rhs))) for fd in fds
+    }
+    # Reachability closure.
+    reach = {v: {v} for v in variables}
+    changed = True
+    while changed:
+        changed = False
+        for a, b in edges:
+            new = reach[b] - reach[a]
+            if new:
+                reach[a] |= new
+                changed = True
+    # SCCs: mutual reachability.
+    sccs: list[frozenset] = []
+    seen: set[str] = set()
+    for v in variables:
+        if v in seen:
+            continue
+        scc = frozenset(
+            w for w in variables if w in reach[v] and v in reach[w]
+        )
+        sccs.append(scc)
+        seen |= scc
+    leq_pairs = []
+    for a in sccs:
+        for b in sccs:
+            if a != b and next(iter(a)) in reach[next(iter(b))]:
+                # b determines a: a below b in the ideal order.
+                leq_pairs.append((a, b))
+    return sccs, leq_pairs
+
+
+def simple_fd_lattice_via_ideals(fds: FDSet) -> Lattice:
+    """The Prop. 3.2 route to the FD lattice for simple fds: the order
+    ideal lattice of the collapsed determination poset.  Isomorphic to
+    ``lattice_from_fds(fds)``."""
+    sccs, leq_pairs = poset_of_simple_fds(fds)
+    return order_ideal_lattice(sccs, leq_pairs)
+
+
+def lattice_product(a: Lattice, b: Lattice) -> Lattice:
+    """The direct product lattice with componentwise order."""
+    elements = [
+        (a.label(i), b.label(j)) for i in range(a.n) for j in range(b.n)
+    ]
+    n = len(elements)
+    leq = np.zeros((n, n), dtype=bool)
+    for p, (ai, bi) in enumerate(
+        itertools.product(range(a.n), range(b.n))
+    ):
+        for q, (aj, bj) in enumerate(
+            itertools.product(range(a.n), range(b.n))
+        ):
+            leq[p, q] = a.leq(ai, aj) and b.leq(bi, bj)
+    return Lattice(elements, leq)
+
+
+def _invariant(lattice: Lattice, i: int) -> tuple:
+    return (
+        len(lattice.downset(i)),
+        len(lattice.upset(i)),
+        len(lattice.upper_covers[i]),
+        len(lattice.lower_covers[i]),
+    )
+
+
+def are_isomorphic(a: Lattice, b: Lattice) -> bool:
+    """Backtracking lattice isomorphism (adequate for |L| <= ~20)."""
+    if a.n != b.n:
+        return False
+    inv_a = [_invariant(a, i) for i in range(a.n)]
+    inv_b = [_invariant(b, i) for i in range(b.n)]
+    if sorted(inv_a) != sorted(inv_b):
+        return False
+    candidates = [
+        [j for j in range(b.n) if inv_b[j] == inv_a[i]] for i in range(a.n)
+    ]
+    order = sorted(range(a.n), key=lambda i: len(candidates[i]))
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def backtrack(k: int) -> bool:
+        if k == a.n:
+            return True
+        i = order[k]
+        for j in candidates[i]:
+            if j in used:
+                continue
+            ok = all(
+                a.leq(i, i2) == b.leq(j, j2) and a.leq(i2, i) == b.leq(j2, j)
+                for i2, j2 in mapping.items()
+            )
+            if not ok:
+                continue
+            mapping[i] = j
+            used.add(j)
+            if backtrack(k + 1):
+                return True
+            del mapping[i]
+            used.discard(j)
+        return False
+
+    return backtrack(0)
+
+
+def dual_lattice(lattice: Lattice) -> Lattice:
+    """The order dual: leq_dual[i, j] = leq[j, i]."""
+    leq_dual = np.asarray(
+        [
+            [lattice.leq(j, i) for j in range(lattice.n)]
+            for i in range(lattice.n)
+        ]
+    )
+    return Lattice([("d", e) for e in lattice.elements], leq_dual)
+
+
+def self_dual(lattice: Lattice) -> bool:
+    """Is L isomorphic to its order dual?  (M3, N5 and Booleans are.)"""
+    return are_isomorphic(lattice, dual_lattice(lattice))

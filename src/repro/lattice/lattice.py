@@ -1,0 +1,297 @@
+"""Finite lattices (Sec. 3.1).
+
+A :class:`Lattice` is built from a partial order and validates that every
+pair of elements has a unique meet and join.  Elements carry arbitrary
+hashable labels (frozensets of variables for FD lattices, short strings for
+the paper's abstract examples); all internal computation uses integer
+indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import cached_property
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class NotALatticeError(ValueError):
+    """The given order is not a lattice (missing/ambiguous meet or join)."""
+
+
+class Lattice:
+    """An explicit finite lattice with precomputed meet/join tables."""
+
+    def __init__(self, elements: Sequence[Hashable], leq: np.ndarray):
+        self.elements: tuple[Hashable, ...] = tuple(elements)
+        self._index: dict[Hashable, int] = {
+            el: i for i, el in enumerate(self.elements)
+        }
+        if len(self._index) != len(self.elements):
+            raise ValueError("duplicate element labels")
+        self.n = len(self.elements)
+        leq = np.asarray(leq, dtype=bool)
+        if leq.shape != (self.n, self.n):
+            raise ValueError("leq matrix shape mismatch")
+        self._leq = leq
+        self._validate_order()
+        self._meet, self._join = self._build_tables()
+        # ``leq[i, j]`` means i <= j: the bottom's row and the top's column
+        # are all-true.
+        self.bottom: int = int(np.argmax(leq.sum(axis=1)))
+        self.top: int = int(np.argmax(leq.sum(axis=0)))
+        if not leq[self.bottom].all() or not leq[:, self.top].all():
+            raise NotALatticeError("no unique bottom/top element")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_closed_sets(cls, closed_sets: Iterable[frozenset]) -> "Lattice":
+        """Lattice of closed sets ordered by inclusion (Def. 3.1)."""
+        elements = sorted(set(closed_sets), key=lambda s: (len(s), sorted(s)))
+        n = len(elements)
+        leq = np.zeros((n, n), dtype=bool)
+        for i, a in enumerate(elements):
+            for j, b in enumerate(elements):
+                leq[i, j] = a <= b
+        return cls(elements, leq)
+
+    @classmethod
+    def from_covers(
+        cls, covers: Mapping[Hashable, Iterable[Hashable]]
+    ) -> "Lattice":
+        """Build from a Hasse diagram: ``covers[x]`` lists elements covering x.
+
+        Elements appearing only as values need no key.  The transitive
+        reflexive closure of the cover relation must be a lattice order.
+        """
+        labels: list[Hashable] = []
+        for low, highs in covers.items():
+            if low not in labels:
+                labels.append(low)
+            for high in highs:
+                if high not in labels:
+                    labels.append(high)
+        index = {el: i for i, el in enumerate(labels)}
+        n = len(labels)
+        adj = np.eye(n, dtype=bool)
+        for low, highs in covers.items():
+            for high in highs:
+                adj[index[low], index[high]] = True
+        # Warshall transitive closure.
+        for k in range(n):
+            adj |= np.outer(adj[:, k], adj[k, :])
+        return cls(labels, adj)
+
+    def _validate_order(self) -> None:
+        leq = self._leq
+        if not np.diag(leq).all():
+            raise NotALatticeError("order is not reflexive")
+        if ((leq & leq.T) & ~np.eye(self.n, dtype=bool)).any():
+            raise NotALatticeError("order is not antisymmetric")
+        closure = leq.copy()
+        for k in range(self.n):
+            closure |= np.outer(closure[:, k], closure[k, :])
+        if (closure != leq).any():
+            raise NotALatticeError("order is not transitive")
+
+    def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        leq = self._leq
+        meet = np.full((self.n, self.n), -1, dtype=np.int32)
+        join = np.full((self.n, self.n), -1, dtype=np.int32)
+        for i in range(self.n):
+            for j in range(i, self.n):
+                lower = np.flatnonzero(leq[:, i] & leq[:, j])
+                # The meet is the unique maximum of common lower bounds.
+                maxima = [
+                    int(z) for z in lower if all(leq[w, z] for w in lower)
+                ]
+                if len(maxima) != 1:
+                    raise NotALatticeError(
+                        f"elements {self.elements[i]!r}, {self.elements[j]!r} "
+                        "have no unique meet"
+                    )
+                upper = np.flatnonzero(leq[i, :] & leq[j, :])
+                minima = [
+                    int(z) for z in upper if all(leq[z, w] for w in upper)
+                ]
+                if len(minima) != 1:
+                    raise NotALatticeError(
+                        f"elements {self.elements[i]!r}, {self.elements[j]!r} "
+                        "have no unique join"
+                    )
+                meet[i, j] = meet[j, i] = maxima[0]
+                join[i, j] = join[j, i] = minima[0]
+        return meet, join
+
+    # ------------------------------------------------------------------
+    # Basic queries (integer-index API)
+    # ------------------------------------------------------------------
+    def index(self, element: Hashable) -> int:
+        return self._index[element]
+
+    def label(self, i: int) -> Hashable:
+        return self.elements[i]
+
+    def leq(self, i: int, j: int) -> bool:
+        return bool(self._leq[i, j])
+
+    def lt(self, i: int, j: int) -> bool:
+        return i != j and bool(self._leq[i, j])
+
+    def incomparable(self, i: int, j: int) -> bool:
+        return not self._leq[i, j] and not self._leq[j, i]
+
+    def meet(self, i: int, j: int) -> int:
+        return int(self._meet[i, j])
+
+    def join(self, i: int, j: int) -> int:
+        return int(self._join[i, j])
+
+    def meet_all(self, indices: Iterable[int]) -> int:
+        result = self.top
+        for i in indices:
+            result = self.meet(result, i)
+        return result
+
+    def join_all(self, indices: Iterable[int]) -> int:
+        result = self.bottom
+        for i in indices:
+            result = self.join(result, i)
+        return result
+
+    def downset(self, i: int) -> list[int]:
+        """All j <= i."""
+        return [int(j) for j in np.flatnonzero(self._leq[:, i])]
+
+    def upset(self, i: int) -> list[int]:
+        """All j >= i."""
+        return [int(j) for j in np.flatnonzero(self._leq[i, :])]
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @cached_property
+    def upper_covers(self) -> list[list[int]]:
+        """upper_covers[i] = elements covering i (Hasse successors)."""
+        result: list[list[int]] = []
+        for i in range(self.n):
+            strictly_above = [j for j in range(self.n) if self.lt(i, j)]
+            covers = [
+                j
+                for j in strictly_above
+                if not any(self.lt(i, k) and self.lt(k, j) for k in strictly_above)
+            ]
+            result.append(covers)
+        return result
+
+    @cached_property
+    def lower_covers(self) -> list[list[int]]:
+        result: list[list[int]] = [[] for _ in range(self.n)]
+        for i, ups in enumerate(self.upper_covers):
+            for j in ups:
+                result[j].append(i)
+        return result
+
+    @cached_property
+    def atoms(self) -> list[int]:
+        """Elements covering the bottom."""
+        return self.upper_covers[self.bottom]
+
+    @cached_property
+    def coatoms(self) -> list[int]:
+        """Elements covered by the top."""
+        return self.lower_covers[self.top]
+
+    @cached_property
+    def join_irreducibles(self) -> list[int]:
+        """Elements with exactly one lower cover (and not the bottom).
+
+        These correspond to the query's variables (Sec. 3.1)."""
+        return [
+            i
+            for i in range(self.n)
+            if i != self.bottom and len(self.lower_covers[i]) == 1
+        ]
+
+    @cached_property
+    def meet_irreducibles(self) -> list[int]:
+        return [
+            i
+            for i in range(self.n)
+            if i != self.top and len(self.upper_covers[i]) == 1
+        ]
+
+    def join_irreducibles_below(self, i: int) -> list[int]:
+        """Λ_X = {Z join-irreducible | Z <= X} (Sec. 3.1)."""
+        return [z for z in self.join_irreducibles if self.leq(z, i)]
+
+    @cached_property
+    def incomparable_pairs(self) -> list[tuple[int, int]]:
+        return [
+            (i, j)
+            for i in range(self.n)
+            for j in range(i + 1, self.n)
+            if self.incomparable(i, j)
+        ]
+
+    # ------------------------------------------------------------------
+    # Chains and sublattices
+    # ------------------------------------------------------------------
+    def maximal_chains(self, limit: int | None = None) -> Iterator[list[int]]:
+        """Yield maximal chains bottom -> top via DFS over upper covers."""
+        count = 0
+        stack: list[list[int]] = [[self.bottom]]
+        while stack:
+            chain = stack.pop()
+            last = chain[-1]
+            if last == self.top:
+                yield chain
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+                continue
+            for nxt in self.upper_covers[last]:
+                stack.append(chain + [nxt])
+
+    def is_chain(self, indices: Sequence[int]) -> bool:
+        return all(
+            self.leq(indices[k], indices[k + 1]) for k in range(len(indices) - 1)
+        )
+
+    def sublattices_isomorphic_to_m3(self) -> Iterator[tuple[int, int, int, int, int]]:
+        """Yield (bottom u, x, y, z, top t) sublattices isomorphic to M3:
+        three pairwise-incomparable elements with all pairwise meets = u and
+        joins = t (Prop. 4.10 uses these with t = 1̂)."""
+        for x, y, z in itertools.combinations(range(self.n), 3):
+            if not (
+                self.incomparable(x, y)
+                and self.incomparable(x, z)
+                and self.incomparable(y, z)
+            ):
+                continue
+            if not (
+                self.meet(x, y) == self.meet(x, z) == self.meet(y, z)
+            ):
+                continue
+            if not (
+                self.join(x, y) == self.join(x, z) == self.join(y, z)
+            ):
+                continue
+            yield (self.meet(x, y), x, y, z, self.join(x, y))
+
+    def interval(self, lo: int, hi: int) -> list[int]:
+        return [i for i in range(self.n) if self.leq(lo, i) and self.leq(i, hi)]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        def show(el: Hashable) -> str:
+            if isinstance(el, frozenset):
+                return "".join(sorted(map(str, el))) or "∅"
+            return str(el)
+
+        return f"Lattice({self.n} elements: {', '.join(show(e) for e in self.elements)})"

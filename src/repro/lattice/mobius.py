@@ -1,0 +1,62 @@
+"""Möbius function and Möbius inversion on a finite lattice (Sec. 4, Eq. (10)).
+
+For a lattice function ``h``, the *CMI* (conditional mutual information,
+up to sign) is the Möbius inverse ``g`` with ``h(X) = Σ_{Y >= X} g(Y)``.
+Normality of polymatroids (Lemma 4.2) is a sign condition on ``g``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.lattice.lattice import Lattice
+
+
+def mobius_function(lattice: Lattice) -> dict[tuple[int, int], Fraction]:
+    """The Möbius function μ(X, Y) for all pairs X <= Y.
+
+    Defined by μ(X, X) = 1 and μ(X, Y) = -Σ_{X <= Z < Y} μ(X, Z).
+    """
+    mu: dict[tuple[int, int], Fraction] = {}
+    for x in range(lattice.n):
+        above = sorted(lattice.upset(x), key=lambda i: len(lattice.downset(i)))
+        for y in above:
+            if x == y:
+                mu[(x, y)] = Fraction(1)
+            else:
+                mu[(x, y)] = -sum(
+                    mu[(x, z)]
+                    for z in above
+                    if lattice.leq(z, y) and z != y and (x, z) in mu
+                )
+    return mu
+
+
+def mobius_inverse_upper(
+    lattice: Lattice, values: Sequence[Fraction]
+) -> list[Fraction]:
+    """Möbius inversion from above: the unique ``g`` with
+    ``h(X) = Σ_{Y: X <= Y} g(Y)`` (Eq. (10)).
+
+    Computed directly by descending from the top: for each X (processed in
+    order of decreasing up-set size... i.e. from the top down),
+    ``g(X) = h(X) - Σ_{Y > X} g(Y)``.
+    """
+    g: list[Fraction] = [Fraction(0)] * lattice.n
+    # Process elements from the top down (fewest elements above first).
+    order = sorted(range(lattice.n), key=lambda i: len(lattice.upset(i)))
+    for x in order:
+        above = [y for y in lattice.upset(x) if y != x]
+        g[x] = Fraction(values[x]) - sum(g[y] for y in above)
+    return g
+
+
+def mobius_expand_upper(
+    lattice: Lattice, g: Sequence[Fraction]
+) -> list[Fraction]:
+    """Inverse of :func:`mobius_inverse_upper`: h(X) = Σ_{Y >= X} g(Y)."""
+    return [
+        sum((Fraction(g[y]) for y in lattice.upset(x)), start=Fraction(0))
+        for x in range(lattice.n)
+    ]

@@ -1,0 +1,280 @@
+"""Polymatroids and normal polymatroids on a lattice (Secs. 3.3 and 4).
+
+A :class:`LatticeFunction` wraps a lattice and one value per element.  It
+implements every functional notion the paper needs:
+
+* L-submodularity / L-monotonicity / polymatroid checks (LLP feasibility),
+* Lovász monotonization (Prop. B.1),
+* Möbius inverse ``g`` (the CMI of Sec. 4),
+* normality / strict normality (Lemma 4.2) and the decomposition of a
+  normal polymatroid into non-negative combinations of step functions,
+* modularity check (Lemma 4.2's distributive case).
+
+Values are kept as exact ``Fraction``s.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.mobius import mobius_expand_upper, mobius_inverse_upper
+from repro.util.rational import as_fraction
+
+
+class LatticeFunction:
+    """A function h : L -> Q, h(0̂) normalized to 0 by the paper's programs."""
+
+    def __init__(self, lattice: Lattice, values: Sequence):
+        if len(values) != lattice.n:
+            raise ValueError("one value per lattice element required")
+        self.lattice = lattice
+        self.values: list[Fraction] = [as_fraction(v) for v in values]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, lattice: Lattice, mapping: Mapping) -> "LatticeFunction":
+        """Build from a {label: value} mapping (missing labels default to 0)."""
+        values = [as_fraction(mapping.get(el, 0)) for el in lattice.elements]
+        return cls(lattice, values)
+
+    @classmethod
+    def zero(cls, lattice: Lattice) -> "LatticeFunction":
+        return cls(lattice, [Fraction(0)] * lattice.n)
+
+    def __call__(self, i: int) -> Fraction:
+        return self.values[i]
+
+    def at(self, label) -> Fraction:
+        return self.values[self.lattice.index(label)]
+
+    # ------------------------------------------------------------------
+    # Shannon-type properties on the lattice
+    # ------------------------------------------------------------------
+    def is_nonnegative(self) -> bool:
+        return all(v >= 0 for v in self.values)
+
+    def is_zero_at_bottom(self) -> bool:
+        return self.values[self.lattice.bottom] == 0
+
+    def is_monotone(self) -> bool:
+        lat = self.lattice
+        return all(
+            self.values[i] <= self.values[j]
+            for i in range(lat.n)
+            for j in lat.upset(i)
+        )
+
+    def is_submodular(self) -> bool:
+        """h(X∧Y) + h(X∨Y) <= h(X) + h(Y) for all incomparable X, Y
+        (first constraint block of the LLP (5))."""
+        lat = self.lattice
+        for i, j in lat.incomparable_pairs:
+            lhs = self.values[lat.meet(i, j)] + self.values[lat.join(i, j)]
+            if lhs > self.values[i] + self.values[j]:
+                return False
+        return True
+
+    def is_modular(self) -> bool:
+        """Equality version of submodularity (normal h on distributive L,
+        Lemma 4.2)."""
+        lat = self.lattice
+        return all(
+            self.values[lat.meet(i, j)] + self.values[lat.join(i, j)]
+            == self.values[i] + self.values[j]
+            for i, j in lat.incomparable_pairs
+        )
+
+    def is_polymatroid(self) -> bool:
+        return (
+            self.is_nonnegative()
+            and self.is_zero_at_bottom()
+            and self.is_monotone()
+            and self.is_submodular()
+        )
+
+    def submodularity_violations(self) -> list[tuple[int, int, Fraction]]:
+        """All violated incomparable pairs with the violation amount."""
+        lat = self.lattice
+        out = []
+        for i, j in lat.incomparable_pairs:
+            gap = (
+                self.values[lat.meet(i, j)]
+                + self.values[lat.join(i, j)]
+                - self.values[i]
+                - self.values[j]
+            )
+            if gap > 0:
+                out.append((i, j, gap))
+        return out
+
+    # ------------------------------------------------------------------
+    # Lovász monotonization (Prop. B.1 / Sec. 3.3)
+    # ------------------------------------------------------------------
+    def lovasz_monotonization(self) -> "LatticeFunction":
+        """h̄(X) = min_{Y >= X} h(Y), h̄(0̂) = 0.
+
+        If h is non-negative L-submodular, h̄ is an L-polymatroid with
+        h̄(1̂) = h(1̂) and h̄ <= h.
+        """
+        lat = self.lattice
+        values = []
+        for i in range(lat.n):
+            if i == lat.bottom:
+                values.append(Fraction(0))
+            else:
+                values.append(min(self.values[y] for y in lat.upset(i)))
+        return LatticeFunction(lat, values)
+
+    # ------------------------------------------------------------------
+    # Möbius / normality (Sec. 4)
+    # ------------------------------------------------------------------
+    def cmi(self) -> list[Fraction]:
+        """The Möbius inverse g with h(X) = Σ_{Y >= X} g(Y) (Eq. (10)).
+
+        For entropic h on a Boolean algebra, -g(X) is the multivariate
+        conditional mutual information I(1̂ - X | X).
+        """
+        return mobius_inverse_upper(self.lattice, self.values)
+
+    def is_normal(self) -> bool:
+        """Normal submodular function (Lemma 4.2): g(Z) <= 0 for Z < 1̂ and
+        g(1̂) = -Σ_{Z<1̂} g(Z), i.e. h(0̂) = 0."""
+        g = self.cmi()
+        lat = self.lattice
+        if any(g[z] > 0 for z in range(lat.n) if z != lat.top):
+            return False
+        return self.values[lat.bottom] == 0
+
+    def is_strictly_normal(self) -> bool:
+        """Normal, and g vanishes strictly below 1̂ except on co-atoms."""
+        if not self.is_normal():
+            return False
+        g = self.cmi()
+        lat = self.lattice
+        coatoms = set(lat.coatoms)
+        return all(
+            g[z] == 0
+            for z in range(lat.n)
+            if z != lat.top and z not in coatoms
+        )
+
+    def normal_decomposition(self) -> dict[int, Fraction]:
+        """Write a normal h as Σ_Z a_Z · (step function at Z) with a_Z >= 0.
+
+        Returns {Z: a_Z} with a_Z = -g(Z) for Z != 1̂ (Sec. 4, "Normal
+        polymatroids are precisely non-negative linear combinations of step
+        functions").  Raises if h is not normal.
+        """
+        if not self.is_normal():
+            raise ValueError("function is not normal")
+        g = self.cmi()
+        lat = self.lattice
+        return {
+            z: -g[z] for z in range(lat.n) if z != lat.top and g[z] != 0
+        }
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "LatticeFunction") -> "LatticeFunction":
+        self._check_same_lattice(other)
+        return LatticeFunction(
+            self.lattice, [a + b for a, b in zip(self.values, other.values)]
+        )
+
+    def scale(self, factor) -> "LatticeFunction":
+        factor = as_fraction(factor)
+        return LatticeFunction(self.lattice, [factor * v for v in self.values])
+
+    def restrict_leq(self, other: "LatticeFunction") -> bool:
+        """Pointwise h <= other."""
+        self._check_same_lattice(other)
+        return all(a <= b for a, b in zip(self.values, other.values))
+
+    def _check_same_lattice(self, other: "LatticeFunction") -> None:
+        if other.lattice is not self.lattice:
+            raise ValueError("functions live on different lattices")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LatticeFunction)
+            and other.lattice is self.lattice
+            and other.values == self.values
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        pairs = ", ".join(
+            f"{el}={v}" for el, v in zip(self.lattice.elements, self.values)
+        )
+        return f"LatticeFunction({pairs})"
+
+
+def step_function(lattice: Lattice, z: int) -> LatticeFunction:
+    """The step function h_Z: h_Z(X) = 1 if X ≰ Z else 0 (Sec. 4).
+
+    Every step function is a normal polymatroid; its Möbius inverse is
+    g(1̂) = 1, g(Z) = -1, 0 elsewhere.
+    """
+    values = [
+        Fraction(0) if lattice.leq(x, z) else Fraction(1) for x in range(lattice.n)
+    ]
+    return LatticeFunction(lattice, values)
+
+
+def modular_from_vertex_weights(
+    lattice: Lattice, weights: Mapping[int, Fraction]
+) -> LatticeFunction:
+    """For a Boolean-algebra-like FD lattice: h(X) = Σ_{join-irreducible z <= X} w_z.
+
+    Implements Eq. (6): lifting a fractional vertex packing to an LLP
+    solution.  ``weights`` maps join-irreducible element index -> weight.
+    """
+    values = []
+    for x in range(lattice.n):
+        total = sum(
+            (as_fraction(weights.get(z, 0)) for z in lattice.join_irreducibles_below(x)),
+            start=Fraction(0),
+        )
+        values.append(total)
+    return LatticeFunction(lattice, values)
+
+
+def entropy_of_instance(
+    lattice: Lattice, tuples: Iterable[tuple], variables: Sequence[str]
+) -> LatticeFunction:
+    """h_D for a *uniform* database instance D over the lattice's variables.
+
+    ``tuples`` is a relation over ``variables`` (the join-irreducibles'
+    underlying variable names, in order); the entropy of element X is
+    log2 of the number of distinct projections onto X's variables — exact
+    for uniform distributions on the tuple set, which is the worst-case
+    construction the paper uses (Sec. 3.2).
+
+    Returned values are floats wrapped in Fractions (log2 counts are
+    irrational in general); use :func:`counting_function` for exact counts.
+    """
+    import math
+
+    counts = counting_function(lattice, tuples, variables)
+    values = [Fraction(math.log2(c)) if c > 0 else Fraction(0) for c in counts]
+    return LatticeFunction(lattice, values)
+
+
+def counting_function(
+    lattice: Lattice, tuples: Iterable[tuple], variables: Sequence[str]
+) -> list[int]:
+    """|Π_X(D)| for every lattice element X (labels must be frozensets)."""
+    tuple_list = list(tuples)
+    var_pos = {v: k for k, v in enumerate(variables)}
+    counts = []
+    for el in lattice.elements:
+        if not isinstance(el, frozenset):
+            raise TypeError("counting_function requires frozenset-labelled lattices")
+        positions = sorted(var_pos[v] for v in el)
+        projected = {tuple(t[p] for p in positions) for t in tuple_list}
+        counts.append(len(projected))
+    return counts

@@ -1,0 +1,156 @@
+"""Lattice properties: distributivity, modularity, normality (Secs. 3-4).
+
+The normality test implements Theorem 4.9 item 3 literally: a lattice is
+normal w.r.t. inputs R iff every fractional edge cover of the co-atomic
+hypergraph (Def. 4.7) yields a valid output inequality (7) — and it
+suffices to check the vertices of the cover polytope, which we enumerate
+exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.lattice.lattice import Lattice
+from repro.query.hypergraph import Hypergraph
+
+
+def is_distributive(lattice: Lattice) -> bool:
+    """x ∧ (y ∨ z) == (x ∧ y) ∨ (x ∧ z) for all triples."""
+    n = lattice.n
+    for x, y, z in itertools.product(range(n), repeat=3):
+        lhs = lattice.meet(x, lattice.join(y, z))
+        rhs = lattice.join(lattice.meet(x, y), lattice.meet(x, z))
+        if lhs != rhs:
+            return False
+    return True
+
+
+def is_modular(lattice: Lattice) -> bool:
+    """x <= z implies x ∨ (y ∧ z) == (x ∨ y) ∧ z."""
+    n = lattice.n
+    for x, y, z in itertools.product(range(n), repeat=3):
+        if lattice.leq(x, z):
+            lhs = lattice.join(x, lattice.meet(y, z))
+            rhs = lattice.meet(lattice.join(x, y), z)
+            if lhs != rhs:
+                return False
+    return True
+
+
+def has_m3_with_top(lattice: Lattice) -> bool:
+    """True when L contains an M3 sublattice whose top is max L.
+
+    Prop. 4.10: such lattices are not normal w.r.t. the M3 midpoints (the
+    paper conjectures this is exactly the non-normal class).
+    """
+    return any(
+        top == lattice.top for (_, _, _, _, top) in lattice.sublattices_isomorphic_to_m3()
+    )
+
+
+def coatomic_hypergraph(
+    lattice: Lattice, inputs: Mapping[str, int]
+) -> Hypergraph:
+    """H_co (Def. 4.7): nodes are co-atoms, edge e_j = {Z co-atom : R_j ≰ Z}."""
+    coatoms = lattice.coatoms
+    edges = {
+        name: [z for z in coatoms if not lattice.leq(r, z)]
+        for name, r in inputs.items()
+    }
+    return Hypergraph(coatoms, edges)
+
+
+def atomic_hypergraph(lattice: Lattice, inputs: Mapping[str, int]) -> Hypergraph:
+    """The atomic hypergraph: nodes are atoms, edge e_j = {a atom : a <= R_j}.
+
+    In a Boolean algebra it is isomorphic to H_co; in general it carries no
+    useful guarantees (Sec. 4.2) — included for the Fig. 2 reproduction.
+    """
+    atoms = lattice.atoms
+    edges = {
+        name: [a for a in atoms if lattice.leq(a, r)] for name, r in inputs.items()
+    }
+    return Hypergraph(atoms, edges)
+
+
+def output_inequality_holds(
+    lattice: Lattice,
+    weights: Mapping[str, Fraction],
+    inputs: Mapping[str, int],
+    tolerance: float = 1e-7,
+) -> bool:
+    """Does Σ_j w_j h(R_j) >= h(1̂) hold for every non-negative submodular h?
+
+    Lemma 3.9: equivalent over polymatroids and over non-negative submodular
+    functions, and equivalent to dual-LLP feasibility.  We test the cone
+    directly: maximize h(1̂) - Σ w_j h(R_j) over the submodular cone
+    intersected with the box h <= 1; the inequality holds iff the optimum
+    is 0 (the cone is scale-invariant, so a positive optimum in the box
+    certifies failure).
+    """
+    from repro.lp.solver import solve_lp
+
+    n = lattice.n
+    costs = [0.0] * n
+    costs[lattice.top] -= 1.0  # minimize -(h(1̂) - Σ w_j h(R_j))
+    for name, w in weights.items():
+        costs[inputs[name]] += float(w)
+    a_ub: list[list[float]] = []
+    b_ub: list[float] = []
+    for i, j in lattice.incomparable_pairs:
+        row = [0.0] * n
+        row[lattice.meet(i, j)] += 1.0
+        row[lattice.join(i, j)] += 1.0
+        row[i] -= 1.0
+        row[j] -= 1.0
+        a_ub.append(row)
+        b_ub.append(0.0)
+    # Box to keep the cone LP bounded.
+    for i in range(n):
+        row = [0.0] * n
+        row[i] = 1.0
+        a_ub.append(row)
+        b_ub.append(1.0)
+    # Pin h(0̂) = 0.
+    eq_row = [0.0] * n
+    eq_row[lattice.bottom] = 1.0
+    solution = solve_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0.0])
+    return -solution.objective <= tolerance
+
+
+def is_normal_lattice(
+    lattice: Lattice,
+    inputs: Mapping[str, int] | None = None,
+    max_dimension: int = 10,
+) -> bool:
+    """Is L normal w.r.t. the inputs R (Thm. 4.9)?
+
+    With ``inputs=None``, tests normality w.r.t. *every* antichain of
+    inputs whose join is 1̂ — the unconditional "normal lattice" notion.
+    That brute force is exponential in |L|; it is intended for the small
+    paper lattices only.
+    """
+    if inputs is not None:
+        hco = coatomic_hypergraph(lattice, inputs)
+        if hco.isolated_vertices():
+            # A co-atom above every input: no finite cover; the only
+            # inequalities are vacuous, so normality holds trivially.
+            return True
+        for cover in hco.edge_cover_vertices(max_dimension=max_dimension):
+            if not output_inequality_holds(lattice, cover, inputs):
+                return False
+        return True
+    # Unconditional: try all input sets (antichains not required; extra
+    # sets only add inequalities that are implied).
+    candidates = [i for i in range(lattice.n) if i != lattice.bottom]
+    for size in range(1, min(len(candidates), 5) + 1):
+        for combo in itertools.combinations(candidates, size):
+            if lattice.join_all(combo) != lattice.top:
+                continue
+            named = {f"R{k}": el for k, el in enumerate(combo)}
+            if not is_normal_lattice(lattice, named, max_dimension=max_dimension):
+                return False
+    return True

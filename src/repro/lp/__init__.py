@@ -1,0 +1,16 @@
+"""Linear-programming substrate: LP solver wrapper, LLP (Sec. 3.3), CLLP (Sec. 5.3.1)."""
+
+from repro.lp.solver import LPSolution, solve_lp
+from repro.lp.llp import LatticeLinearProgram, LLPSolution, OutputInequality
+from repro.lp.cllp import ConditionalLLP, CLLPSolution, DegreeConstraint
+
+__all__ = [
+    "LPSolution",
+    "solve_lp",
+    "LatticeLinearProgram",
+    "LLPSolution",
+    "OutputInequality",
+    "ConditionalLLP",
+    "CLLPSolution",
+    "DegreeConstraint",
+]

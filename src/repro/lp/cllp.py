@@ -1,0 +1,245 @@
+"""The Conditional LLP (CLLP, Sec. 5.3.1) and its dual (Eq. (26)).
+
+CLLP replaces LLP's cardinality constraints by *log-degree constraints*
+``h(Y) - h(X) <= n_{Y|X}`` for pairs X ≺ Y in a pair set P.  Cardinality
+constraints are the special case X = 0̂; FDs are degree bounds of 0; and
+arbitrary known maximum degrees (Sec. 1.2) are first-class citizens
+(Prop. 5.32).  The dual's (c, s, m) drives CSMA's proof-sequence
+construction (Lemma 5.33 / Thm. 5.34).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.polymatroid import LatticeFunction
+from repro.lp.solver import solve_lp
+
+
+@dataclass(frozen=True)
+class DegreeConstraint:
+    """h(Y) - h(X) <= bound, for lattice elements X < Y (indices).
+
+    ``guard`` optionally names the relation guarding the constraint in the
+    sense of invariant (Inv1) of Sec. 5.3.3.
+    """
+
+    x: int
+    y: int
+    bound: float
+    guard: str | None = None
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+
+@dataclass
+class DualCLLP:
+    """A feasible dual solution (c, s, m) of Eq. (26)."""
+
+    lattice: Lattice
+    c: dict[tuple[int, int], Fraction]  # (X, Y) in P -> c_{Y|X}
+    s: dict[tuple[int, int], Fraction]  # incomparable (A, B) -> s_{A,B}
+    m: dict[tuple[int, int], Fraction]  # cover pair (X, Y), X ≺ Y -> m_{X,Y}
+
+    def netflow(self, z: int) -> Fraction:
+        """netflow(Z) as defined above Eq. (26)."""
+        lat = self.lattice
+        total = Fraction(0)
+        for (x, y), value in self.c.items():
+            if y == z:
+                total += value
+            if x == z:
+                total -= value
+        for (a, b), value in self.s.items():
+            if lat.meet(a, b) == z:
+                total += value
+            if lat.join(a, b) == z:
+                total += value
+            if a == z or b == z:
+                total -= value
+        for (x, y), value in self.m.items():
+            if y == z:
+                total -= value
+            if x == z:
+                total += value
+        return total
+
+    def is_feasible(self) -> bool:
+        lat = self.lattice
+        if any(v < 0 for v in self.c.values()):
+            return False
+        if any(v < 0 for v in self.s.values()):
+            return False
+        if any(v < 0 for v in self.m.values()):
+            return False
+        for z in range(lat.n):
+            if z == lat.bottom:
+                continue
+            required = Fraction(1) if z == lat.top else Fraction(0)
+            if self.netflow(z) < required:
+                return False
+        return True
+
+    def objective(self, bounds: Mapping[tuple[int, int], float]) -> Fraction:
+        return sum(
+            (value * Fraction(bounds[pair]).limit_denominator(10**9)
+             for pair, value in self.c.items()),
+            start=Fraction(0),
+        )
+
+
+@dataclass
+class CLLPSolution:
+    objective: float
+    h: LatticeFunction
+    dual: DualCLLP
+
+
+class ConditionalLLP:
+    """CLLP over a lattice with a set of degree constraints."""
+
+    def __init__(self, lattice: Lattice, constraints: Iterable[DegreeConstraint]):
+        self.lattice = lattice
+        self.constraints: list[DegreeConstraint] = list(constraints)
+        for dc in self.constraints:
+            if not lattice.lt(dc.x, dc.y):
+                raise ValueError(
+                    f"degree constraint requires X < Y, got "
+                    f"{lattice.label(dc.x)!r}, {lattice.label(dc.y)!r}"
+                )
+
+    @classmethod
+    def from_cardinalities(
+        cls,
+        lattice: Lattice,
+        inputs: Mapping[str, int],
+        log_sizes: Mapping[str, float],
+    ) -> "ConditionalLLP":
+        """LLP as a CLLP: P = {(0̂, R_j)} (Prop. 5.32)."""
+        constraints = [
+            DegreeConstraint(lattice.bottom, r, float(log_sizes[name]), guard=name)
+            for name, r in inputs.items()
+        ]
+        return cls(lattice, constraints)
+
+    def with_constraint(self, constraint: DegreeConstraint) -> "ConditionalLLP":
+        return ConditionalLLP(self.lattice, self.constraints + [constraint])
+
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        return [dc.pair for dc in self.constraints]
+
+    def bounds_by_pair(self) -> dict[tuple[int, int], float]:
+        """Tightest bound per pair (several constraints may share a pair)."""
+        out: dict[tuple[int, int], float] = {}
+        for dc in self.constraints:
+            if dc.pair not in out or dc.bound < out[dc.pair]:
+                out[dc.pair] = dc.bound
+        return out
+
+    def _cover_pairs(self) -> list[tuple[int, int]]:
+        lat = self.lattice
+        return [
+            (x, y) for x in range(lat.n) for y in lat.upper_covers[x]
+        ]
+
+    def solve_primal(self) -> tuple[float, LatticeFunction]:
+        lat = self.lattice
+        costs = [0.0] * lat.n
+        costs[lat.top] = -1.0
+        a_ub: list[list[float]] = []
+        b_ub: list[float] = []
+        bounds = self.bounds_by_pair()
+        for (x, y), bound in bounds.items():
+            row = [0.0] * lat.n
+            row[y] += 1.0
+            row[x] -= 1.0
+            a_ub.append(row)
+            b_ub.append(bound)
+        for i, j in lat.incomparable_pairs:
+            row = [0.0] * lat.n
+            row[lat.meet(i, j)] += 1.0
+            row[lat.join(i, j)] += 1.0
+            row[i] -= 1.0
+            row[j] -= 1.0
+            a_ub.append(row)
+            b_ub.append(0.0)
+        for x, y in self._cover_pairs():
+            row = [0.0] * lat.n
+            row[x] += 1.0
+            row[y] -= 1.0
+            a_ub.append(row)
+            b_ub.append(0.0)
+        eq_row = [0.0] * lat.n
+        eq_row[lat.bottom] = 1.0
+        solution = solve_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0.0])
+        return -solution.objective, LatticeFunction(lat, solution.x_rational)
+
+    def solve_dual(self) -> DualCLLP:
+        """Explicit dual (Eq. (26)): min Σ n_{Y|X} c_{Y|X} s.t. netflows."""
+        lat = self.lattice
+        bounds = self.bounds_by_pair()
+        degree_pairs = list(bounds)
+        incomparable = lat.incomparable_pairs
+        cover_pairs = self._cover_pairs()
+        n_c, n_s, n_m = len(degree_pairs), len(incomparable), len(cover_pairs)
+        costs = (
+            [bounds[p] for p in degree_pairs] + [0.0] * n_s + [0.0] * n_m
+        )
+        a_ub: list[list[float]] = []
+        b_ub: list[float] = []
+        for z in range(lat.n):
+            if z == lat.bottom:
+                continue
+            row = [0.0] * (n_c + n_s + n_m)
+            for k, (x, y) in enumerate(degree_pairs):
+                if y == z:
+                    row[k] += 1.0
+                if x == z:
+                    row[k] -= 1.0
+            for k, (a, b) in enumerate(incomparable):
+                if lat.meet(a, b) == z:
+                    row[n_c + k] += 1.0
+                if lat.join(a, b) == z:
+                    row[n_c + k] += 1.0
+                if a == z or b == z:
+                    row[n_c + k] -= 1.0
+            for k, (x, y) in enumerate(cover_pairs):
+                if y == z:
+                    row[n_c + n_s + k] -= 1.0
+                if x == z:
+                    row[n_c + n_s + k] += 1.0
+            target = 1.0 if z == lat.top else 0.0
+            a_ub.append([-v for v in row])
+            b_ub.append(-target)
+        solution = solve_lp(costs, a_ub, b_ub)
+        c = {
+            degree_pairs[k]: solution.x_rational[k]
+            for k in range(n_c)
+            if solution.x_rational[k] != 0
+        }
+        s = {
+            incomparable[k]: solution.x_rational[n_c + k]
+            for k in range(n_s)
+            if solution.x_rational[n_c + k] != 0
+        }
+        m = {
+            cover_pairs[k]: solution.x_rational[n_c + n_s + k]
+            for k in range(n_m)
+            if solution.x_rational[n_c + n_s + k] != 0
+        }
+        dual = DualCLLP(lat, c, s, m)
+        if not dual.is_feasible():
+            raise RuntimeError("CLLP dual certificate failed exact verification")
+        return dual
+
+    def solve(self) -> CLLPSolution:
+        objective, h_raw = self.solve_primal()
+        dual = self.solve_dual()
+        return CLLPSolution(objective=objective, h=h_raw, dual=dual)

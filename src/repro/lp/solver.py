@@ -1,0 +1,79 @@
+"""Thin wrapper over scipy's HiGHS LP solver with rational post-processing.
+
+All programs in this package are minimizations of ``c @ x`` subject to
+``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and ``x >= 0``.  The wrapper adds:
+
+* deterministic handling of empty constraint blocks,
+* dual values (constraint marginals) surfaced with consistent signs,
+* rationalization of the solution vector (the polytopes here have
+  data-independent rational vertices, footnote 10 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.util.rational import rationalize
+
+
+class LPError(RuntimeError):
+    """Raised when an LP is infeasible/unbounded or the solver fails."""
+
+
+@dataclass
+class LPSolution:
+    """Solution of a minimization LP."""
+
+    objective: float
+    x: np.ndarray
+    duals_ub: np.ndarray
+    duals_eq: np.ndarray
+    x_rational: list[Fraction]
+
+    @property
+    def objective_rational(self) -> Fraction:
+        return rationalize(self.objective)
+
+
+def solve_lp(
+    costs: Sequence[float],
+    a_ub: Sequence[Sequence[float]] | None = None,
+    b_ub: Sequence[float] | None = None,
+    a_eq: Sequence[Sequence[float]] | None = None,
+    b_eq: Sequence[float] | None = None,
+    max_denominator: int = 10_000,
+) -> LPSolution:
+    """Minimize ``costs @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``, ``x >= 0``."""
+    costs = np.asarray(costs, dtype=float)
+    n = costs.shape[0]
+    kwargs = {}
+    if a_ub is not None and len(a_ub) > 0:
+        kwargs["A_ub"] = np.asarray(a_ub, dtype=float)
+        kwargs["b_ub"] = np.asarray(b_ub, dtype=float)
+    if a_eq is not None and len(a_eq) > 0:
+        kwargs["A_eq"] = np.asarray(a_eq, dtype=float)
+        kwargs["b_eq"] = np.asarray(b_eq, dtype=float)
+    result = linprog(costs, bounds=[(0, None)] * n, method="highs", **kwargs)
+    if not result.success:
+        raise LPError(f"LP failed: {result.message}")
+    duals_ub = np.zeros(0)
+    duals_eq = np.zeros(0)
+    if "A_ub" in kwargs and result.ineqlin is not None:
+        # scipy returns non-positive marginals for <= rows of a minimization;
+        # negate so a binding constraint has a non-negative dual weight.
+        duals_ub = -np.asarray(result.ineqlin.marginals, dtype=float)
+    if "A_eq" in kwargs and result.eqlin is not None:
+        duals_eq = -np.asarray(result.eqlin.marginals, dtype=float)
+    x_rational = [rationalize(v, max_denominator) for v in result.x]
+    return LPSolution(
+        objective=float(result.fun),
+        x=np.asarray(result.x, dtype=float),
+        duals_ub=duals_ub,
+        duals_eq=duals_eq,
+        x_rational=x_rational,
+    )

@@ -1,0 +1,7 @@
+"""Conjunctive query model: atoms, hypergraphs, and a small parser."""
+
+from repro.query.hypergraph import Hypergraph
+from repro.query.query import Atom, Query
+from repro.query.parse import parse_query
+
+__all__ = ["Atom", "Query", "Hypergraph", "parse_query"]

@@ -1,0 +1,168 @@
+"""Hypergraphs with fractional edge covers / vertex packings (Sec. 2).
+
+The same class serves the query hypergraph, the co-atomic hypergraph
+(Def. 4.7) and chain hypergraphs (Def. 5.1): it is just named vertices plus
+named edges (vertex subsets), with the two weighted LPs of Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.util.rational import enumerate_polytope_vertices
+
+
+class Hypergraph:
+    """A finite hypergraph with hashable vertices and named edges."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Hashable],
+        edges: Mapping[str, Iterable[Hashable]],
+    ):
+        self.vertices: tuple[Hashable, ...] = tuple(dict.fromkeys(vertices))
+        vertex_set = set(self.vertices)
+        self.edges: dict[str, frozenset] = {}
+        for name, edge in edges.items():
+            edge = frozenset(edge)
+            if not edge <= vertex_set:
+                raise ValueError(f"edge {name!r} has vertices outside the graph")
+            self.edges[name] = edge
+        self.edge_names: tuple[str, ...] = tuple(self.edges)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def isolated_vertices(self) -> set:
+        """Vertices in no edge; if any exist the cover LP is infeasible
+        (footnote 7 of the paper)."""
+        covered = set().union(*self.edges.values()) if self.edges else set()
+        return set(self.vertices) - covered
+
+    def incident_edges(self, vertex: Hashable) -> list[str]:
+        return [name for name, edge in self.edges.items() if vertex in edge]
+
+    # ------------------------------------------------------------------
+    # Fractional covering LPs
+    # ------------------------------------------------------------------
+    def is_fractional_edge_cover(self, weights: Mapping[str, Fraction]) -> bool:
+        """Check Σ_{j: v ∈ e_j} w_j >= 1 for every vertex, w >= 0."""
+        if any(Fraction(weights.get(name, 0)) < 0 for name in self.edge_names):
+            return False
+        for vertex in self.vertices:
+            total = sum(
+                Fraction(weights.get(name, 0))
+                for name in self.edges
+                if vertex in self.edges[name]
+            )
+            if total < 1:
+                return False
+        return True
+
+    def edge_cover_vertices(self, max_dimension: int = 12) -> list[dict[str, Fraction]]:
+        """Enumerate all vertices of the fractional edge cover polytope
+        exactly (used by the normality test, Sec. 4.3)."""
+        if self.isolated_vertices():
+            return []
+        n = len(self.edge_names)
+        # Cover constraints as A x <= b:  -Σ_{j: v∈e_j} x_j <= -1.
+        a_ub = []
+        b_ub = []
+        for vertex in self.vertices:
+            row = [
+                -1 if vertex in self.edges[name] else 0 for name in self.edge_names
+            ]
+            a_ub.append(row)
+            b_ub.append(-1)
+        # The cover polytope is unbounded upward; its vertices all lie in
+        # [0, 1]^n, so intersect with x_j <= 1 and keep points where the
+        # added constraints are not the only tight ones... Simpler: vertices
+        # of the polyhedron are exactly vertices of the [0,1]-truncation
+        # that satisfy: either x_j < 1, or x_j = 1 is forced.  Since any
+        # weight > 1 can be lowered to 1 while remaining a cover, all
+        # *minimal* cover vertices have x <= 1, and truncation vertices with
+        # some x_j = 1 tight-only-at-the-box are still valid covers, just
+        # possibly not vertices of the untruncated polyhedron.  For the
+        # normality test we only need a superset of the vertices (extra
+        # points make the test stricter-but-equivalent since they are still
+        # covers and the inequality must hold for all covers).
+        for i in range(n):
+            row = [0] * n
+            row[i] = 1
+            a_ub.append(row)
+            b_ub.append(1)
+        points = enumerate_polytope_vertices(a_ub, b_ub, max_dimension=max_dimension)
+        return [dict(zip(self.edge_names, point)) for point in points]
+
+    def fractional_edge_cover_number(
+        self, log_weights: Mapping[str, float] | None = None
+    ) -> tuple[Fraction | float, dict[str, Fraction]]:
+        """Solve the weighted fractional edge cover LP (Thm. 2.1).
+
+        ``log_weights[j]`` is ``n_j = log2 N_j`` (defaults to 1 for the
+        classic unweighted cover).  Returns ``(optimum, weights)`` with the
+        weights rationalized and re-verified to be a cover.
+        """
+        from repro.lp.solver import solve_lp  # local import to avoid cycle
+
+        if self.isolated_vertices():
+            raise ValueError("cover LP infeasible: isolated vertices present")
+        costs = [
+            float(log_weights[name]) if log_weights is not None else 1.0
+            for name in self.edge_names
+        ]
+        a_ub = []
+        b_ub = []
+        for vertex in self.vertices:
+            row = [
+                -1.0 if vertex in self.edges[name] else 0.0
+                for name in self.edge_names
+            ]
+            a_ub.append(row)
+            b_ub.append(-1.0)
+        solution = solve_lp(costs, a_ub, b_ub)
+        weights = dict(zip(self.edge_names, solution.x_rational))
+        if not self.is_fractional_edge_cover(weights):
+            # Nudge: rationalization can round a tight constraint the wrong
+            # way; scale up minimally to restore feasibility.
+            slack = min(
+                sum(w for name, w in weights.items() if v in self.edges[name])
+                for v in self.vertices
+            )
+            weights = {name: w / slack for name, w in weights.items()}
+        objective = sum(
+            Fraction(weights[name])
+            * (Fraction(log_weights[name]).limit_denominator() if log_weights else 1)
+            for name in self.edge_names
+        )
+        return objective, weights
+
+    def fractional_vertex_packing(
+        self, log_weights: Mapping[str, float] | None = None
+    ) -> tuple[Fraction | float, dict[Hashable, Fraction]]:
+        """Solve the dual LP: maximize Σ v_i s.t. Σ_{i ∈ e_j} v_i <= n_j."""
+        from repro.lp.solver import solve_lp
+
+        bounds = {
+            name: (float(log_weights[name]) if log_weights is not None else 1.0)
+            for name in self.edge_names
+        }
+        costs = [-1.0] * len(self.vertices)  # maximize sum
+        a_ub = []
+        b_ub = []
+        for name in self.edge_names:
+            row = [1.0 if v in self.edges[name] else 0.0 for v in self.vertices]
+            a_ub.append(row)
+            b_ub.append(bounds[name])
+        solution = solve_lp(costs, a_ub, b_ub)
+        packing = dict(zip(self.vertices, solution.x_rational))
+        objective = sum(packing.values())
+        return objective, packing
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        edges = ", ".join(
+            f"{name}={{{','.join(map(str, sorted(edge, key=str)))}}}"
+            for name, edge in self.edges.items()
+        )
+        return f"Hypergraph({edges})"

@@ -1,0 +1,81 @@
+"""A tiny parser for datalog-style query strings.
+
+Grammar (whitespace-insensitive)::
+
+    Q(x,y,z) :- R(x,y), S(y,z), T(z,x); xy -> z, u -> v
+
+The head is optional (full queries list all variables anyway).  The fd tail
+after ``;`` is optional; each fd is ``<vars> -> <vars>`` with single-letter
+or comma-separated variable lists.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fds.fd import FD, FDSet
+from repro.query.query import Atom, Query
+
+_ATOM_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)")
+_FD_RE = re.compile(r"([A-Za-z_0-9,\s]+?)\s*->\s*([A-Za-z_0-9,\s]+)")
+
+
+def _parse_varlist(text: str) -> tuple[str, ...]:
+    text = text.strip()
+    if "," in text:
+        return tuple(part.strip() for part in text.split(",") if part.strip())
+    # Compact single-letter form, e.g. "xyz".
+    return tuple(text.replace(" ", ""))
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`Query`.
+
+    >>> q = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+    >>> [a.name for a in q.atoms]
+    ['R', 'S', 'T']
+    """
+    if ":-" in text:
+        _, body = text.split(":-", 1)
+    else:
+        body = text
+    if ";" in body:
+        body, fd_text = body.split(";", 1)
+    else:
+        fd_text = ""
+    atoms = [
+        Atom(name, _parse_varlist(args)) for name, args in _ATOM_RE.findall(body)
+    ]
+    if not atoms:
+        raise ValueError(f"no atoms found in query text: {text!r}")
+    fds = _parse_fds(fd_text)
+    variables = [v for atom in atoms for v in atom.attrs]
+    return Query(atoms, FDSet(fds, variables))
+
+
+def _parse_fds(fd_text: str) -> list[FD]:
+    """Parse 'x,y -> z, u -> v' into fds.
+
+    Comma-separated segments without an arrow attach to the lhs of the
+    *next* arrow segment (or, after the last arrow, to its rhs), so both
+    compact ('xy -> z') and comma ('x, y -> z') variable lists work.
+    """
+    segments = [s.strip() for s in fd_text.split(",") if s.strip()]
+    arrow_positions = [i for i, s in enumerate(segments) if "->" in s]
+    fds: list[FD] = []
+    for k, pos in enumerate(arrow_positions):
+        prev_arrow = arrow_positions[k - 1] if k > 0 else -1
+        lhs_extra = segments[prev_arrow + 1 : pos]
+        lhs_text, rhs_text = segments[pos].split("->", 1)
+        lhs: set[str] = set()
+        for part in lhs_extra + [lhs_text]:
+            lhs |= set(_parse_varlist(part))
+        rhs = set(_parse_varlist(rhs_text))
+        next_arrow = (
+            arrow_positions[k + 1] if k + 1 < len(arrow_positions) else None
+        )
+        if next_arrow is None:
+            for part in segments[pos + 1 :]:
+                rhs |= set(_parse_varlist(part))
+        fds.append(FD(frozenset(lhs), frozenset(rhs)))
+    return fds

@@ -1,0 +1,19 @@
+"""Shared low-level utilities: exact rational linear algebra and helpers."""
+
+from repro.util.rational import (
+    as_fraction,
+    rationalize,
+    solve_exact,
+    rank_exact,
+    enumerate_polytope_vertices,
+    is_feasible_point,
+)
+
+__all__ = [
+    "as_fraction",
+    "rationalize",
+    "solve_exact",
+    "rank_exact",
+    "enumerate_polytope_vertices",
+    "is_feasible_point",
+]

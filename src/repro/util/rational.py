@@ -1,0 +1,175 @@
+"""Exact linear algebra over :class:`fractions.Fraction`.
+
+The lattice linear programs in this package are tiny (their size depends on
+the query, not the data), so we can afford exact rational arithmetic for the
+parts that matter: dual certificates of output inequalities and vertex
+enumeration of fractional edge cover polytopes.  Floating point (scipy/HiGHS)
+is used only to *locate* optima quickly; everything returned to callers is
+re-verified exactly with the routines in this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Matrix = list[list[Fraction]]
+Vector = list[Fraction]
+
+
+def as_fraction(value) -> Fraction:
+    """Convert ``value`` (int, float, str, Fraction) to an exact Fraction.
+
+    Floats are converted exactly (no snapping); use :func:`rationalize` to
+    snap solver output to small denominators.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        return Fraction(value)
+    return Fraction(value)
+
+
+def rationalize(value: float, max_denominator: int = 10_000) -> Fraction:
+    """Snap a floating-point solver value to a nearby small rational.
+
+    LP optima of the paper's programs have data-independent rational vertices
+    (footnote 10 of the paper), with denominators bounded by the lattice
+    size, so ``max_denominator=10_000`` is far more than enough in practice.
+    """
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def _to_matrix(rows: Iterable[Sequence]) -> Matrix:
+    return [[as_fraction(x) for x in row] for row in rows]
+
+
+def solve_exact(a: Iterable[Sequence], b: Sequence) -> Vector | None:
+    """Solve the square (or overdetermined-consistent) system ``a x = b``.
+
+    Returns the unique solution as Fractions, or ``None`` when the system is
+    singular/inconsistent or underdetermined.
+    """
+    mat = _to_matrix(a)
+    rhs = [as_fraction(x) for x in b]
+    if not mat:
+        return None
+    n_rows = len(mat)
+    n_cols = len(mat[0])
+    # Augment.
+    aug = [row[:] + [rhs[i]] for i, row in enumerate(mat)]
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(n_cols):
+        pivot = next((r for r in range(row, n_rows) if aug[r][col] != 0), None)
+        if pivot is None:
+            continue
+        aug[row], aug[pivot] = aug[pivot], aug[row]
+        inv = 1 / aug[row][col]
+        aug[row] = [x * inv for x in aug[row]]
+        for r in range(n_rows):
+            if r != row and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [x - factor * y for x, y in zip(aug[r], aug[row])]
+        pivot_cols.append(col)
+        row += 1
+        if row == n_rows:
+            break
+    # Inconsistent?
+    for r in range(row, n_rows):
+        if aug[r][n_cols] != 0:
+            return None
+    if len(pivot_cols) < n_cols:
+        return None  # underdetermined
+    solution: Vector = [Fraction(0)] * n_cols
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][n_cols]
+    return solution
+
+
+def rank_exact(a: Iterable[Sequence]) -> int:
+    """Exact rank of a rational matrix."""
+    mat = _to_matrix(a)
+    if not mat:
+        return 0
+    n_rows, n_cols = len(mat), len(mat[0])
+    rank = 0
+    for col in range(n_cols):
+        pivot = next((r for r in range(rank, n_rows) if mat[r][col] != 0), None)
+        if pivot is None:
+            continue
+        mat[rank], mat[pivot] = mat[pivot], mat[rank]
+        inv = 1 / mat[rank][col]
+        mat[rank] = [x * inv for x in mat[rank]]
+        for r in range(n_rows):
+            if r != rank and mat[r][col] != 0:
+                factor = mat[r][col]
+                mat[r] = [x - factor * y for x, y in zip(mat[r], mat[rank])]
+        rank += 1
+        if rank == n_rows:
+            break
+    return rank
+
+
+def is_feasible_point(
+    point: Sequence,
+    a_ub: Iterable[Sequence],
+    b_ub: Sequence,
+    nonnegative: bool = True,
+) -> bool:
+    """Exactly check ``A x <= b`` (and ``x >= 0`` when requested)."""
+    x = [as_fraction(v) for v in point]
+    if nonnegative and any(v < 0 for v in x):
+        return False
+    for row, bound in zip(_to_matrix(a_ub), b_ub):
+        if sum(c * v for c, v in zip(row, x)) > as_fraction(bound):
+            return False
+    return True
+
+
+def enumerate_polytope_vertices(
+    a_ub: Iterable[Sequence],
+    b_ub: Sequence,
+    nonnegative: bool = True,
+    max_dimension: int = 12,
+) -> list[Vector]:
+    """Enumerate all vertices of ``{x | A x <= b (, x >= 0)}`` exactly.
+
+    Brute-force over choices of ``n`` tight constraints; intended for the
+    small covering polytopes arising from query hypergraphs (a handful of
+    edges/vertices).  Raises ``ValueError`` beyond ``max_dimension``.
+    """
+    rows = _to_matrix(a_ub)
+    rhs = [as_fraction(x) for x in b_ub]
+    if not rows:
+        return []
+    n = len(rows[0])
+    if n > max_dimension:
+        raise ValueError(
+            f"vertex enumeration limited to dimension {max_dimension}, got {n}"
+        )
+    constraints: list[tuple[Vector, Fraction]] = list(zip(rows, rhs))
+    if nonnegative:
+        for i in range(n):
+            row = [Fraction(0)] * n
+            row[i] = Fraction(-1)
+            constraints.append((row, Fraction(0)))
+    vertices: list[Vector] = []
+    seen: set[tuple[Fraction, ...]] = set()
+    for subset in itertools.combinations(range(len(constraints)), n):
+        sub_a = [constraints[i][0] for i in subset]
+        sub_b = [constraints[i][1] for i in subset]
+        candidate = solve_exact(sub_a, sub_b)
+        if candidate is None:
+            continue
+        key = tuple(candidate)
+        if key in seen:
+            continue
+        if all(
+            sum(c * v for c, v in zip(row, candidate)) <= bound
+            for row, bound in constraints
+        ):
+            seen.add(key)
+            vertices.append(candidate)
+    return vertices

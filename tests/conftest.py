@@ -1,0 +1,101 @@
+"""Shared fixtures: the paper's lattices, queries and canonical instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig7_lattice,
+    fig8_lattice,
+    fig9_lattice,
+    m3,
+    n5,
+)
+from repro.query.query import Atom, Query, paper_example_query, triangle_query
+
+
+@pytest.fixture
+def b3():
+    return boolean_algebra("xyz")
+
+
+@pytest.fixture
+def lattice_m3():
+    return m3()
+
+
+@pytest.fixture
+def lattice_n5():
+    return n5()
+
+
+@pytest.fixture
+def fig1():
+    return fig1_lattice()
+
+
+@pytest.fixture
+def fig4():
+    return fig4_lattice()
+
+
+@pytest.fixture
+def fig5():
+    return fig5_lattice()
+
+
+@pytest.fixture
+def fig7():
+    return fig7_lattice()
+
+
+@pytest.fixture
+def fig8():
+    return fig8_lattice()
+
+
+@pytest.fixture
+def fig9():
+    return fig9_lattice()
+
+
+@pytest.fixture
+def triangle():
+    return triangle_query()
+
+
+@pytest.fixture
+def paper_query():
+    return paper_example_query()
+
+
+@pytest.fixture
+def triangle_db():
+    """Complete digraph on 6 nodes: 6*5*4 = 120 directed triangles."""
+    edges = [(i, j) for i in range(6) for j in range(6) if i != j]
+    return Database(
+        [
+            Relation("R", ("x", "y"), edges),
+            Relation("S", ("y", "z"), edges),
+            Relation("T", ("z", "x"), edges),
+        ]
+    )
+
+
+@pytest.fixture
+def simple_key_query():
+    """R(x,y), S(y,z), T(z,u), K(u,x) with y a key of S (Sec. 2 closure)."""
+    atoms = [
+        Atom("R", ("x", "y")),
+        Atom("S", ("y", "z")),
+        Atom("T", ("z", "u")),
+        Atom("K", ("u", "x")),
+    ]
+    return Query(atoms, FDSet([FD("y", "z")], "xyzu"))

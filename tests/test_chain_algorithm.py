@@ -1,0 +1,112 @@
+"""The Chain Algorithm — Algorithm 1 (repro.core.chain_algorithm)."""
+
+import pytest
+
+from repro.core.chain_algorithm import chain_algorithm
+from repro.datagen.product import random_database
+from repro.datagen.worstcase import (
+    grid_instance_example_5_5,
+    m3_modular_instance,
+    skew_instance_example_5_8,
+)
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import lattice_from_query
+from repro.lattice.chains import Chain, best_chain_bound, shearer_chain
+from repro.query.query import triangle_query
+
+
+def reference(query, db):
+    out, _ = binary_join_plan(query, db)
+    return set(out.project(tuple(sorted(query.variables))).tuples)
+
+
+def run_chain(query, db, chain=None):
+    lattice, inputs = lattice_from_query(query)
+    out, stats = chain_algorithm(query, db, lattice, inputs, chain)
+    return set(out.project(tuple(sorted(query.variables))).tuples), stats
+
+
+class TestCorrectness:
+    def test_triangle_no_fds(self):
+        query = triangle_query()
+        db = random_database(query, 100, seed=1)
+        assert run_chain(query, db)[0] == reference(query, db)
+
+    def test_grid_instance(self):
+        query, db = grid_instance_example_5_5(49)
+        assert run_chain(query, db)[0] == reference(query, db)
+
+    def test_skew_instance(self):
+        query, db = skew_instance_example_5_8(60)
+        assert run_chain(query, db)[0] == reference(query, db)
+
+    def test_m3_instance(self):
+        query, db = m3_modular_instance(12)
+        got, _ = run_chain(query, db)
+        assert len(got) == 12 * 12  # N² output (Ex. 5.12)
+        assert got == reference(query, db)
+
+    def test_empty_input(self):
+        query = triangle_query()
+        db = random_database(query, 0, seed=0)
+        assert run_chain(query, db)[0] == set()
+
+    def test_explicit_chain(self):
+        query, db = grid_instance_example_5_5(25)
+        lattice, inputs = lattice_from_query(query)
+        chain = Chain(
+            lattice,
+            (
+                lattice.bottom,
+                lattice.index(frozenset("y")),
+                lattice.index(frozenset("yz")),
+                lattice.top,
+            ),
+        )
+        out, _ = chain_algorithm(query, db, lattice, inputs, chain)
+        assert set(out.tuples) == reference(query, db)
+
+    def test_bad_chain_rejected(self):
+        query = triangle_query()
+        db = random_database(query, 10, seed=0)
+        lattice, inputs = lattice_from_query(query)
+        bad = Chain(lattice, (lattice.bottom, lattice.top))
+        with pytest.raises(ValueError):
+            chain_algorithm(query, db, lattice, inputs, bad)
+
+
+class TestComplexityShape:
+    def test_skew_beats_generic_join(self):
+        """Ex. 5.8: CA's work is near-linear on the skew instance while
+        any oblivious WCOJ does Θ(N²)."""
+        n = 128
+        query, db = skew_instance_example_5_8(n)
+        lattice, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        _, chain, _ = best_chain_bound(lattice, inputs, logs)
+        _, stats = chain_algorithm(query, db, lattice, inputs, chain)
+        _, gj_stats = generic_join(
+            query, db, order=("y", "z", "x", "u"), fd_aware=True
+        )
+        assert stats.tuples_touched < gj_stats.tuples_touched / 3
+
+    def test_work_scales_subquadratically(self):
+        works = []
+        for n in (64, 256):
+            query, db = skew_instance_example_5_8(n)
+            lattice, inputs = lattice_from_query(query)
+            logs = {k: db.log_sizes()[k] for k in inputs}
+            _, chain, _ = best_chain_bound(lattice, inputs, logs)
+            _, stats = chain_algorithm(query, db, lattice, inputs, chain)
+            works.append(stats.tuples_touched)
+        # Quadrupling N must grow work far less than 16x (quadratic).
+        assert works[1] < 8 * works[0]
+
+    def test_default_chain_is_shearer(self):
+        query, db = grid_instance_example_5_5(16)
+        lattice, inputs = lattice_from_query(query)
+        out_default, _ = chain_algorithm(query, db, lattice, inputs)
+        chain = shearer_chain(lattice, list(inputs.values()))
+        out_explicit, _ = chain_algorithm(query, db, lattice, inputs, chain)
+        assert set(out_default.tuples) == set(out_explicit.tuples)

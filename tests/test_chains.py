@@ -1,0 +1,244 @@
+"""Chains, goodness, chain bounds (repro.lattice.chains)."""
+
+import math
+
+import pytest
+
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig9_lattice,
+    m3_query_lattice,
+)
+from repro.lattice.chains import (
+    Chain,
+    all_chains,
+    all_maximal_chains,
+    best_chain_bound,
+    chain_bound,
+    chain_hypergraph,
+    chain_tight_polymatroid,
+    condition_15_holds,
+    dual_shearer_chain,
+    is_good_chain,
+    is_good_for_all,
+    shearer_chain,
+)
+from repro.lattice.polymatroid import LatticeFunction
+
+
+def chain_by_labels(lattice, labels):
+    return Chain(lattice, tuple(lattice.index(l) for l in labels))
+
+
+class TestChainBasics:
+    def test_must_start_bottom(self):
+        lat = boolean_algebra("xy")
+        with pytest.raises(ValueError):
+            Chain(lat, (lat.index(frozenset("x")), lat.top))
+
+    def test_must_increase(self):
+        lat = boolean_algebra("xy")
+        with pytest.raises(ValueError):
+            Chain(lat, (lat.bottom, lat.top, lat.top))
+
+    def test_length(self):
+        lat = boolean_algebra("xy")
+        c = chain_by_labels(
+            lat, [frozenset(), frozenset("x"), frozenset("xy")]
+        )
+        assert len(c) == 2
+
+    def test_covers(self):
+        lat, _ = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        r = lat.index(frozenset("xy"))
+        # R=xy covers steps 1 (gains y) and 3 (gains x).
+        assert c.covered_steps(r) == [1, 3]
+
+    def test_ex55_chain_hypergraph(self):
+        """Ex. 5.5: chain 0̂ ≺ y ≺ yz ≺ 1̂ has e_R={1,3}, e_S={1,2},
+        e_T={2,3} — isomorphic to the co-atomic hypergraph."""
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        graph = chain_hypergraph(c, inputs)
+        assert set(graph.edges["R"]) == {1, 3}
+        assert set(graph.edges["S"]) == {1, 2}
+        assert set(graph.edges["T"]) == {2, 3}
+
+
+class TestGoodness:
+    def test_maximal_chains_always_good(self):
+        # Prop. 5.2.
+        lat, inputs = fig1_lattice()
+        for chain in all_maximal_chains(lat):
+            assert is_good_chain(chain, inputs.values())
+
+    def test_ex55_chain_good(self):
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        assert is_good_chain(c, inputs.values())
+
+    def test_non_maximal_can_be_bad(self):
+        # In 2^{xyz} the chain 0̂ ≺ xyz skips everything: for R=xy,
+        # C_0 ∨ (R ∧ C_1) = xy != xyz, so it is not good for R.
+        lat = boolean_algebra("xyz")
+        c = Chain(lat, (lat.bottom, lat.top))
+        r = lat.index(frozenset("xy"))
+        assert not is_good_chain(c, [r])
+
+
+class TestChainBound:
+    def test_ex55_bound_three_halves(self):
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        logs = {name: 1.0 for name in inputs}
+        value, weights = chain_bound(c, inputs, logs)
+        assert value == pytest.approx(1.5)
+
+    def test_ex58_atomic_chain_suboptimal(self):
+        """Ex. 5.8: the chain 0̂ ≺ x ≺ xu ≺ xyu ≺ 1̂ gives ρ* = 2."""
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [
+                frozenset(), frozenset("x"), frozenset("xu"),
+                frozenset("xyu"), frozenset("xyzu"),
+            ],
+        )
+        logs = {name: 1.0 for name in inputs}
+        value, _ = chain_bound(c, inputs, logs)
+        assert value == pytest.approx(2.0)
+
+    def test_isolated_vertex_infinite(self):
+        # Fig. 5 / Ex. 5.10: maximal chain through z isolates a vertex.
+        lat, inputs = fig5_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("z"), frozenset("xz"), frozenset("xyz")],
+        )
+        logs = {name: 1.0 for name in inputs}
+        value, _ = chain_bound(c, inputs, logs)
+        assert math.isinf(value)
+
+    def test_fig4_all_chains_suboptimal(self):
+        # Ex. 5.18: every chain gives >= 3/2 while GLVV = 4/3.
+        lat, inputs = fig4_lattice()
+        logs = {name: 1.0 for name in inputs}
+        value, chain, _ = best_chain_bound(lat, inputs, logs)
+        assert value == pytest.approx(1.5)
+
+    def test_m3_chain_bound_two(self):
+        # Ex. 5.12.
+        lat, inputs = m3_query_lattice()
+        logs = {name: 1.0 for name in inputs}
+        value, chain, weights = best_chain_bound(lat, inputs, logs)
+        assert value == pytest.approx(2.0)
+
+    def test_fig1_best_chain_is_three_halves(self):
+        lat, inputs = fig1_lattice()
+        logs = {name: 1.0 for name in inputs}
+        value, chain, _ = best_chain_bound(lat, inputs, logs)
+        assert value == pytest.approx(1.5)
+
+    def test_weighted_bound(self):
+        # Unequal cardinalities change the optimal cover.
+        lat, inputs = fig1_lattice()
+        logs = {"R": 10.0, "S": 1.0, "T": 1.0}
+        value, chain, _ = best_chain_bound(lat, inputs, logs)
+        # Cover avoiding R where possible: bound <= S + T + ... at most 11,
+        # and must be strictly below the symmetric 0.5*(10+1+1)=6.
+        assert value < 6.0
+
+
+class TestChainSelection:
+    def test_shearer_chain_good_no_isolated(self):
+        # Corollary 5.9 on all the figure lattices.
+        for lat, inputs in [fig1_lattice(), fig4_lattice(), fig5_lattice(),
+                            fig9_lattice(), m3_query_lattice()]:
+            chain = shearer_chain(lat, list(inputs.values()))
+            assert is_good_chain(chain, inputs.values())
+            graph = chain_hypergraph(chain, inputs)
+            assert not graph.isolated_vertices()
+
+    def test_dual_shearer_chain_good_no_isolated(self):
+        # Corollary 5.11.
+        for lat, inputs in [fig1_lattice(), fig5_lattice(), m3_query_lattice()]:
+            chain = dual_shearer_chain(lat, list(inputs.values()))
+            assert is_good_chain(chain, inputs.values())
+            graph = chain_hypergraph(chain, inputs)
+            assert not graph.isolated_vertices()
+
+    def test_fig5_shearer_avoids_isolation(self):
+        # Ex. 5.10: the constructed chain must be the non-maximal
+        # 0̂ ≺ x ≺ 1̂ (or symmetric), bound N².
+        lat, inputs = fig5_lattice()
+        chain = shearer_chain(lat, list(inputs.values()))
+        logs = {name: 1.0 for name in inputs}
+        value, _ = chain_bound(chain, inputs, logs)
+        assert value == pytest.approx(2.0)
+        assert len(chain) == 2  # non-maximal
+
+
+class TestCondition15:
+    def test_fig1_chain_satisfies(self):
+        # Ex. 5.16 / Fig. 6: tight beyond distributive lattices.
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        assert condition_15_holds(c)
+
+    def test_boolean_maximal_chains_satisfy(self):
+        # Cor. 5.15: distributive lattices.
+        lat = boolean_algebra("xyz")
+        for chain in all_maximal_chains(lat):
+            assert condition_15_holds(chain)
+
+    def test_tight_polymatroid_properties(self):
+        """Theorem 5.14's u: an optimal, feasible polymatroid below h*.
+
+        (The paper's proof also asserts modularity, which additionally
+        needs e(X∧Y) = e(X)∩e(Y); we test the properties the tightness
+        argument actually uses: polymatroid, u <= h*, u(1̂) = h*(1̂).)"""
+        lat, inputs = fig1_lattice()
+        c = chain_by_labels(
+            lat,
+            [frozenset(), frozenset("y"), frozenset("yz"), frozenset("xyzu")],
+        )
+        from repro.lp.llp import LatticeLinearProgram
+
+        program = LatticeLinearProgram(lat, inputs, {n: 1.0 for n in inputs})
+        _, h_raw = program.solve_primal()
+        h_star = h_raw.lovasz_monotonization()
+        u = chain_tight_polymatroid(c, h_star.values)
+        hu = LatticeFunction(lat, u)
+        assert hu.is_polymatroid()
+        assert hu.restrict_leq(h_star)
+        assert hu.values[lat.top] == h_star.values[lat.top]
+
+
+class TestAllChains:
+    def test_counts_boolean2(self):
+        # Chains from 0̂ to 1̂ in 2^{xy}: 0-1 direct, via x, via y = 3.
+        lat = boolean_algebra("xy")
+        assert sum(1 for _ in all_chains(lat)) == 3
+
+    def test_limit(self):
+        lat = boolean_algebra("xyz")
+        assert sum(1 for _ in all_chains(lat, limit=5)) == 5

@@ -1,0 +1,134 @@
+"""The Conditional LLP (repro.lp.cllp)."""
+
+import math
+
+import pytest
+
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig9_lattice,
+    lattice_from_query,
+)
+from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+from repro.lp.llp import glvv_bound_log2
+from repro.query.query import triangle_query
+
+
+def triangle_setup():
+    query = triangle_query()
+    lat, inputs = lattice_from_query(query)
+    return lat, inputs
+
+
+class TestPrimal:
+    def test_reduces_to_llp(self):
+        # Prop. 5.32: P = {(0̂, R_j)} gives exactly the LLP.
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        program = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        objective, h = program.solve_primal()
+        assert objective == pytest.approx(glvv_bound_log2(lat, inputs, logs))
+
+    def test_degree_bound_tightens(self):
+        """Sec. 1.2: out-degree d on R drops the triangle bound from
+        N^{3/2} to N·d (when d < sqrt N)."""
+        lat, inputs = triangle_setup()
+        n = 10.0
+        log_d = 2.0
+        logs = {name: n for name in inputs}
+        base = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        x = lat.index(frozenset("x"))
+        xy = lat.index(frozenset("xy"))
+        with_deg = base.with_constraint(DegreeConstraint(x, xy, log_d))
+        plain_obj, _ = base.solve_primal()
+        deg_obj, _ = with_deg.solve_primal()
+        assert plain_obj == pytest.approx(1.5 * n)
+        assert deg_obj == pytest.approx(n + log_d)
+
+    def test_degree_bound_no_effect_when_loose(self):
+        lat, inputs = triangle_setup()
+        logs = {name: 10.0 for name in inputs}
+        x = lat.index(frozenset("x"))
+        xy = lat.index(frozenset("xy"))
+        program = ConditionalLLP.from_cardinalities(
+            lat, inputs, logs
+        ).with_constraint(DegreeConstraint(x, xy, 9.0))
+        objective, _ = program.solve_primal()
+        assert objective == pytest.approx(15.0)
+
+    def test_fd_as_zero_degree(self):
+        # An fd X→Y is the degree bound 0 (Sec. 5.3.1): forcing
+        # h(xy) = h(x) caps the triangle at N (via h(1̂) <= h(x)+h(yz)...).
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        x = lat.index(frozenset("x"))
+        xy = lat.index(frozenset("xy"))
+        program = ConditionalLLP.from_cardinalities(
+            lat, inputs, logs
+        ).with_constraint(DegreeConstraint(x, xy, 0.0))
+        objective, _ = program.solve_primal()
+        assert objective <= 1.0 + 1e-6
+
+    def test_invalid_pair_rejected(self):
+        lat, inputs = triangle_setup()
+        xy = lat.index(frozenset("xy"))
+        x = lat.index(frozenset("x"))
+        with pytest.raises(ValueError):
+            ConditionalLLP(lat, [DegreeConstraint(xy, x, 1.0)])
+
+    def test_primal_h_is_polymatroid(self):
+        # CLLP includes monotonicity, so the raw optimum is a polymatroid.
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        program = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        _, h = program.solve_primal()
+        assert h.is_polymatroid()
+
+
+class TestDual:
+    def test_dual_feasible_exact(self):
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        dual = ConditionalLLP.from_cardinalities(lat, inputs, logs).solve_dual()
+        assert dual.is_feasible()
+
+    def test_strong_duality(self):
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        program = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        primal, _ = program.solve_primal()
+        dual = program.solve_dual()
+        objective = dual.objective(program.bounds_by_pair())
+        assert float(objective) == pytest.approx(primal, abs=1e-6)
+
+    def test_netflow_at_top(self):
+        lat, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        dual = ConditionalLLP.from_cardinalities(lat, inputs, logs).solve_dual()
+        assert dual.netflow(lat.top) >= 1
+
+    def test_fig9_dual(self):
+        lat, inputs = fig9_lattice()
+        logs = {name: 1.0 for name in inputs}
+        program = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        primal, _ = program.solve_primal()
+        assert primal == pytest.approx(1.5)
+        dual = program.solve_dual()
+        assert dual.is_feasible()
+        # Lemma 5.33 machinery requires some SM mass:
+        assert any(v > 0 for v in dual.s.values())
+
+
+class TestLemma536:
+    def test_adding_tight_constraint_reduces_opt(self):
+        """Lemma 5.36's spirit: a discovered degree constraint strictly
+        below the current optimum's slack reduces the CLLP optimum."""
+        lat, inputs = triangle_setup()
+        logs = {name: 10.0 for name in inputs}
+        base = ConditionalLLP.from_cardinalities(lat, inputs, logs)
+        before, _ = base.solve_primal()
+        x = lat.index(frozenset("x"))
+        xy = lat.index(frozenset("xy"))
+        tightened = base.with_constraint(DegreeConstraint(x, xy, 1.0))
+        after, _ = tightened.solve_primal()
+        assert after < before

@@ -1,0 +1,124 @@
+"""GLVV colorings ↔ normal polymatroids (repro.core.colorings, Sec. 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import coatomic_bound_log2
+from repro.core.colorings import (
+    Coloring,
+    color_number_bound_log2,
+    coloring_from_polymatroid,
+)
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import boolean_algebra, fig1_lattice, m3_query_lattice
+from repro.lattice.polymatroid import LatticeFunction, step_function
+
+
+def triangle_coloring():
+    """Each variable gets its own color: the classic AGM coloring."""
+    return Coloring(
+        {
+            "x": frozenset({"cx"}),
+            "y": frozenset({"cy"}),
+            "z": frozenset({"cz"}),
+        }
+    )
+
+
+class TestColoring:
+    def test_color_set_union(self):
+        c = triangle_coloring()
+        assert c.color_set("xy") == frozenset({"cx", "cy"})
+
+    def test_respects_trivial_fds(self):
+        c = triangle_coloring()
+        assert c.respects_fds(FDSet((), "xyz"))
+
+    def test_fd_violation(self):
+        # x -> y requires L(y) ⊆ L(x): distinct colors violate it.
+        c = triangle_coloring()
+        assert not c.respects_fds(FDSet([FD("x", "y")]))
+
+    def test_fd_satisfied_by_shared_colors(self):
+        c = Coloring(
+            {"x": frozenset({"c1", "c2"}), "y": frozenset({"c2"})}
+        )
+        assert c.respects_fds(FDSet([FD("x", "y")]))
+
+    def test_color_number_triangle(self):
+        c = triangle_coloring()
+        atom_vars = {
+            "R": frozenset("xy"), "S": frozenset("yz"), "T": frozenset("xz")
+        }
+        assert c.color_number(atom_vars) == Fraction(3, 2)
+
+    def test_to_polymatroid_is_normal(self):
+        c = triangle_coloring()
+        lat = boolean_algebra("xyz")
+        h = c.to_polymatroid(lat)
+        assert h.is_polymatroid()
+        assert h.is_normal()
+        assert h.values[lat.top] == 3
+
+
+class TestRoundTrip:
+    def test_polymatroid_to_coloring_and_back(self):
+        # h = h_∅ + h_x + h_y (all variables positive).
+        lat = boolean_algebra("xyz")
+        h = (
+            step_function(lat, lat.bottom)
+            + step_function(lat, lat.index(frozenset("x")))
+            + step_function(lat, lat.index(frozenset("y")))
+        )
+        coloring = coloring_from_polymatroid(h, "xyz")
+        assert coloring.is_valid()
+        h_back = coloring.to_polymatroid(lat)
+        assert h_back.values == h.values
+
+    def test_fig1_optimum(self):
+        lat, inputs = fig1_lattice()
+        values = {
+            frozenset(): 0,
+            frozenset("x"): 1, frozenset("y"): 1, frozenset("z"): 1,
+            frozenset("u"): 1,
+            frozenset("xy"): 2, frozenset("xu"): 1, frozenset("zu"): 2,
+            frozenset("yz"): 2,
+            frozenset("xyu"): 2, frozenset("xzu"): 2,
+            frozenset("xyzu"): 3,
+        }
+        h = LatticeFunction.from_mapping(lat, values)
+        coloring = coloring_from_polymatroid(h, "xyzu")
+        # The renaming of Ex. 3.8: x and u share their colors.
+        assert coloring.assignment["x"] == coloring.assignment["u"]
+        assert coloring.to_polymatroid(lat).values == h.values
+
+    def test_zero_variable_rejected(self):
+        lat = boolean_algebra("xy")
+        h = step_function(lat, lat.index(frozenset("y")))  # h(y) = 0
+        with pytest.raises(ValueError):
+            coloring_from_polymatroid(h, "xy")
+
+    def test_non_normal_rejected(self):
+        lat, _ = m3_query_lattice()
+        h = LatticeFunction.from_mapping(
+            lat, {"x": 1, "y": 1, "z": 1, "1": 2}
+        )
+        with pytest.raises(ValueError):
+            coloring_from_polymatroid(h, "xyz")
+
+
+class TestColorNumberBound:
+    def test_equals_coatomic(self):
+        for lat, inputs in [fig1_lattice(), m3_query_lattice()]:
+            logs = {name: 1.0 for name in inputs}
+            assert color_number_bound_log2(
+                lat, inputs, logs
+            ) == pytest.approx(coatomic_bound_log2(lat, inputs, logs))
+
+    def test_m3_gap_reproduced(self):
+        """GLVV's coloring bound gives 3/2 on M3 while the true worst case
+        is 2 — the Sec. 4.3 limitation of colorings."""
+        lat, inputs = m3_query_lattice()
+        logs = {name: 1.0 for name in inputs}
+        assert color_number_bound_log2(lat, inputs, logs) == pytest.approx(1.5)

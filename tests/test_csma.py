@@ -1,0 +1,165 @@
+"""CSMA — conditional submodularity algorithm (repro.core.csma)."""
+
+import math
+
+import pytest
+
+from repro.core.csma import CSMAError, build_csm_proof, csma
+from repro.datagen.from_lattice import worst_case_database
+from repro.datagen.product import random_database
+from repro.datagen.worstcase import (
+    grid_instance_example_5_5,
+    skew_instance_example_5_8,
+)
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.lattice.builders import fig9_lattice, lattice_from_query
+from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+from repro.query.query import triangle_query
+
+
+def reference(query, db):
+    out, _ = binary_join_plan(query, db)
+    return set(out.project(tuple(sorted(query.variables))).tuples)
+
+
+def fig9_setup(scale=2):
+    lat0, inp0 = fig9_lattice()
+    query, db, h = worst_case_database(lat0, inp0, scale=scale)
+    lattice, inputs = lattice_from_query(query)
+    return query, db, lattice, inputs
+
+
+class TestProofConstruction:
+    def test_fig9_proof_reaches_top(self):
+        query, db, lattice, inputs = fig9_setup()
+        logs = {name: 1.0 for name in inputs}
+        program = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+        solution = program.solve()
+        rules = build_csm_proof(
+            lattice, solution.dual,
+            [(lattice.bottom, r) for r in inputs.values()],
+        )
+        assert rules  # non-empty
+        kinds = {r.kind for r in rules}
+        assert "SM" in kinds  # Fig. 9 needs SM-rules
+        assert "CD" in kinds  # ... preceded by decompositions
+
+    def test_triangle_proof(self):
+        query = triangle_query()
+        lattice, inputs = lattice_from_query(query)
+        logs = {name: 1.0 for name in inputs}
+        solution = ConditionalLLP.from_cardinalities(
+            lattice, inputs, logs
+        ).solve()
+        rules = build_csm_proof(
+            lattice, solution.dual,
+            [(lattice.bottom, r) for r in inputs.values()],
+        )
+        assert rules
+
+
+class TestCorrectness:
+    def test_triangle(self):
+        query = triangle_query()
+        db = random_database(query, 150, seed=2)
+        lattice, inputs = lattice_from_query(query)
+        result = csma(query, db, lattice, inputs)
+        assert set(result.relation.tuples) == reference(query, db)
+        assert result.stats.fallbacks == 0
+
+    def test_fig9_worst_case(self):
+        query, db, lattice, inputs = fig9_setup(scale=3)
+        result = csma(query, db, lattice, inputs)
+        assert set(result.relation.tuples) == reference(query, db)
+        assert len(result.relation) == 27  # scale^{h(1̂)} = 3³
+        assert result.stats.fallbacks == 0
+
+    def test_grid_instance(self):
+        query, db = grid_instance_example_5_5(49)
+        lattice, inputs = lattice_from_query(query)
+        result = csma(query, db, lattice, inputs)
+        assert set(result.relation.tuples) == reference(query, db)
+
+    def test_skew_instance(self):
+        query, db = skew_instance_example_5_8(60)
+        lattice, inputs = lattice_from_query(query)
+        result = csma(query, db, lattice, inputs)
+        assert set(result.relation.tuples) == reference(query, db)
+
+    def test_empty_db(self):
+        query = triangle_query()
+        db = random_database(query, 0, seed=0)
+        lattice, inputs = lattice_from_query(query)
+        result = csma(query, db, lattice, inputs)
+        assert len(result.relation) == 0
+
+
+class TestDegreeBounds:
+    """Sec. 1.2 / Prop. 5.32: known max degrees tighten the bound and the
+    algorithm exploits them."""
+
+    def _bounded_triangle(self, n, d):
+        query = triangle_query()
+        nodes = max(2, n // d)
+        r = {(x, (x * 7 + k) % nodes) for x in range(nodes) for k in range(d)}
+        import random
+
+        rng = random.Random(0)
+        s = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+        t = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+        db = Database(
+            [
+                Relation("R", ("x", "y"), r),
+                Relation("S", ("y", "z"), s),
+                Relation("T", ("z", "x"), t),
+            ]
+        )
+        return query, db, d
+
+    def test_cllp_bound_drops(self):
+        query, db, d = self._bounded_triangle(300, 3)
+        lattice, inputs = lattice_from_query(query)
+        logs = db.log_sizes()
+        base = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+        plain, _ = base.solve_primal()
+        x = lattice.index(frozenset("x"))
+        xy = lattice.index(frozenset("xy"))
+        bounded = base.with_constraint(DegreeConstraint(x, xy, math.log2(d)))
+        tightened, _ = bounded.solve_primal()
+        assert tightened < plain - 0.5
+
+    def test_csma_with_degree_constraint(self):
+        query, db, d = self._bounded_triangle(300, 3)
+        lattice, inputs = lattice_from_query(query)
+        x = lattice.index(frozenset("x"))
+        xy = lattice.index(frozenset("xy"))
+        dc = DegreeConstraint(x, xy, math.log2(d), guard="R")
+        result = csma(query, db, lattice, inputs, extra_degree_constraints=[dc])
+        assert set(result.relation.tuples) == reference(query, db)
+        assert result.stats.fallbacks == 0
+
+    def test_constraint_without_guard_rejected(self):
+        query, db, d = self._bounded_triangle(50, 2)
+        lattice, inputs = lattice_from_query(query)
+        x = lattice.index(frozenset("x"))
+        xy = lattice.index(frozenset("xy"))
+        dc = DegreeConstraint(x, xy, 1.0, guard=None)
+        with pytest.raises(CSMAError):
+            csma(query, db, lattice, inputs, extra_degree_constraints=[dc])
+
+
+class TestComplexityShape:
+    def test_fig9_work_shape(self):
+        """Thm. 5.37 shape: CSMA's work on Fig. 9 scales near N^{3/2},
+        clearly below the chain bound N²."""
+        works = []
+        sizes = []
+        for scale in (3, 6):
+            query, db, lattice, inputs = fig9_setup(scale=scale)
+            result = csma(query, db, lattice, inputs)
+            works.append(max(1, result.stats.tuples_touched))
+            sizes.append(len(db["M"]))
+        exponent = math.log(works[1] / works[0]) / math.log(sizes[1] / sizes[0])
+        assert exponent < 1.85  # comfortably below quadratic

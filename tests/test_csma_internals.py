@@ -1,0 +1,191 @@
+"""CSMA internals: proof construction, pruning, CD partitioning, restarts."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.csma import (
+    CSMAError,
+    CSMRule,
+    _Branch,
+    _execute_cd,
+    build_csm_proof,
+    csma,
+)
+from repro.engine.database import Database
+from repro.engine.ops import WorkCounter
+from repro.engine.relation import Relation
+from repro.lattice.builders import lattice_from_query
+from repro.lp.cllp import ConditionalLLP, DualCLLP
+from repro.query.query import triangle_query
+
+
+def triangle_setup():
+    query = triangle_query()
+    lattice, inputs = lattice_from_query(query)
+    return query, lattice, inputs
+
+
+class TestProofConstruction:
+    def test_rules_reference_valid_elements(self):
+        query, lattice, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        solution = ConditionalLLP.from_cardinalities(
+            lattice, inputs, logs
+        ).solve()
+        rules = build_csm_proof(
+            lattice, solution.dual,
+            [(lattice.bottom, r) for r in inputs.values()],
+        )
+        for rule in rules:
+            assert 0 <= rule.x < lattice.n
+            assert 0 <= rule.y < lattice.n
+            if rule.kind == "CD":
+                assert lattice.lt(rule.x, rule.y)
+
+    def test_last_effective_rule_produces_top(self):
+        query, lattice, inputs = triangle_setup()
+        logs = {name: 1.0 for name in inputs}
+        solution = ConditionalLLP.from_cardinalities(
+            lattice, inputs, logs
+        ).solve()
+        rules = build_csm_proof(
+            lattice, solution.dual,
+            [(lattice.bottom, r) for r in inputs.values()],
+        )
+        last = rules[-1]
+        if last.kind == "SM":
+            assert lattice.join(last.x, last.y) == lattice.top
+        else:
+            assert last.y == lattice.top
+
+    def test_empty_dual_raises(self):
+        query, lattice, inputs = triangle_setup()
+        empty = DualCLLP(lattice, {}, {}, {})
+        with pytest.raises(CSMAError):
+            build_csm_proof(lattice, empty, [])
+
+    def test_describe_renders(self):
+        query, lattice, inputs = triangle_setup()
+        x = lattice.index(frozenset("x"))
+        xy = lattice.index(frozenset("xy"))
+        assert "CD" in CSMRule("CD", x, xy).describe(lattice)
+        assert "→" in CSMRule("CC", x, xy).describe(lattice)
+        yz = lattice.index(frozenset("yz"))
+        assert "SM" in CSMRule("SM", xy, yz).describe(lattice)
+
+
+class TestCDPartitioning:
+    def test_buckets_cover_table(self):
+        """Lemma 5.35: buckets partition the guard and bound the degree."""
+        query, lattice, inputs = triangle_setup()
+        rng = random.Random(0)
+        tuples = {(rng.randrange(6), rng.randrange(40)) for _ in range(120)}
+        table = Relation("R", ("x", "y"), tuples)
+        branch = _Branch(
+            tables={inputs["R"]: table}, degree_guards={}
+        )
+        x_el = lattice.index(frozenset("x"))
+        rule = CSMRule("CD", x_el, inputs["R"])
+        children = _execute_cd(branch, rule, lattice, WorkCounter())
+        total = sum(len(c.tables[inputs["R"]]) for c in children)
+        assert total == len(table)
+        # Within each bucket: degree range [2^j, 2^{j+1}).
+        for child in children:
+            sub = child.tables[inputs["R"]]
+            degrees = [
+                sub.degree({"x": v}) for v in sub.distinct_values("x")
+            ]
+            assert max(degrees) < 2 * max(1, min(degrees))
+
+    def test_bucket_count_logarithmic(self):
+        query, lattice, inputs = triangle_setup()
+        tuples = [(0, k) for k in range(64)] + [(j, 0) for j in range(1, 65)]
+        table = Relation("R", ("x", "y"), tuples)
+        branch = _Branch(tables={inputs["R"]: table}, degree_guards={})
+        x_el = lattice.index(frozenset("x"))
+        children = _execute_cd(
+            branch, CSMRule("CD", x_el, inputs["R"]), lattice, WorkCounter()
+        )
+        assert len(children) <= 2 * math.log2(len(table)) + 2
+
+    def test_missing_guard_raises(self):
+        query, lattice, inputs = triangle_setup()
+        branch = _Branch(tables={}, degree_guards={})
+        x_el = lattice.index(frozenset("x"))
+        with pytest.raises(CSMAError):
+            _execute_cd(
+                branch, CSMRule("CD", x_el, inputs["R"]), lattice,
+                WorkCounter(),
+            )
+
+
+class TestRestarts:
+    def _skewed_db(self, n=300, seed=0):
+        rng = random.Random(seed)
+        nodes = 40
+        s = {(0, z) for z in range(n // 2)} | {
+            (rng.randrange(nodes), rng.randrange(nodes))
+            for _ in range(n // 2)
+        }
+        r = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+        t = {(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(n)}
+        return Database(
+            [
+                Relation("R", ("x", "y"), r),
+                Relation("S", ("y", "z"), s),
+                Relation("T", ("z", "x"), t),
+            ]
+        )
+
+    def test_zero_theta_restarts_and_stays_correct(self):
+        query, lattice, inputs = triangle_setup()
+        db = self._skewed_db()
+        result = csma(query, db, lattice, inputs, theta_bits=0.0)
+        from repro.engine.binary_join import binary_join_plan
+
+        ref, _ = binary_join_plan(query, db)
+        assert set(result.relation.tuples) == set(
+            ref.project(result.relation.schema).tuples
+        )
+        assert result.stats.restarts >= 1
+        assert result.stats.fallbacks == 0
+
+    def test_loose_theta_no_restarts(self):
+        query, lattice, inputs = triangle_setup()
+        db = self._skewed_db()
+        result = csma(query, db, lattice, inputs, theta_bits=8.0)
+        assert result.stats.restarts == 0
+
+    def test_fallback_cap_respected(self):
+        """With max_restarts=0 a budget violation goes straight to the
+        (sound) fallback; output must still be correct."""
+        query, lattice, inputs = triangle_setup()
+        db = self._skewed_db()
+        result = csma(
+            query, db, lattice, inputs, theta_bits=0.0, max_restarts=0
+        )
+        from repro.engine.binary_join import binary_join_plan
+
+        ref, _ = binary_join_plan(query, db)
+        assert set(result.relation.tuples) == set(
+            ref.project(result.relation.schema).tuples
+        )
+        assert result.stats.fallbacks >= 1
+
+
+class TestBranchMeasurement:
+    def test_measured_constraints_shape(self):
+        query, lattice, inputs = triangle_setup()
+        table = Relation("R", ("x", "y"), [(1, 2), (1, 3)])
+        branch = _Branch(
+            tables={inputs["R"]: table},
+            degree_guards={(lattice.index(frozenset("x")), inputs["R"]): table},
+        )
+        constraints = branch.measured_constraints(lattice)
+        bounds = {(dc.x, dc.y): dc.bound for dc in constraints}
+        assert bounds[(lattice.bottom, inputs["R"])] == pytest.approx(1.0)
+        assert bounds[
+            (lattice.index(frozenset("x")), inputs["R"])
+        ] == pytest.approx(1.0)

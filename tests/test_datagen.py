@@ -1,0 +1,151 @@
+"""Instance generators (repro.datagen)."""
+
+import math
+
+import pytest
+
+from repro.datagen.from_lattice import (
+    BOTTOM,
+    database_from_world,
+    join_irreducible_names,
+    query_from_lattice,
+    worst_case_database,
+)
+from repro.datagen.product import product_database, random_database
+from repro.datagen.worstcase import (
+    colored_degree_triangle,
+    fig4_instance,
+    grid_instance_example_5_5,
+    m3_modular_instance,
+    skew_instance_example_5_8,
+)
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import (
+    fig1_lattice,
+    fig4_lattice,
+    fig9_lattice,
+    lattice_from_query,
+    m3,
+)
+from repro.query.query import triangle_query
+
+
+class TestProductRandom:
+    def test_product_sizes(self):
+        query = triangle_query()
+        db = product_database(query, {"x": 2, "y": 3, "z": 5})
+        assert len(db["R"]) == 6
+        assert len(db["S"]) == 15
+        assert len(db["T"]) == 10
+
+    def test_product_output_is_cross_product(self):
+        query = triangle_query()
+        db = product_database(query, {"x": 2, "y": 3, "z": 5})
+        out, _ = generic_join(query, db)
+        assert len(out) == 30
+
+    def test_random_deterministic(self):
+        query = triangle_query()
+        a = random_database(query, 50, seed=9)
+        b = random_database(query, 50, seed=9)
+        assert set(a["R"].tuples) == set(b["R"].tuples)
+
+
+class TestWorstcase:
+    def test_skew_shapes(self):
+        query, db = skew_instance_example_5_8(100)
+        assert len(db["R"]) == 99  # {(1,i)} ∪ {(i,1)} with (1,1) shared
+        out, _ = binary_join_plan(query, db)
+        # Output is Θ(N): the x=1 and z=1 stars joined at (1,1).
+        assert len(out) >= 50
+
+    def test_grid_output_n_three_halves(self):
+        query, db = grid_instance_example_5_5(49)
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 7 ** 3
+
+    def test_m3_modular_instance(self):
+        query, db = m3_modular_instance(10)
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 100  # N² (Ex. 5.12)
+        # Every tuple satisfies x + y + z = 0 mod N.
+        pos = {a: i for i, a in enumerate(out.schema)}
+        for t in out.tuples:
+            assert (t[pos["x"]] + t[pos["y"]] + t[pos["z"]]) % 10 == 0
+
+    def test_fig4_instance_sizes(self):
+        query, db = fig4_instance(64)
+        assert all(size == 64 for size in db.sizes().values())
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 4 ** 4  # m^4 = N^{4/3}
+
+    def test_colored_triangle_degrees(self):
+        query, db = colored_degree_triangle(200, d1=3, d2=4)
+        assert db["R"].max_degree(("x",)) <= 3
+        assert db["R"].max_degree(("y",)) <= 4
+        assert len(db["C1"]) == 3
+        assert len(db["C2"]) == 4
+        # The fds of query (2) hold: x,c1 -> y.
+        assert db.observed_degree_bound("R", ("x", "c1"), ("y",)) <= 1
+
+
+class TestFromLattice:
+    def test_names(self):
+        lat, _ = fig9_lattice()
+        names = join_irreducible_names(lat)
+        assert set(names) == {"d", "e", "f", "m", "n", "o", "p", "s", "t"}
+
+    def test_query_lattice_roundtrip_fig9(self):
+        lat, inputs = fig9_lattice()
+        query, _ = query_from_lattice(lat, inputs)
+        lat2, _ = lattice_from_query(query)
+        assert len(lat2) == len(lat)
+
+    def test_query_lattice_roundtrip_fig1(self):
+        lat, inputs = fig1_lattice()
+        query, _ = query_from_lattice(lat, inputs)
+        lat2, _ = lattice_from_query(query)
+        assert len(lat2) == len(lat)
+
+    def test_query_lattice_roundtrip_m3(self):
+        lat = m3()
+        inputs = {"R": lat.index("x"), "S": lat.index("y"), "T": lat.index("z")}
+        query, _ = query_from_lattice(lat, inputs)
+        lat2, _ = lattice_from_query(query)
+        assert len(lat2) == len(lat)
+
+    def test_worst_case_database_fig9(self):
+        lat, inputs = fig9_lattice()
+        query, db, h = worst_case_database(lat, inputs, scale=2)
+        # h is the doubled optimum: h(1̂) = 3, inputs at 2.
+        assert h.values[h.lattice.top] == 3
+        assert all(size == 4 for size in db.sizes().values())
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 8  # scale^{h(1̂)}
+
+    def test_worst_case_database_fig4(self):
+        lat, inputs = fig4_lattice()
+        query, db, h = worst_case_database(lat, inputs, scale=2)
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 2 ** int(h.values[h.lattice.top])
+
+    def test_worst_case_m3_rejected(self):
+        # The optimal M3 polymatroid is not normal: no quasi-product
+        # worst case exists (Sec. 4.3).
+        lat = m3()
+        inputs = {"R": lat.index("x"), "S": lat.index("y"), "T": lat.index("z")}
+        with pytest.raises(ValueError):
+            worst_case_database(lat, inputs, scale=2)
+
+    def test_database_from_world_udf_miss_is_bottom(self):
+        lat, inputs = fig1_lattice()
+        from repro.datagen.from_lattice import query_from_lattice
+
+        query, _ = query_from_lattice(lat, inputs)
+        world_vars = tuple(sorted(join_irreducible_names(lat)))
+        world = [(0, 0, 0, 0), (1, 1, 1, 1)]
+        db = database_from_world(query, world_vars, world)
+        udf = next(iter(db.udfs))
+        missing = udf(*([99] * len(udf.inputs)))
+        assert missing == BOTTOM

@@ -1,0 +1,175 @@
+"""Embeddings and quasi-product instances (repro.lattice.embedding)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lattice.builders import boolean_algebra, fig1_lattice, m3
+from repro.lattice.embedding import (
+    Embedding,
+    canonical_embedding,
+    entropy_matches,
+    is_embedding,
+    quasi_product_instance,
+    variable_join_irreducible,
+)
+from repro.lattice.polymatroid import LatticeFunction, step_function
+
+
+def fig1_renaming_embedding():
+    """Example 3.8: L(x)=L(u)=a, L(y)=b, L(z)=c embeds Fig. 1 into 2^{abc}."""
+    source, _ = fig1_lattice()
+    target = boolean_algebra("abc")
+    renaming = {"x": "a", "u": "a", "y": "b", "z": "c"}
+    mapping = []
+    for element in source.elements:
+        image = frozenset(renaming[v] for v in element)
+        mapping.append(target.index(image))
+    return source, target, tuple(mapping)
+
+
+class TestIsEmbedding:
+    def test_fig1_renaming_is_embedding(self):
+        source, target, mapping = fig1_renaming_embedding()
+        assert is_embedding(source, target, mapping)
+
+    def test_identity_is_embedding(self):
+        lat = boolean_algebra("xy")
+        assert is_embedding(lat, lat, tuple(range(lat.n)))
+
+    def test_wrong_top_rejected(self):
+        lat = boolean_algebra("xy")
+        mapping = [lat.bottom] * lat.n
+        assert not is_embedding(lat, lat, mapping)
+
+    def test_join_violation_rejected(self):
+        lat = boolean_algebra("xy")
+        # Swap x and top: join(x, y) = top must map to join of images.
+        mapping = list(range(lat.n))
+        x = lat.index(frozenset("x"))
+        mapping[x] = lat.top
+        mapping[lat.top] = lat.top
+        # f(x ∨ y) = top -> ok, but f(x) ∨ f(y) = top ∨ y = top: fine;
+        # break instead f(bottom):
+        mapping[lat.bottom] = x
+        assert not is_embedding(lat, lat, mapping)
+
+
+class TestPullback:
+    def test_pullback_preserves_submodularity(self):
+        source, target, mapping = fig1_renaming_embedding()
+        h_target = LatticeFunction.from_mapping(
+            target,
+            {
+                frozenset("a"): Fraction(1, 2),
+                frozenset("b"): Fraction(1, 2),
+                frozenset("c"): Fraction(1, 2),
+                frozenset("ab"): 1, frozenset("ac"): 1, frozenset("bc"): 1,
+                frozenset("abc"): Fraction(3, 2),
+            },
+        )
+        emb = Embedding(source, target, mapping)
+        h = emb.pull_back(h_target)
+        assert h.is_polymatroid()
+        assert h.values[source.top] == Fraction(3, 2)
+        # Example 4.6: this is exactly the Fig. 1 optimal polymatroid.
+        assert h.at(frozenset("xy")) == 1
+        assert h.at(frozenset("x")) == Fraction(1, 2)
+
+    def test_pullback_of_normal_is_normal(self):
+        # Lemma 4.3.
+        source, target, mapping = fig1_renaming_embedding()
+        h_target = step_function(target, target.index(frozenset("ab"))).scale(2)
+        emb = Embedding(source, target, mapping)
+        assert emb.pull_back(h_target).is_normal()
+
+
+class TestVariableJoinIrreducible:
+    def test_fig1_x_plus(self):
+        lat, _ = fig1_lattice()
+        assert lat.label(variable_join_irreducible(lat, "x")) == frozenset("x")
+
+    def test_missing_variable(self):
+        lat, _ = fig1_lattice()
+        with pytest.raises(KeyError):
+            variable_join_irreducible(lat, "w")
+
+
+class TestCanonicalEmbedding:
+    def test_color_counts_match_h(self):
+        lat, _ = fig1_lattice()
+        # The doubled Fig. 1 optimum is integral: h(1̂) = 3.
+        h = _fig1_doubled_optimum(lat)
+        coloring = canonical_embedding(h)
+        for x in range(lat.n):
+            assert coloring.color_count(x) == h.values[x]
+
+    def test_non_integral_rejected(self):
+        lat = boolean_algebra("xy")
+        h = step_function(lat, lat.bottom).scale(Fraction(1, 2))
+        with pytest.raises(ValueError):
+            canonical_embedding(h)
+
+    def test_non_normal_rejected(self):
+        lat = m3()
+        h = LatticeFunction.from_mapping(
+            lat, {"x": 1, "y": 1, "z": 1, "1": 2}
+        )
+        with pytest.raises(ValueError):
+            canonical_embedding(h)
+
+
+def _fig1_doubled_optimum(lat) -> LatticeFunction:
+    """2 × the Fig. 1 optimal polymatroid (integral, normal)."""
+    values = {
+        frozenset(): 0,
+        frozenset("x"): 1, frozenset("y"): 1, frozenset("z"): 1,
+        frozenset("u"): 1,
+        frozenset("xy"): 2, frozenset("xu"): 1, frozenset("zu"): 2,
+        frozenset("yz"): 2,
+        frozenset("xyu"): 2, frozenset("xzu"): 2,
+        frozenset("xyzu"): 3,
+    }
+    return LatticeFunction.from_mapping(lat, values)
+
+
+class TestQuasiProduct:
+    def test_fig1_materialization(self):
+        """Example 3.8/4.6: the quasi-product instance for the doubled
+        optimum has side^3 tuples and matches the entropy profile."""
+        lat, _ = fig1_lattice()
+        h = _fig1_doubled_optimum(lat)
+        variables, tuples = quasi_product_instance(h, base=2)
+        assert len(tuples) == 2 ** 3
+        assert entropy_matches(h, variables, tuples, base=2)
+
+    def test_fd_holds_in_instance(self):
+        # xz -> u must hold in the materialized instance.
+        lat, _ = fig1_lattice()
+        h = _fig1_doubled_optimum(lat)
+        variables, tuples = quasi_product_instance(h, base=2)
+        pos = {v: i for i, v in enumerate(variables)}
+        seen = {}
+        for t in tuples:
+            key = (t[pos["x"]], t[pos["z"]])
+            assert seen.setdefault(key, t[pos["u"]]) == t[pos["u"]]
+
+    def test_product_instance_boolean(self):
+        # On a Boolean algebra with a modular h, the construction gives a
+        # plain product instance.
+        lat = boolean_algebra("xy")
+        h = LatticeFunction.from_mapping(
+            lat,
+            {frozenset("x"): 1, frozenset("y"): 2, frozenset("xy"): 3},
+        )
+        variables, tuples = quasi_product_instance(h, base=2)
+        assert len(tuples) == 8
+        assert entropy_matches(h, variables, tuples, base=2)
+
+    def test_bigger_base(self):
+        lat = boolean_algebra("xy")
+        h = LatticeFunction.from_mapping(
+            lat, {frozenset("x"): 1, frozenset("y"): 1, frozenset("xy"): 2}
+        )
+        variables, tuples = quasi_product_instance(h, base=5)
+        assert len(tuples) == 25

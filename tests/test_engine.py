@@ -1,0 +1,221 @@
+"""Relations, operators, databases, the expansion procedure (repro.engine)."""
+
+import pytest
+
+from repro.engine.database import Database, ExpansionError
+from repro.engine.ops import (
+    WorkCounter,
+    cross_product,
+    intersect,
+    natural_join,
+    semijoin,
+    union_all,
+)
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF
+
+
+@pytest.fixture
+def r():
+    return Relation("R", ("x", "y"), [(1, 10), (1, 20), (2, 10)])
+
+
+@pytest.fixture
+def s():
+    return Relation("S", ("y", "z"), [(10, 100), (20, 200), (30, 300)])
+
+
+class TestRelation:
+    def test_dedup(self):
+        rel = Relation("R", ("x",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation("R", ("x", "y"), [(1,)])
+
+    def test_duplicate_attrs(self):
+        with pytest.raises(ValueError):
+            Relation("R", ("x", "x"), [])
+
+    def test_contains(self, r):
+        assert (1, 10) in r
+        assert (9, 9) not in r
+
+    def test_project(self, r):
+        assert set(r.project(("x",)).tuples) == {(1,), (2,)}
+
+    def test_project_reorders(self, r):
+        assert set(r.project(("y", "x")).tuples) == {(10, 1), (20, 1), (10, 2)}
+
+    def test_rename(self, r):
+        renamed = r.rename({"x": "a"})
+        assert renamed.schema == ("a", "y")
+        assert renamed.tuples == r.tuples
+
+    def test_select(self, r):
+        assert set(r.select({"x": 1}).tuples) == {(1, 10), (1, 20)}
+
+    def test_restrict(self, r):
+        out = r.restrict(lambda row: row["y"] > 10)
+        assert set(out.tuples) == {(1, 20)}
+
+    def test_matching(self, r):
+        assert set(r.matching({"x": 1})) == {(1, 10), (1, 20)}
+        assert r.matching({"x": 3}) == []
+
+    def test_degree(self, r):
+        assert r.degree({"x": 1}) == 2
+        assert r.degree({"x": 2}) == 1
+        assert r.degree({}) == 3
+
+    def test_max_degree(self, r):
+        assert r.max_degree(("x",)) == 2
+        assert r.max_degree(("y",)) == 2
+        assert r.max_degree(()) == 3
+
+    def test_distinct_values(self, r):
+        assert set(r.distinct_values("y")) == {10, 20}
+
+    def test_empty_schema_unit(self):
+        unit = Relation("U", (), [()])
+        assert len(unit) == 1
+        assert unit.degree({}) == 1
+
+
+class TestOperators:
+    def test_natural_join(self, r, s):
+        out = natural_join(r, s)
+        assert set(out.tuples) == {
+            (1, 10, 100), (1, 20, 200), (2, 10, 100)
+        }
+        assert out.schema == ("x", "y", "z")
+
+    def test_join_counter(self, r, s):
+        counter = WorkCounter()
+        natural_join(r, s, counter=counter)
+        assert counter.tuples_touched == 3
+
+    def test_semijoin(self, r):
+        filt = Relation("F", ("y",), [(10,)])
+        assert set(semijoin(r, filt).tuples) == {(1, 10), (2, 10)}
+
+    def test_semijoin_disjoint_nonempty(self, r):
+        other = Relation("O", ("w",), [(5,)])
+        assert len(semijoin(r, other)) == len(r)
+
+    def test_semijoin_disjoint_empty(self, r):
+        other = Relation("O", ("w",), [])
+        assert len(semijoin(r, other)) == 0
+
+    def test_intersect(self):
+        a = Relation("A", ("x", "y"), [(1, 2), (3, 4)])
+        b = Relation("B", ("y", "x"), [(2, 1), (9, 9)])
+        assert set(intersect(a, b).tuples) == {(1, 2)}
+
+    def test_intersect_schema_mismatch(self, r, s):
+        with pytest.raises(ValueError):
+            intersect(r, s)
+
+    def test_union_all(self):
+        a = Relation("A", ("x",), [(1,)])
+        b = Relation("B", ("x",), [(2,), (1,)])
+        assert set(union_all([a, b]).tuples) == {(1,), (2,)}
+
+    def test_cross_product(self):
+        a = Relation("A", ("x",), [(1,), (2,)])
+        b = Relation("B", ("y",), [(9,)])
+        assert set(cross_product(a, b).tuples) == {(1, 9), (2, 9)}
+
+    def test_cross_product_shared_rejected(self, r):
+        with pytest.raises(ValueError):
+            cross_product(r, r)
+
+
+class TestDatabase:
+    def test_sizes(self, r, s):
+        db = Database([r, s])
+        assert db.sizes() == {"R": 3, "S": 3}
+        assert db.total_size == 6
+
+    def test_duplicate_name_rejected(self, r):
+        db = Database([r])
+        with pytest.raises(ValueError):
+            db.add(Relation("R", ("a",), []))
+
+    def test_guard_relation(self, r, s):
+        db = Database([r, s], fds=FDSet([FD("y", "z")]))
+        guard = db.guard_relation(FD("y", "z"))
+        assert guard is not None and guard.name == "S"
+
+    def test_no_guard(self, r):
+        db = Database([r], fds=FDSet([FD("x", "w")]))
+        assert db.guard_relation(FD("x", "w")) is None
+
+    def test_observed_degree_bound(self, r):
+        db = Database([r])
+        assert db.observed_degree_bound("R", ("x",), ("y",)) == 2
+
+
+class TestExpansion:
+    def test_guarded_expansion(self, r, s):
+        # y -> z guarded by S: R(x, y) expands to R(x, y, z).
+        db = Database([r, s], fds=FDSet([FD("y", "z")]))
+        expanded = db.expand_relation(r)
+        assert set(expanded.schema) == {"x", "y", "z"}
+        assert set(expanded.tuples) == {
+            (1, 10, 100), (1, 20, 200), (2, 10, 100)
+        }
+
+    def test_guarded_expansion_drops_dangling(self):
+        r = Relation("R", ("x", "y"), [(1, 10), (2, 99)])  # 99 not in S
+        s = Relation("S", ("y", "z"), [(10, 100)])
+        db = Database([r, s], fds=FDSet([FD("y", "z")]))
+        expanded = db.expand_relation(r)
+        assert set(expanded.tuples) == {(1, 10, 100)}
+
+    def test_udf_expansion(self, r):
+        db = Database([r], udfs=[UDF("f", ("x", "y"), "s", lambda x, y: x + y)])
+        expanded = db.expand_relation(r)
+        assert set(expanded.schema) == {"x", "y", "s"}
+        assert (1, 10, 11) in set(expanded.tuples)
+
+    def test_missing_guard_raises(self, r):
+        db = Database([r], fds=FDSet([FD("x", "w")]))
+        with pytest.raises(ExpansionError):
+            db.expand_relation(r)
+
+    def test_expand_tuple_guarded(self, r, s):
+        db = Database([r, s], fds=FDSet([FD("y", "z")]))
+        out = db.expand_tuple({"x": 1, "y": 10})
+        assert out == {"x": 1, "y": 10, "z": 100}
+
+    def test_expand_tuple_dangling_returns_none(self, r, s):
+        db = Database([r, s], fds=FDSet([FD("y", "z")]))
+        assert db.expand_tuple({"x": 1, "y": 999}) is None
+
+    def test_expand_tuple_udf_chain(self):
+        db = Database(
+            [Relation("R", ("x",), [(1,)])],
+            udfs=[
+                UDF("f", ("x",), "y", lambda x: x + 1),
+                UDF("g", ("y",), "z", lambda y: y * 10),
+            ],
+        )
+        assert db.expand_tuple({"x": 1}) == {"x": 1, "y": 2, "z": 20}
+
+    def test_expand_tuple_with_target(self, r, s):
+        db = Database(
+            [r, s],
+            fds=FDSet([FD("y", "z")]),
+            udfs=[UDF("f", ("z",), "w", lambda z: -z)],
+        )
+        partial = db.expand_tuple({"x": 1, "y": 10}, target=frozenset("xyz"))
+        assert partial == {"x": 1, "y": 10, "z": 100}
+
+    def test_udf_consistent(self):
+        db = Database([], udfs=[UDF("f", ("x",), "y", lambda x: x + 1)])
+        assert db.udf_consistent({"x": 1, "y": 2})
+        assert not db.udf_consistent({"x": 1, "y": 3})
+        assert db.udf_consistent({"x": 1})  # udf not fully covered

@@ -1,0 +1,130 @@
+"""Information-theoretic layer (repro.lattice.entropy)."""
+
+import math
+
+import pytest
+
+from repro.lattice.builders import boolean_algebra
+from repro.lattice.entropy import (
+    Distribution,
+    entropy_upper_bounds_output,
+    output_distribution,
+    section2_example,
+)
+
+
+class TestDistribution:
+    def test_uniform_entropy(self):
+        d = Distribution.uniform(("x",), [(1,), (2,), (3,), (4,)])
+        assert d.entropy() == pytest.approx(2.0)
+
+    def test_weighted(self):
+        d = Distribution(("x",), {(0,): 0.5, (1,): 0.5})
+        assert d.entropy() == pytest.approx(1.0)
+
+    def test_probabilities_must_sum(self):
+        with pytest.raises(ValueError):
+            Distribution(("x",), {(0,): 0.7})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution(("x",), {(0,): 1.5, (1,): -0.5})
+
+    def test_duplicate_tuples_merge(self):
+        d = Distribution.uniform(("x",), [(1,), (1,), (2,), (2,)])
+        assert d.entropy() == pytest.approx(1.0)
+
+    def test_marginal(self):
+        d = Distribution.uniform(("x", "y"), [(0, 0), (0, 1), (1, 0)])
+        marginal = d.marginal(("x",))
+        assert marginal[(0,)] == pytest.approx(2 / 3)
+
+    def test_deterministic_variable_zero_conditional(self):
+        d = Distribution.uniform(
+            ("x", "y"), [(0, 0), (1, 2), (2, 4)]
+        )  # y = 2x
+        assert d.conditional_entropy(("y",), ("x",)) == pytest.approx(0.0)
+        assert d.satisfies_fd(("x",), ("y",))
+
+    def test_independent_variables(self):
+        d = Distribution.uniform(
+            ("x", "y"), [(a, b) for a in (0, 1) for b in (0, 1)]
+        )
+        assert d.mutual_information(("x",), ("y",)) == pytest.approx(0.0)
+
+    def test_xor_mutual_information(self):
+        d = Distribution.uniform(
+            ("x", "y", "z"), [(a, b, a ^ b) for a in (0, 1) for b in (0, 1)]
+        )
+        # Pairwise independent, jointly dependent.
+        assert d.mutual_information(("x",), ("y",)) == pytest.approx(0.0)
+        assert d.conditional_entropy(("z",), ("x", "y")) == pytest.approx(0.0)
+
+    def test_entropy_profile_is_polymatroid(self):
+        d = Distribution.uniform(
+            ("x", "y", "z"),
+            [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0), (1, 1, 1)],
+        )
+        assert d.is_polymatroid_profile()
+
+    def test_on_lattice(self):
+        b2 = boolean_algebra("xy")
+        d = Distribution.uniform(("x", "y"), [(0, 0), (1, 1)])
+        values = d.on_lattice(b2)
+        assert values[b2.top] == pytest.approx(1.0)
+
+
+class TestSection2Example:
+    def test_joint_entropy_log5(self):
+        d = section2_example()
+        assert d.entropy() == pytest.approx(math.log2(5))
+
+    def test_marginal_sizes_match_paper(self):
+        """The displayed marginals: |Π_xy| = 4, |Π_yz| = 3, |Π_xz| = 4."""
+        d = section2_example()
+        assert len(d.marginal(("x", "y"))) == 4
+        assert len(d.marginal(("y", "z"))) == 3
+        assert len(d.marginal(("x", "z"))) == 4
+
+    def test_cardinality_constraints(self):
+        """H(xy) <= log|R| = log 4 etc., as stated in Sec. 2."""
+        d = section2_example()
+        assert d.entropy(("x", "y")) <= math.log2(4) + 1e-9
+        assert d.entropy(("y", "z")) <= math.log2(4) + 1e-9
+        assert d.entropy(("x", "z")) <= math.log2(4) + 1e-9
+
+    def test_marginal_probabilities_match_figure(self):
+        d = section2_example()
+        xy = d.marginal(("x", "y"))
+        assert xy[("a", 3)] == pytest.approx(2 / 5)
+        assert xy[("b", 2)] == pytest.approx(1 / 5)
+        yz = d.marginal(("y", "z"))
+        assert yz[(3, "r")] == pytest.approx(2 / 5)
+        assert yz[(2, "q")] == pytest.approx(2 / 5)
+
+    def test_profile_polymatroid(self):
+        assert section2_example().is_polymatroid_profile()
+
+
+class TestOutputDistribution:
+    def test_glvv_premises_on_triangle_output(self):
+        # The output of the triangle on K4 satisfies the GLVV premises.
+        edges = [(i, j) for i in range(4) for j in range(4) if i != j]
+        output = [
+            (x, y, z)
+            for (x, y) in edges
+            for (y2, z) in edges
+            if y2 == y
+            for (z2, x2) in edges
+            if z2 == z and x2 == x
+        ]
+        assert entropy_upper_bounds_output(
+            output,
+            ("x", "y", "z"),
+            {"R": ("x", "y"), "S": ("y", "z"), "T": ("z", "x")},
+            {"R": len(edges), "S": len(edges), "T": len(edges)},
+        )
+
+    def test_uniform_construction(self):
+        d = output_distribution([(1, 2), (3, 4)], ("x", "y"))
+        assert d.entropy() == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Lattice extras: ideals, products, isomorphism, duals (repro.lattice.extras)."""
+
+import pytest
+
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig9_lattice,
+    lattice_from_fds,
+    m3,
+    n5,
+)
+from repro.lattice.extras import (
+    are_isomorphic,
+    dual_lattice,
+    lattice_product,
+    order_ideal_lattice,
+    poset_of_simple_fds,
+    self_dual,
+    simple_fd_lattice_via_ideals,
+)
+from repro.lattice.properties import is_distributive
+
+
+class TestOrderIdealLattice:
+    def test_antichain_gives_boolean(self):
+        lat = order_ideal_lattice(["a", "b"], [])
+        assert are_isomorphic(lat, boolean_algebra("xy"))
+
+    def test_chain_poset_gives_chain_lattice(self):
+        lat = order_ideal_lattice(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert lat.n == 4  # ∅ ⊂ {a} ⊂ {a,b} ⊂ {a,b,c}
+        assert all(len(c) <= 1 for c in lat.upper_covers)
+
+    def test_always_distributive(self):
+        # Birkhoff: any order ideal lattice is distributive.
+        lat = order_ideal_lattice(
+            ["a", "b", "c", "d"], [("a", "c"), ("b", "c"), ("b", "d")]
+        )
+        assert is_distributive(lat)
+
+
+class TestSimpleFDPoset:
+    def test_scc_collapse(self):
+        fds = FDSet([FD("a", "b"), FD("b", "a"), FD("b", "c")], "abc")
+        sccs, pairs = poset_of_simple_fds(fds)
+        assert frozenset("ab") in sccs
+        assert frozenset("c") in sccs
+
+    def test_rejects_nonsimple(self):
+        with pytest.raises(ValueError):
+            poset_of_simple_fds(FDSet([FD("ab", "c")]))
+
+    def test_prop_3_2_isomorphism(self):
+        """The order-ideal route equals the closed-set route for simple fds."""
+        for fds in [
+            FDSet([FD("a", "b")], "abc"),
+            FDSet([FD("a", "b"), FD("b", "c")], "abc"),
+            FDSet([FD("a", "c"), FD("b", "c")], "abc"),
+            FDSet([FD("a", "b"), FD("b", "a")], "abc"),
+        ]:
+            direct = lattice_from_fds(fds)
+            via_ideals = simple_fd_lattice_via_ideals(fds)
+            assert are_isomorphic(direct, via_ideals), fds
+
+
+class TestProduct:
+    def test_two_chains_make_grid(self):
+        c2 = lattice_from_fds(FDSet((), "a"))  # 2-chain
+        grid = lattice_product(c2, c2)
+        assert are_isomorphic(grid, boolean_algebra("xy"))
+
+    def test_product_size(self):
+        p = lattice_product(m3(), n5())
+        assert p.n == 25
+
+    def test_product_of_distributive_is_distributive(self):
+        a = boolean_algebra("x")
+        b = boolean_algebra("yz")
+        assert is_distributive(lattice_product(a, b))
+
+
+class TestIsomorphism:
+    def test_reflexive(self):
+        lat = fig1_lattice()[0]
+        assert are_isomorphic(lat, lat)
+
+    def test_m3_not_n5(self):
+        assert not are_isomorphic(m3(), n5())
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(m3(), boolean_algebra("xy"))
+
+    def test_same_size_different_structure(self):
+        # Both 8 elements: boolean3 vs. a product of chains 2x4.
+        c4 = order_ideal_lattice(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        c2 = lattice_from_fds(FDSet((), "a"))
+        assert not are_isomorphic(boolean_algebra("xyz"), lattice_product(c2, c4))
+
+    def test_fig9_vs_reconstruction(self):
+        from repro.datagen.from_lattice import query_from_lattice
+        from repro.lattice.builders import lattice_from_query
+
+        lat, inputs = fig9_lattice()
+        query, _ = query_from_lattice(lat, inputs)
+        lat2, _ = lattice_from_query(query)
+        assert are_isomorphic(lat, lat2)
+
+
+class TestDuals:
+    def test_boolean_self_dual(self):
+        assert self_dual(boolean_algebra("xyz"))
+
+    def test_m3_self_dual(self):
+        assert self_dual(m3())
+
+    def test_n5_self_dual(self):
+        assert self_dual(n5())
+
+    def test_dual_swaps_atoms_coatoms(self):
+        lat = fig1_lattice()[0]
+        dual = dual_lattice(lat)
+        assert len(dual.atoms) == len(lat.coatoms)
+        assert len(dual.coatoms) == len(lat.atoms)
+
+    def test_fig1_not_self_dual(self):
+        # 4 atoms vs 3 co-atoms.
+        assert not self_dual(fig1_lattice()[0])

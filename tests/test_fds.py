@@ -1,0 +1,172 @@
+"""Functional dependency machinery (repro.fds)."""
+
+from repro.fds.fd import FD, FDSet, varset
+
+
+class TestVarset:
+    def test_compact_string(self):
+        assert varset("xyz") == frozenset({"x", "y", "z"})
+
+    def test_iterable(self):
+        assert varset(["alpha", "beta"]) == frozenset({"alpha", "beta"})
+
+    def test_empty(self):
+        assert varset("") == frozenset()
+
+
+class TestFD:
+    def test_simple(self):
+        assert FD("x", "y").is_simple
+
+    def test_not_simple_lhs(self):
+        assert not FD("xy", "z").is_simple
+
+    def test_trivial(self):
+        assert FD("xy", "x").is_trivial
+
+    def test_not_trivial(self):
+        assert not FD("xy", "z").is_trivial
+
+    def test_equality_and_hash(self):
+        assert FD("xy", "z") == FD(["y", "x"], ["z"])
+        assert hash(FD("xy", "z")) == hash(FD("yx", "z"))
+
+
+class TestClosure:
+    def test_no_fds(self):
+        fds = FDSet((), "xyz")
+        assert fds.closure("x") == frozenset("x")
+
+    def test_single_step(self):
+        fds = FDSet([FD("x", "y")])
+        assert fds.closure("x") == frozenset("xy")
+
+    def test_chained(self):
+        fds = FDSet([FD("x", "y"), FD("y", "z")])
+        assert fds.closure("x") == frozenset("xyz")
+
+    def test_requires_full_lhs(self):
+        fds = FDSet([FD("xy", "z")], "xyz")
+        assert fds.closure("x") == frozenset("x")
+        assert fds.closure("xy") == frozenset("xyz")
+
+    def test_paper_example_fig1(self):
+        fds = FDSet([FD("xz", "u"), FD("yu", "x")], "xyzu")
+        assert fds.closure("xz") == frozenset("xzu")
+        assert fds.closure("yu") == frozenset("xyu")
+        assert fds.closure("xy") == frozenset("xy")
+        assert fds.closure("xyz") == frozenset("xyzu")
+
+    def test_is_closed(self):
+        fds = FDSet([FD("x", "y")], "xyz")
+        assert fds.is_closed("xy")
+        assert not fds.is_closed("x")
+
+
+class TestImplication:
+    def test_implied_transitive(self):
+        fds = FDSet([FD("x", "y"), FD("y", "z")])
+        assert fds.implies(FD("x", "z"))
+
+    def test_not_implied(self):
+        fds = FDSet([FD("x", "y")], "xyz")
+        assert not fds.implies(FD("y", "x"))
+
+    def test_trivial_always_implied(self):
+        fds = FDSet((), "xy")
+        assert fds.implies(FD("xy", "x"))
+
+    def test_equivalence(self):
+        a = FDSet([FD("x", "y"), FD("y", "z")])
+        b = FDSet([FD("x", "y"), FD("y", "z"), FD("x", "z")])
+        assert a.equivalent(b)
+
+    def test_non_equivalence(self):
+        a = FDSet([FD("x", "y")], "xyz")
+        b = FDSet([FD("x", "z")], "xyz")
+        assert not a.equivalent(b)
+
+
+class TestClosedSets:
+    def test_boolean(self):
+        fds = FDSet((), "xy")
+        assert fds.closed_sets() == {
+            frozenset(),
+            frozenset("x"),
+            frozenset("y"),
+            frozenset("xy"),
+        }
+
+    def test_fig5(self):
+        # xy -> z kills the set {x, y}.
+        fds = FDSet([FD("xy", "z")], "xyz")
+        closed = fds.closed_sets()
+        assert frozenset("xy") not in closed
+        assert frozenset("xyz") in closed
+        assert len(closed) == 7
+
+    def test_fig1_count(self):
+        fds = FDSet([FD("xz", "u"), FD("yu", "x")], "xyzu")
+        assert len(fds.closed_sets()) == 12
+
+    def test_closed_under_intersection(self):
+        fds = FDSet([FD("xz", "u"), FD("yu", "x")], "xyzu")
+        closed = fds.closed_sets()
+        for a in closed:
+            for b in closed:
+                assert a & b in closed
+
+    def test_simple_fds(self):
+        fds = FDSet([FD("a", "b")], "ab")
+        assert fds.closed_sets() == {
+            frozenset(),
+            frozenset("b"),
+            frozenset("ab"),
+        }
+
+
+class TestAllSimple:
+    def test_simple(self):
+        assert FDSet([FD("a", "b"), FD("b", "c")]).all_simple
+
+    def test_not_simple(self):
+        assert not FDSet([FD("ab", "c")]).all_simple
+
+    def test_empty_is_simple(self):
+        assert FDSet((), "ab").all_simple
+
+
+class TestRedundantVariables:
+    def test_no_redundancy(self):
+        fds = FDSet([FD("x", "y")], "xy")
+        assert fds.redundant_variables() == frozenset()
+
+    def test_mutual_determination(self):
+        # x <-> y: each is redundant given the other.
+        fds = FDSet([FD("x", "y"), FD("y", "x")])
+        assert fds.redundant_variables() == frozenset("xy")
+
+    def test_set_determination(self):
+        # ab -> c and c -> ab: c redundant.
+        fds = FDSet([FD("ab", "c"), FD("c", "ab")])
+        assert "c" in fds.redundant_variables()
+
+
+class TestMinimalCover:
+    def test_removes_implied(self):
+        fds = FDSet([FD("x", "y"), FD("y", "z"), FD("x", "z")])
+        cover = fds.minimal_cover()
+        assert cover.equivalent(fds)
+        assert len(cover) == 2
+
+    def test_splits_rhs(self):
+        fds = FDSet([FD("x", "yz")])
+        cover = fds.minimal_cover()
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert cover.equivalent(fds)
+
+    def test_trims_lhs(self):
+        fds = FDSet([FD("x", "y"), FD("xz", "y")], "xyz")
+        cover = fds.minimal_cover()
+        assert cover.equivalent(fds)
+        assert all(fd.lhs == frozenset("x") for fd in cover)

@@ -1,0 +1,251 @@
+"""Lattice data structure (repro.lattice.lattice) and builders."""
+
+import numpy as np
+import pytest
+
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig7_lattice,
+    fig8_lattice,
+    fig9_lattice,
+    lattice_from_fds,
+    lattice_from_query,
+    m3,
+    n5,
+)
+from repro.lattice.lattice import Lattice, NotALatticeError
+from repro.query.query import paper_example_query
+
+
+class TestConstruction:
+    def test_from_closed_sets_chain(self):
+        lat = Lattice.from_closed_sets(
+            [frozenset(), frozenset("a"), frozenset("ab")]
+        )
+        assert lat.n == 3
+        assert lat.bottom == lat.index(frozenset())
+        assert lat.top == lat.index(frozenset("ab"))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Lattice(["a", "a"], np.eye(2, dtype=bool))
+
+    def test_not_transitive_rejected(self):
+        leq = np.eye(3, dtype=bool)
+        leq[0, 1] = leq[1, 2] = True  # missing 0 <= 2
+        with pytest.raises(NotALatticeError):
+            Lattice(["a", "b", "c"], leq)
+
+    def test_no_meet_rejected(self):
+        # Two maximal elements: no join of the two middles, no top.
+        with pytest.raises(NotALatticeError):
+            Lattice.from_covers({"0": ["a", "b"]})
+
+    def test_from_covers_diamond(self):
+        lat = m3()
+        assert lat.n == 5
+        assert len(lat.atoms) == 3
+
+
+class TestMeetJoin:
+    def test_boolean_meet_is_intersection(self):
+        lat = boolean_algebra("xyz")
+        xy = lat.index(frozenset("xy"))
+        yz = lat.index(frozenset("yz"))
+        assert lat.label(lat.meet(xy, yz)) == frozenset("y")
+        assert lat.label(lat.join(xy, yz)) == frozenset("xyz")
+
+    def test_m3_pairwise(self):
+        lat = m3()
+        x, y, z = lat.index("x"), lat.index("y"), lat.index("z")
+        assert lat.meet(x, y) == lat.bottom
+        assert lat.join(x, y) == lat.top
+        assert lat.meet(x, z) == lat.bottom
+
+    def test_meet_all_join_all(self):
+        lat = boolean_algebra("xyz")
+        singles = [lat.index(frozenset(c)) for c in "xyz"]
+        assert lat.join_all(singles) == lat.top
+        assert lat.meet_all(singles) == lat.bottom
+
+    def test_join_idempotent(self):
+        lat = fig1_lattice()[0]
+        for i in range(lat.n):
+            assert lat.join(i, i) == i
+            assert lat.meet(i, i) == i
+
+    def test_absorption(self):
+        lat = fig4_lattice()[0]
+        for i in range(lat.n):
+            for j in range(lat.n):
+                assert lat.meet(i, lat.join(i, j)) == i
+                assert lat.join(i, lat.meet(i, j)) == i
+
+
+class TestDerivedStructure:
+    def test_boolean_atoms_coatoms(self):
+        lat = boolean_algebra("xyz")
+        assert len(lat.atoms) == 3
+        assert len(lat.coatoms) == 3
+
+    def test_boolean_join_irreducibles_are_atoms(self):
+        lat = boolean_algebra("xyzw")
+        assert set(lat.join_irreducibles) == set(lat.atoms)
+
+    def test_fig1_coatoms(self):
+        lat = fig1_lattice()[0]
+        labels = {lat.label(c) for c in lat.coatoms}
+        assert labels == {
+            frozenset("xyu"),
+            frozenset("yz"),
+            frozenset("xzu"),
+        }
+
+    def test_fig1_join_irreducibles(self):
+        # One per variable (Sec. 3.1): x+, y+, z+, u+.
+        lat = fig1_lattice()[0]
+        labels = {lat.label(j) for j in lat.join_irreducibles}
+        assert labels == {
+            frozenset("x"),
+            frozenset("y"),
+            frozenset("z"),
+            frozenset("u"),
+        }
+
+    def test_n5_structure(self):
+        lat = n5()
+        assert len(lat.atoms) == 2
+        assert len(lat.coatoms) == 2
+        assert len(lat.join_irreducibles) == 3
+
+    def test_upper_lower_covers_inverse(self):
+        lat = fig9_lattice()[0]
+        for i in range(lat.n):
+            for j in lat.upper_covers[i]:
+                assert i in lat.lower_covers[j]
+
+    def test_incomparable_pairs_symmetric_free(self):
+        lat = fig1_lattice()[0]
+        for i, j in lat.incomparable_pairs:
+            assert i < j
+            assert lat.incomparable(i, j)
+
+    def test_downset_upset(self):
+        lat = boolean_algebra("xy")
+        x = lat.index(frozenset("x"))
+        assert set(lat.downset(x)) == {lat.bottom, x}
+        assert set(lat.upset(x)) == {x, lat.top}
+
+
+class TestChainsAndSublattices:
+    def test_maximal_chain_count_boolean(self):
+        # Maximal chains in 2^[3] correspond to permutations: 3! = 6.
+        lat = boolean_algebra("xyz")
+        assert sum(1 for _ in lat.maximal_chains()) == 6
+
+    def test_maximal_chain_limit(self):
+        lat = boolean_algebra("xyz")
+        assert sum(1 for _ in lat.maximal_chains(limit=2)) == 2
+
+    def test_m3_has_m3_sublattice(self):
+        lat = m3()
+        subs = list(lat.sublattices_isomorphic_to_m3())
+        assert len(subs) == 1
+        assert subs[0][4] == lat.top
+
+    def test_boolean_has_no_m3(self):
+        lat = boolean_algebra("xyz")
+        assert list(lat.sublattices_isomorphic_to_m3()) == []
+
+    def test_interval(self):
+        lat = boolean_algebra("xyz")
+        x = lat.index(frozenset("x"))
+        names = {lat.label(i) for i in lat.interval(x, lat.top)}
+        assert names == {
+            frozenset("x"),
+            frozenset("xy"),
+            frozenset("xz"),
+            frozenset("xyz"),
+        }
+
+
+class TestBuilders:
+    def test_lattice_from_fds_boolean(self):
+        lat = lattice_from_fds(FDSet((), "ab"))
+        assert lat.n == 4
+
+    def test_fig1_size(self):
+        lat, inputs = fig1_lattice()
+        assert lat.n == 12
+        assert set(inputs) == {"R", "S", "T"}
+
+    def test_fig4_size(self):
+        lat, inputs = fig4_lattice()
+        assert lat.n == 12
+        assert len(inputs) == 4
+
+    def test_fig5_size(self):
+        lat, _ = fig5_lattice()
+        assert lat.n == 7
+
+    def test_fig7_semantics(self):
+        """The Ex. 5.29 proof steps determine the structure."""
+        lat, _ = fig7_lattice()
+        idx = lat.index
+        assert lat.meet(idx("X"), idx("Y")) == idx("B")
+        assert lat.join(idx("X"), idx("Y")) == idx("A")
+        assert lat.meet(idx("A"), idx("Z")) == idx("C")
+        assert lat.join(idx("A"), idx("Z")) == lat.top
+        assert lat.meet(idx("B"), idx("U")) == lat.bottom
+        assert lat.join(idx("B"), idx("U")) == idx("D")
+        assert lat.meet(idx("C"), idx("D")) == lat.bottom
+        assert lat.join(idx("C"), idx("D")) == lat.top
+
+    def test_fig8_semantics(self):
+        """The Ex. 5.30 proof steps determine the structure."""
+        lat, _ = fig8_lattice()
+        idx = lat.index
+        assert lat.meet(idx("X"), idx("Y")) == idx("A")
+        assert lat.join(idx("X"), idx("Y")) == idx("C")
+        assert lat.meet(idx("Z"), idx("W")) == idx("B")
+        assert lat.join(idx("Z"), idx("W")) == idx("D")
+        assert lat.join(idx("A"), idx("D")) == lat.top
+        assert lat.meet(idx("A"), idx("D")) == lat.bottom
+        assert lat.join(idx("B"), idx("C")) == lat.top
+
+    def test_fig9_semantics(self):
+        """Inequalities (19)-(25) determine the meets/joins used there."""
+        lat, _ = fig9_lattice()
+        idx = lat.index
+        assert lat.join(idx("M"), idx("Z")) == idx("U")   # (19)
+        assert lat.meet(idx("M"), idx("Z")) == idx("G")
+        assert lat.join(idx("N"), idx("Z")) == idx("V")   # (20)
+        assert lat.meet(idx("N"), idx("Z")) == idx("I")
+        assert lat.join(idx("O"), idx("Z")) == idx("W")   # (21)
+        assert lat.meet(idx("O"), idx("Z")) == idx("J")
+        assert lat.join(idx("U"), idx("V")) == lat.top    # (22)
+        assert lat.meet(idx("U"), idx("V")) == idx("P")
+        assert lat.join(idx("W"), idx("P")) == lat.top    # (23)
+        assert lat.meet(idx("W"), idx("P")) == idx("Z")
+        assert lat.join(idx("G"), idx("I")) == idx("Z")   # (24)
+        assert lat.meet(idx("G"), idx("I")) == idx("D")
+        assert lat.join(idx("J"), idx("D")) == idx("Z")   # (25)
+        assert lat.meet(idx("J"), idx("D")) == lat.bottom
+
+    def test_lattice_from_query(self):
+        query = paper_example_query()
+        lat, inputs = lattice_from_query(query)
+        assert lat.n == 12
+        assert lat.label(inputs["R"]) == frozenset("xy")
+        assert lat.label(inputs["T"]) == frozenset("zu")
+
+    def test_simple_key_closure_input(self):
+        # y -> z: S(y,z) is already closed, R(x,y) closes to itself.
+        query_fds = FDSet([FD("y", "z")], "xyz")
+        lat = lattice_from_fds(query_fds)
+        assert frozenset("y") not in set(lat.elements)  # y+ = yz
+        assert frozenset("yz") in set(lat.elements)

@@ -1,0 +1,167 @@
+"""LeapFrog TrieJoin (repro.engine.leapfrog)."""
+
+import itertools
+
+import pytest
+
+from repro.datagen.product import product_database, random_database
+from repro.datagen.worstcase import (
+    grid_instance_example_5_5,
+    m3_modular_instance,
+    skew_instance_example_5_8,
+)
+from repro.engine.generic_join import generic_join
+from repro.engine.leapfrog import (
+    TrieIndex,
+    TrieIterator,
+    leapfrog_intersection,
+    leapfrog_triejoin,
+)
+from repro.engine.relation import Relation
+from repro.query.query import triangle_query
+
+
+class TestTrieIndex:
+    def test_build_and_walk(self):
+        rel = Relation("R", ("x", "y"), [(1, 10), (1, 20), (2, 30)])
+        trie = TrieIndex(rel, ("x", "y"))
+        it = TrieIterator(trie)
+        it.open()
+        assert it.key() == 1
+        it.open()
+        assert it.key() == 10
+        it.next()
+        assert it.key() == 20
+        it.next()
+        assert it.at_end()
+        it.up()
+        it.next()
+        assert it.key() == 2
+
+    def test_seek(self):
+        rel = Relation("R", ("x",), [(i,) for i in (1, 3, 5, 9)])
+        trie = TrieIndex(rel, ("x",))
+        it = TrieIterator(trie)
+        it.open()
+        it.seek(4)
+        assert it.key() == 5
+        it.seek(9)
+        assert it.key() == 9
+        it.seek(10)
+        assert it.at_end()
+
+    def test_order_must_cover_schema(self):
+        rel = Relation("R", ("x", "y"), [(1, 2)])
+        with pytest.raises(ValueError):
+            TrieIndex(rel, ("x",))
+
+    def test_reorders_attributes(self):
+        rel = Relation("R", ("x", "y"), [(1, 10), (2, 10)])
+        trie = TrieIndex(rel, ("y", "x"))
+        it = TrieIterator(trie)
+        it.open()
+        assert it.key() == 10  # first level is y now
+
+
+class TestLeapfrogIntersection:
+    def _iter(self, values):
+        rel = Relation("R", ("x",), [(v,) for v in values])
+        it = TrieIterator(TrieIndex(rel, ("x",)))
+        it.open()
+        return it
+
+    def test_basic(self):
+        out = []
+        leapfrog_intersection(
+            [self._iter([1, 3, 5, 7]), self._iter([2, 3, 5, 8]),
+             self._iter([0, 3, 5, 9])],
+            out.append,
+        )
+        assert out == [3, 5]
+
+    def test_disjoint(self):
+        out = []
+        leapfrog_intersection(
+            [self._iter([1, 2]), self._iter([3, 4])], out.append
+        )
+        assert out == []
+
+    def test_identical(self):
+        out = []
+        leapfrog_intersection(
+            [self._iter([1, 2, 3]), self._iter([1, 2, 3])], out.append
+        )
+        assert out == [1, 2, 3]
+
+
+class TestLeapfrogTriejoin:
+    def test_triangle_matches_generic(self):
+        query = triangle_query()
+        db = random_database(query, 120, seed=3)
+        a, _ = leapfrog_triejoin(query, db)
+        b, _ = generic_join(query, db)
+        assert set(a.tuples) == set(b.project(a.schema).tuples)
+
+    def test_all_orders_agree(self):
+        query = triangle_query()
+        db = random_database(query, 60, seed=8)
+        outs = set()
+        for order in itertools.permutations("xyz"):
+            out, _ = leapfrog_triejoin(query, db, order=order)
+            outs.add(frozenset(out.project(("x", "y", "z")).tuples))
+        assert len(outs) == 1
+
+    def test_product_instance(self):
+        query = triangle_query()
+        db = product_database(query, {"x": 3, "y": 3, "z": 3})
+        out, _ = leapfrog_triejoin(query, db)
+        assert len(out) == 27
+
+    def test_fd_aware_on_udf_query(self):
+        query, db = grid_instance_example_5_5(36)
+        a, _ = leapfrog_triejoin(query, db, order=("y", "z", "x", "u"))
+        b, _ = generic_join(
+            query, db, order=("y", "z", "x", "u"), fd_aware=True
+        )
+        assert set(a.tuples) == set(b.project(a.schema).tuples)
+
+    def test_m3_query(self):
+        query, db = m3_modular_instance(7)
+        out, _ = leapfrog_triejoin(query, db, order=("x", "y", "z"))
+        assert len(out) == 49
+
+    def test_skew_quadratic_footnote1(self):
+        """Footnote 1's FD binding does not rescue LFTJ from Ω(N²) on the
+        skew instance — the paper's point in Ex. 5.8."""
+        query, db = skew_instance_example_5_8(64)
+        _, stats = leapfrog_triejoin(query, db, order=("y", "z", "x", "u"))
+        assert stats.tuples_touched > (64 // 2) ** 2 / 2
+
+    def test_empty_relation(self):
+        query = triangle_query()
+        db = random_database(query, 0, seed=0)
+        out, _ = leapfrog_triejoin(query, db)
+        assert len(out) == 0
+
+    def test_invalid_order(self):
+        query = triangle_query()
+        db = random_database(query, 5, seed=0)
+        with pytest.raises(ValueError):
+            leapfrog_triejoin(query, db, order=("x", "y"))
+
+    def test_mixed_value_types(self):
+        # Strings and ints in the same column sort via the type-aware key.
+        query = triangle_query()
+        from repro.engine.database import Database
+
+        edges = [("a", 1), (2, "b"), ("a", "b")]
+        db = Database(
+            [
+                Relation("R", ("x", "y"), edges),
+                Relation("S", ("y", "z"), edges),
+                Relation("T", ("z", "x"), edges),
+            ]
+        )
+        a, _ = leapfrog_triejoin(query, db)
+        b, _ = generic_join(query, db)
+        assert set(a.tuples) == set(b.project(a.schema).tuples)

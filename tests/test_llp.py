@@ -1,0 +1,165 @@
+"""The LLP and its dual certificates (repro.lp.llp)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig9_lattice,
+    lattice_from_query,
+    m3_query_lattice,
+)
+from repro.lp.llp import LatticeLinearProgram, OutputInequality, glvv_bound_log2
+from repro.query.query import triangle_query
+
+
+def triangle_setup(n: float = 1.0):
+    lat = boolean_algebra("xyz")
+    inputs = {
+        "R": lat.index(frozenset("xy")),
+        "S": lat.index(frozenset("yz")),
+        "T": lat.index(frozenset("xz")),
+    }
+    return lat, inputs, {name: n for name in inputs}
+
+
+class TestPrimal:
+    def test_triangle_three_halves(self):
+        lat, inputs, logs = triangle_setup()
+        program = LatticeLinearProgram(lat, inputs, logs)
+        objective, h = program.solve_primal()
+        assert objective == pytest.approx(1.5)
+
+    def test_triangle_weighted(self):
+        # AGM = min(sqrt(N_R N_S N_T), N_R N_S, ...): with N_T huge the
+        # bound is N_R * N_S.
+        lat, inputs, _ = triangle_setup()
+        logs = {"R": 1.0, "S": 1.0, "T": 100.0}
+        program = LatticeLinearProgram(lat, inputs, logs)
+        objective, _ = program.solve_primal()
+        assert objective == pytest.approx(2.0)
+
+    def test_fig1_three_halves(self):
+        lat, inputs = fig1_lattice()
+        assert glvv_bound_log2(lat, inputs, {n: 1.0 for n in inputs}) == pytest.approx(1.5)
+
+    def test_fig4_four_thirds(self):
+        lat, inputs = fig4_lattice()
+        assert glvv_bound_log2(lat, inputs, {n: 1.0 for n in inputs}) == pytest.approx(4 / 3)
+
+    def test_fig9_three_halves(self):
+        lat, inputs = fig9_lattice()
+        assert glvv_bound_log2(lat, inputs, {n: 1.0 for n in inputs}) == pytest.approx(1.5)
+
+    def test_m3_two(self):
+        # The M3 polymatroid h(atom)=1, h(1̂)=2 is feasible, so GLVV = 2
+        # (and it is achieved by the mod-N instance).
+        lat, inputs = m3_query_lattice()
+        assert glvv_bound_log2(lat, inputs, {n: 1.0 for n in inputs}) == pytest.approx(2.0)
+
+    def test_optimal_h_is_polymatroid_after_lovasz(self):
+        lat, inputs, logs = triangle_setup()
+        solution = LatticeLinearProgram(lat, inputs, logs).solve()
+        assert solution.h.is_polymatroid()
+
+    def test_closure_example_n_squared(self):
+        """Sec. 2: R(x), S(y), T(x,y,z) with xy→z and |T| = M >> N²:
+        GLVV = N² not M."""
+        from repro.fds.fd import FD, FDSet
+        from repro.query.query import Atom, Query
+
+        query = Query(
+            [Atom("R", ("x",)), Atom("S", ("y",)), Atom("T", ("x", "y", "z"))],
+            FDSet([FD("xy", "z")], "xyz"),
+        )
+        lat, inputs = lattice_from_query(query)
+        logs = {"R": 1.0, "S": 1.0, "T": 50.0}
+        assert glvv_bound_log2(lat, inputs, logs) == pytest.approx(2.0)
+
+    def test_inputs_must_join_to_top(self):
+        lat = boolean_algebra("xyz")
+        inputs = {"R": lat.index(frozenset("xy"))}
+        with pytest.raises(ValueError):
+            LatticeLinearProgram(lat, inputs, {"R": 1.0})
+
+
+class TestDual:
+    def test_triangle_weights(self):
+        lat, inputs, logs = triangle_setup()
+        ineq = LatticeLinearProgram(lat, inputs, logs).solve_dual()
+        assert ineq.weights == {
+            "R": Fraction(1, 2), "S": Fraction(1, 2), "T": Fraction(1, 2)
+        }
+
+    def test_certificate_verifies(self):
+        for lat, inputs in [fig1_lattice(), fig4_lattice(), fig9_lattice()]:
+            logs = {n: 1.0 for n in inputs}
+            ineq = LatticeLinearProgram(lat, inputs, logs).solve_dual()
+            assert ineq.verify_certificate()
+
+    def test_strong_duality(self):
+        for lat, inputs in [fig1_lattice(), fig4_lattice(), fig9_lattice()]:
+            logs = {n: 1.0 for n in inputs}
+            program = LatticeLinearProgram(lat, inputs, logs)
+            primal, _ = program.solve_primal()
+            dual = program.solve_dual()
+            assert dual.bound(logs) == pytest.approx(primal)
+
+    def test_inequality_holds_on_optimal_h(self):
+        lat, inputs, logs = triangle_setup()
+        solution = LatticeLinearProgram(lat, inputs, logs).solve()
+        assert solution.inequality.verify_on(solution.h)
+
+
+class TestOutputInequality:
+    def test_example_3_10(self):
+        """hxy + hyz >= h1 + hy and hy + hzx >= h1 adds up to Shearer."""
+        lat, inputs, _ = triangle_setup()
+        xy = inputs["R"]
+        yz = inputs["S"]
+        zx = inputs["T"]
+        y = lat.index(frozenset("y"))
+        ineq = OutputInequality(
+            lat,
+            inputs,
+            {name: Fraction(1, 2) for name in inputs},
+            {(xy, yz): Fraction(1, 2), (y, zx): Fraction(1, 2)},
+        )
+        assert ineq.verify_certificate()
+
+    def test_bad_certificate_rejected(self):
+        lat, inputs, _ = triangle_setup()
+        ineq = OutputInequality(
+            lat, inputs, {name: Fraction(1, 3) for name in inputs}, {}
+        )
+        assert not ineq.verify_certificate()
+
+    def test_negative_weight_rejected(self):
+        lat, inputs, _ = triangle_setup()
+        ineq = OutputInequality(
+            lat, inputs,
+            {"R": Fraction(-1), "S": Fraction(1), "T": Fraction(1)}, {}
+        )
+        assert not ineq.verify_certificate()
+
+    def test_bound_value(self):
+        lat, inputs, _ = triangle_setup()
+        ineq = OutputInequality(
+            lat, inputs, {name: Fraction(1, 2) for name in inputs}, {}
+        )
+        assert ineq.bound({"R": 10, "S": 10, "T": 10}) == pytest.approx(15.0)
+
+
+class TestAgmEqualsLLP:
+    def test_triangle_matches_hypergraph_lp(self):
+        """Sec. 3.3: on a Boolean algebra AGM = 2^{h*(1̂)} (Eq. (6))."""
+        query = triangle_query()
+        sizes = {"R": 16, "S": 64, "T": 32}
+        logs = query.cardinalities_log(sizes)
+        cover, _ = query.hypergraph().fractional_edge_cover_number(logs)
+        lat, inputs = lattice_from_query(query)
+        llp = glvv_bound_log2(lat, inputs, logs)
+        assert float(cover) == pytest.approx(llp)

@@ -1,0 +1,240 @@
+"""Integration tests: every numbered claim of the paper, end to end.
+
+Each test names the paper artifact it reproduces; together these are the
+executable record behind EXPERIMENTS.md.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import compute_bounds
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.csma import csma
+from repro.core.proofs import find_good_sm_proof, sm_proof_exists
+from repro.core.sma import submodularity_algorithm
+from repro.datagen.from_lattice import worst_case_database
+from repro.datagen.worstcase import (
+    fig4_instance,
+    grid_instance_example_5_5,
+    m3_modular_instance,
+    skew_instance_example_5_8,
+)
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.generic_join import generic_join
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig9_lattice,
+    lattice_from_query,
+    m3_query_lattice,
+)
+from repro.lattice.chains import best_chain_bound, chain_bound, shearer_chain
+from repro.lattice.properties import is_distributive, is_normal_lattice
+from repro.lp.llp import LatticeLinearProgram, glvv_bound_log2
+from repro.query.query import paper_example_query
+
+
+class TestSection1Motivation:
+    def test_eq1_udf_query_glvv_is_n_three_halves(self):
+        """Sec. 1.1: the GLVV bound of query (1) is N^{3/2}."""
+        query = paper_example_query()
+        sizes = {"R": 1024, "S": 1024, "T": 1024}
+        report = compute_bounds(query, sizes)
+        assert report.glvv == pytest.approx(15.0)  # 1.5 * 10 bits
+
+    def test_eq1_intermediate_blowup(self):
+        """Sec. 1.1: first joining R,S,T then filtering costs Θ(N²)."""
+        query, db = skew_instance_example_5_8(80)
+        _, stats = binary_join_plan(query, db, order=["R", "S", "T"])
+        assert stats.intermediate_peak >= (80 // 2) ** 2
+
+
+class TestSection2:
+    def test_agm_triangle_eq4(self):
+        """Eq. (4) on several cardinality profiles."""
+        from repro.core.bounds import agm_bound_log2
+        from repro.query.query import triangle_query
+
+        query = triangle_query()
+        for r, s, t in [(16, 16, 16), (4, 16, 64), (2, 2, 1024)]:
+            expected = min(
+                0.5 * (math.log2(r) + math.log2(s) + math.log2(t)),
+                math.log2(r) + math.log2(s),
+                math.log2(r) + math.log2(t),
+                math.log2(s) + math.log2(t),
+            )
+            assert agm_bound_log2(
+                query, {"R": r, "S": s, "T": t}
+            ) == pytest.approx(expected)
+
+    def test_expansion_procedure(self):
+        """Sec. 2: expansion fills closure attributes in O~(N)."""
+        query, db = grid_instance_example_5_5(16)
+        expanded = db.expand_relation(db["R"])  # xy+ = xy: unchanged
+        assert set(expanded.schema) == {"x", "y"}
+        # S = yz: closure yz (no fd applies); T = zu: closure zu.
+        assert set(db.expand_relation(db["T"]).schema) == {"z", "u"}
+
+
+class TestSection3:
+    def test_prop_3_2_simple_fds_distributive(self):
+        from repro.fds.fd import FD, FDSet
+        from repro.lattice.builders import lattice_from_fds
+
+        fds = FDSet([FD("a", "b"), FD("c", "b"), FD("b", "d")], "abcd")
+        assert is_distributive(lattice_from_fds(fds))
+
+    def test_prop_3_4_llp_equals_glvv(self):
+        """LLP optimum == max over feasible polymatroids (spot-check via
+        the known optimal values)."""
+        lat, inputs = fig1_lattice()
+        logs = {name: 1.0 for name in inputs}
+        program = LatticeLinearProgram(lat, inputs, logs)
+        solution = program.solve()
+        assert solution.objective == pytest.approx(1.5)
+        # Sanity: the optimal polymatroid attains the cardinalities.
+        for name, r in inputs.items():
+            assert float(solution.h.values[r]) <= 1.0 + 1e-9
+
+    def test_m3_instance_materializes_nonnormal_h(self):
+        """Sec. 3.2: the mod-N instance gives the M3 entropy profile
+        h(x)=h(y)=h(z)=log N, h(1̂)=2 log N."""
+        from repro.lattice.polymatroid import counting_function
+        from repro.lattice.builders import m3
+
+        n = 8
+        query, db = m3_modular_instance(n)
+        world = [
+            (x, y, (-x - y) % n) for x in range(n) for y in range(n)
+        ]
+        lat, inputs = lattice_from_query(query)
+        counts = counting_function(lat, world, ("x", "y", "z"))
+        assert counts[lat.top] == n * n
+        for name, r in inputs.items():
+            assert counts[r] == n
+
+
+class TestSection4Normality:
+    def test_thm_4_9_fig1_normal(self):
+        lat, inputs = fig1_lattice()
+        assert is_normal_lattice(lat, inputs)
+
+    def test_prop_4_10_m3_not_normal(self):
+        lat, inputs = m3_query_lattice()
+        assert not is_normal_lattice(lat, inputs)
+
+    def test_cor_5_23_distributive_normal(self):
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+            "T": lat.index(frozenset("xz")),
+        }
+        assert is_normal_lattice(lat, inputs)
+
+
+class TestSection51Chain:
+    def test_ex_5_5_chain_bound_tight(self):
+        """Ex. 5.5: the y-chain gives N^{3/2}, attained by the grid."""
+        query, db = grid_instance_example_5_5(64)
+        lat, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        value, chain, _ = best_chain_bound(lat, inputs, logs)
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == 2 ** round(value)
+
+    def test_ex_5_8_separation(self):
+        """Ex. 5.8: CA beats every FD-oblivious WCOJ on the skew instance."""
+        n = 128
+        query, db = skew_instance_example_5_8(n)
+        lat, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        _, chain, _ = best_chain_bound(lat, inputs, logs)
+        out_ca, ca_stats = chain_algorithm(query, db, lat, inputs, chain)
+        out_gj, gj_stats = generic_join(
+            query, db, order=("y", "z", "x", "u"), fd_aware=True
+        )
+        assert set(out_ca.tuples) == set(out_gj.project(out_ca.schema).tuples)
+        assert ca_stats.tuples_touched * 3 < gj_stats.tuples_touched
+
+    def test_cor_5_9_and_5_11_chains(self):
+        lat, inputs = fig5_lattice()
+        chain = shearer_chain(lat, list(inputs.values()))
+        logs = {name: 1.0 for name in inputs}
+        value, _ = chain_bound(chain, inputs, logs)
+        assert value == pytest.approx(2.0)  # Ex. 5.10
+
+    def test_ex_5_12_m3_chain_tight(self):
+        query, db = m3_modular_instance(9)
+        lat, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        value, chain, _ = best_chain_bound(lat, inputs, logs)
+        out, _ = binary_join_plan(query, db)
+        assert len(out) == pytest.approx(2 ** value, rel=0.01)
+
+    def test_ex_5_18_chain_gap(self):
+        lat, inputs = fig4_lattice()
+        logs = {name: 1.0 for name in inputs}
+        chain_value, _, _ = best_chain_bound(lat, inputs, logs)
+        glvv = glvv_bound_log2(lat, inputs, logs)
+        assert chain_value == pytest.approx(1.5)
+        assert glvv == pytest.approx(4 / 3)
+
+
+class TestSection52SMA:
+    def test_ex_5_20_sm_proof(self):
+        lat, inputs = fig4_lattice()
+        weights = {name: Fraction(1, 3) for name in inputs}
+        proof = find_good_sm_proof(lat, weights, inputs)
+        assert proof is not None and proof.is_good()
+
+    def test_thm_5_28_sma_on_fig4(self):
+        query, db = fig4_instance(64)
+        lat, inputs = lattice_from_query(query)
+        out, _ = submodularity_algorithm(query, db, lat, inputs)
+        ref, _ = binary_join_plan(query, db)
+        assert set(out.tuples) == set(ref.project(out.schema).tuples)
+        assert len(out) == 256  # N^{4/3}
+
+
+class TestSection53CSMA:
+    def test_ex_5_31_no_sm_proof(self):
+        lat, inputs = fig9_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert not sm_proof_exists(lat, weights, inputs)
+
+    def test_csma_fig9_end_to_end(self):
+        lat0, inp0 = fig9_lattice()
+        query, db, h = worst_case_database(lat0, inp0, scale=3)
+        lat, inputs = lattice_from_query(query)
+        result = csma(query, db, lat, inputs)
+        ref, _ = binary_join_plan(query, db)
+        assert set(result.relation.tuples) == set(
+            ref.project(result.relation.schema).tuples
+        )
+        assert result.stats.fallbacks == 0
+        # The worst case attains GLVV: |Q| = scale^{h(1̂)} = 27 = N^{3/2}.
+        assert len(result.relation) == 27
+
+
+class TestAppendixA:
+    def test_degree_bounded_triangle_bound(self):
+        """Appendix A / Sec. 1.2: output <= min(N^{3/2}, N·d1, N·d2)."""
+        from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+        from repro.query.query import triangle_query
+
+        query = triangle_query()
+        lat, inputs = lattice_from_query(query)
+        n, d1 = 12.0, 2.0
+        logs = {name: n for name in inputs}
+        x = lat.index(frozenset("x"))
+        xy = lat.index(frozenset("xy"))
+        program = ConditionalLLP.from_cardinalities(
+            lat, inputs, logs
+        ).with_constraint(DegreeConstraint(x, xy, d1))
+        objective, _ = program.solve_primal()
+        assert objective == pytest.approx(min(1.5 * n, n + d1))

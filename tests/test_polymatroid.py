@@ -1,0 +1,233 @@
+"""Polymatroids, Möbius inversion, normality (repro.lattice.polymatroid/mobius)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lattice.builders import boolean_algebra, fig1_lattice, m3
+from repro.lattice.mobius import (
+    mobius_expand_upper,
+    mobius_function,
+    mobius_inverse_upper,
+)
+from repro.lattice.polymatroid import (
+    LatticeFunction,
+    counting_function,
+    entropy_of_instance,
+    modular_from_vertex_weights,
+    step_function,
+)
+
+
+class TestMobiusFunction:
+    def test_boolean_mobius_alternates(self):
+        # μ(X, Y) = (-1)^{|Y - X|} in a Boolean algebra.
+        lat = boolean_algebra("xyz")
+        mu = mobius_function(lat)
+        bot = lat.bottom
+        for y in range(lat.n):
+            size = len(lat.label(y))
+            assert mu[(bot, y)] == (-1) ** size
+
+    def test_mobius_diagonal(self):
+        lat = m3()
+        mu = mobius_function(lat)
+        for i in range(lat.n):
+            assert mu[(i, i)] == 1
+
+    def test_m3_bottom_to_top(self):
+        # μ(0̂, 1̂) in M3: 1 - ... = 2 (three atoms each -1, diag 1 → 2).
+        lat = m3()
+        mu = mobius_function(lat)
+        assert mu[(lat.bottom, lat.top)] == 2
+
+
+class TestMobiusInversion:
+    def test_roundtrip_boolean(self):
+        lat = boolean_algebra("xy")
+        values = [Fraction(0), Fraction(1), Fraction(1), Fraction(3, 2)]
+        g = mobius_inverse_upper(lat, values)
+        assert mobius_expand_upper(lat, g) == values
+
+    def test_roundtrip_fig1(self):
+        lat = fig1_lattice()[0]
+        values = [Fraction(i, 3) for i in range(lat.n)]
+        g = mobius_inverse_upper(lat, values)
+        assert mobius_expand_upper(lat, g) == values
+
+    def test_top_g_equals_h(self):
+        lat = boolean_algebra("xy")
+        h = LatticeFunction.from_mapping(
+            lat, {frozenset("xy"): 2, frozenset("x"): 1, frozenset("y"): 1}
+        )
+        g = h.cmi()
+        assert g[lat.top] == 2
+
+
+class TestStepFunctions:
+    def test_step_is_polymatroid(self, b3):
+        for z in range(b3.n):
+            assert step_function(b3, z).is_polymatroid()
+
+    def test_step_is_normal(self, b3):
+        for z in range(b3.n):
+            if z != b3.top:
+                assert step_function(b3, z).is_normal()
+
+    def test_step_values(self, b3):
+        x = b3.index(frozenset("x"))
+        h = step_function(b3, x)
+        assert h.values[b3.top] == 1
+        assert h.values[x] == 0
+        assert h.at(frozenset("y")) == 1
+
+    def test_step_cmi(self, b3):
+        x = b3.index(frozenset("x"))
+        g = step_function(b3, x).cmi()
+        assert g[b3.top] == 1
+        assert g[x] == -1
+        assert sum(abs(v) for v in g) == 2
+
+    def test_normal_decomposition_roundtrip(self, b3):
+        # h = 2·h_x + h_xy decomposes back to its coefficients.
+        x = b3.index(frozenset("x"))
+        xy = b3.index(frozenset("xy"))
+        h = step_function(b3, x).scale(2) + step_function(b3, xy)
+        decomposition = h.normal_decomposition()
+        assert decomposition == {x: Fraction(2), xy: Fraction(1)}
+
+
+class TestShannonChecks:
+    def test_entropy_like_function_is_polymatroid(self, b3):
+        h = LatticeFunction.from_mapping(
+            b3,
+            {
+                frozenset("x"): 1, frozenset("y"): 1, frozenset("z"): 1,
+                frozenset("xy"): 2, frozenset("xz"): 2, frozenset("yz"): 2,
+                frozenset("xyz"): 2,
+            },
+        )
+        assert h.is_polymatroid()
+
+    def test_xor_function_is_polymatroid_but_not_normal(self, b3):
+        # Fig. 3 left: XOR on three bits — submodular, monotone, but its
+        # CMI has g(0̂) = +1 > 0.
+        h = LatticeFunction.from_mapping(
+            b3,
+            {
+                frozenset("x"): 1, frozenset("y"): 1, frozenset("z"): 1,
+                frozenset("xy"): 2, frozenset("xz"): 2, frozenset("yz"): 2,
+                frozenset("xyz"): 2,
+            },
+        )
+        assert h.is_polymatroid()
+        assert not h.is_normal()
+        g = h.cmi()
+        assert g[b3.bottom] == 1  # the positive mutual information
+
+    def test_submodularity_violation_detected(self, b3):
+        h = LatticeFunction.from_mapping(
+            b3, {frozenset("xy"): 0, frozenset("x"): 1, frozenset("y"): 1,
+                 frozenset("xyz"): 3}
+        )
+        assert not h.is_monotone()
+
+    def test_violations_listed(self, b3):
+        h = LatticeFunction.from_mapping(
+            b3,
+            {
+                frozenset("x"): 0, frozenset("y"): 0,
+                frozenset("xy"): 2, frozenset("xyz"): 2,
+            },
+        )
+        assert h.submodularity_violations()
+
+    def test_m3_nonnormal_polymatroid(self):
+        # Fig. 3 right: h(atom) = 1, h(1̂) = 2 is a polymatroid on M3.
+        lat = m3()
+        h = LatticeFunction.from_mapping(
+            lat, {"x": 1, "y": 1, "z": 1, "1": 2}
+        )
+        assert h.is_polymatroid()
+        assert not h.is_normal()
+
+
+class TestLovasz:
+    def test_monotonization_preserves_top(self, b3):
+        h = LatticeFunction.from_mapping(
+            b3,
+            {
+                frozenset("x"): 5, frozenset("y"): 1, frozenset("z"): 1,
+                frozenset("xy"): 2, frozenset("xz"): 2, frozenset("yz"): 2,
+                frozenset("xyz"): 2,
+            },
+        )
+        hbar = h.lovasz_monotonization()
+        assert hbar.values[b3.top] == h.values[b3.top]
+        assert hbar.is_monotone()
+        assert hbar.restrict_leq(h)
+
+    def test_monotonization_is_polymatroid_from_submodular(self, b3):
+        # Prop. B.1 on a non-monotone submodular function: pairs above top.
+        h = LatticeFunction.from_mapping(
+            b3,
+            {
+                frozenset("x"): 2, frozenset("y"): 2, frozenset("z"): 2,
+                frozenset("xy"): 2, frozenset("xz"): 2, frozenset("yz"): 2,
+                frozenset("xyz"): 1,
+            },
+        )
+        assert h.is_submodular()
+        assert not h.is_monotone()
+        hbar = h.lovasz_monotonization()
+        assert hbar.is_polymatroid()
+        assert hbar.values[b3.top] == h.values[b3.top]
+
+
+class TestModularFromWeights:
+    def test_eq6_lift(self, b3):
+        # Eq. (6): vertex packing (1/2,1/2,1/2) lifts to the triangle's
+        # optimal polymatroid.
+        weights = {
+            b3.index(frozenset(c)): Fraction(1, 2) for c in "xyz"
+        }
+        h = modular_from_vertex_weights(b3, weights)
+        assert h.values[b3.top] == Fraction(3, 2)
+        assert h.is_polymatroid()
+        assert h.is_modular()
+
+
+class TestInstanceEntropy:
+    def test_counting_function(self, b3):
+        tuples = [(0, 0, 0), (0, 1, 1), (1, 0, 1)]
+        counts = counting_function(b3, tuples, ("x", "y", "z"))
+        assert counts[b3.top] == 3
+        assert counts[b3.bottom] == 1
+        assert counts[b3.index(frozenset("x"))] == 2
+
+    def test_xor_instance_entropy(self, b3):
+        # The 4-tuple XOR instance has the Fig. 3 entropy profile (scaled).
+        tuples = [
+            (a, b, a ^ b) for a in (0, 1) for b in (0, 1)
+        ]
+        h = entropy_of_instance(b3, tuples, ("x", "y", "z"))
+        assert float(h.values[b3.top]) == pytest.approx(2.0)
+        assert float(h.at(frozenset("x"))) == pytest.approx(1.0)
+        assert float(h.at(frozenset("yz"))) == pytest.approx(2.0)
+
+
+class TestArithmetic:
+    def test_add_scale(self, b3):
+        a = step_function(b3, b3.bottom)
+        combo = a + a.scale(2)
+        assert combo.values[b3.top] == 3
+
+    def test_different_lattice_rejected(self):
+        l1 = boolean_algebra("xy")
+        l2 = boolean_algebra("ab")
+        with pytest.raises(ValueError):
+            step_function(l1, 0) + step_function(l2, 0)
+
+    def test_from_mapping_defaults_zero(self, b3):
+        h = LatticeFunction.from_mapping(b3, {})
+        assert all(v == 0 for v in h.values)

@@ -1,0 +1,163 @@
+"""SM-proof sequences and goodness (repro.core.proofs)."""
+
+from fractions import Fraction
+
+from repro.core.proofs import (
+    SMProof,
+    SMStep,
+    find_good_sm_proof,
+    initial_multiset,
+    sm_proof_exists,
+)
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig4_lattice,
+    fig7_lattice,
+    fig8_lattice,
+    fig9_lattice,
+)
+
+
+class TestInitialMultiset:
+    def test_thirds(self):
+        lat, inputs = fig4_lattice()
+        weights = {name: Fraction(1, 3) for name in inputs}
+        elements, origin, d = initial_multiset(weights, inputs)
+        assert d == 3
+        assert len(elements) == 4  # one copy each
+
+    def test_mixed_denominators(self):
+        lat, inputs = fig4_lattice()
+        weights = {
+            "R": Fraction(1, 2), "S": Fraction(1, 3),
+            "T": Fraction(0), "U": Fraction(1),
+        }
+        elements, origin, d = initial_multiset(weights, inputs)
+        assert d == 6
+        assert len(elements) == 3 + 2 + 6  # 1/2->3, 1/3->2, 1->6 copies
+
+    def test_zero_weights_skipped(self):
+        lat, inputs = fig4_lattice()
+        weights = {"R": Fraction(1), "S": 0, "T": 0, "U": 0}
+        elements, origin, d = initial_multiset(weights, inputs)
+        assert len(elements) == 1
+
+
+class TestProofSearch:
+    def test_fig4_good_proof(self):
+        """Ex. 5.20's proof is found and verified good."""
+        lat, inputs = fig4_lattice()
+        weights = {name: Fraction(1, 3) for name in inputs}
+        proof = find_good_sm_proof(lat, weights, inputs)
+        assert proof is not None
+        assert proof.verify()
+        assert proof.is_good()
+        assert proof.reaches_top() >= 3
+
+    def test_fig7_good_proof_exists(self):
+        """Ex. 5.29: one sequence is bad but another is good — the search
+        must find the good one (X,Z) → (C,1̂), (Y,U) → (0̂,D), (C,D) → (0̂,1̂)."""
+        lat, inputs = fig7_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        proof = find_good_sm_proof(lat, weights, inputs)
+        assert proof is not None and proof.is_good()
+
+    def test_fig9_no_sm_proof(self):
+        """Ex. 5.31: h(M)+h(N)+h(O) >= 2h(1̂) admits NO SM-proof at all."""
+        lat, inputs = fig9_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert not sm_proof_exists(lat, weights, inputs)
+
+    def test_fig9_no_good_proof_either(self):
+        lat, inputs = fig9_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert find_good_sm_proof(lat, weights, inputs) is None
+
+    def test_triangle_proof(self):
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+            "T": lat.index(frozenset("xz")),
+        }
+        weights = {name: Fraction(1, 2) for name in inputs}
+        proof = find_good_sm_proof(lat, weights, inputs)
+        assert proof is not None and proof.is_good()
+        assert proof.reaches_top() >= 2
+
+
+class TestLabelSemantics:
+    def test_ex_5_29_bad_sequence_detected(self):
+        """Replay the paper's bad Fig. 7 sequence; the last step must have
+        an empty label intersection."""
+        lat, inputs = fig7_lattice()
+        idx = lat.index
+        elements = [idx("X"), idx("Y"), idx("Z"), idx("U")]
+        origin = {i: name for i, name in enumerate(["X", "Y", "Z", "U"])}
+        proof = SMProof(lat, list(elements), origin)
+
+        def apply(a, b):
+            x, y = proof.elements[a], proof.elements[b]
+            meet_item = len(proof.elements)
+            proof.elements.extend([lat.meet(x, y), lat.join(x, y)])
+            proof.steps.append(SMStep(a, b))
+            proof.produced.append((meet_item, meet_item + 1))
+            return meet_item, meet_item + 1
+
+        # (X,Y) -> meet B, join A
+        b_item, a_item = apply(0, 1)
+        # (A,Z) -> meet C, join 1̂
+        c_item, top1 = apply(a_item, 2)
+        # (B,U) -> meet 0̂, join D
+        bot, d_item = apply(b_item, 3)
+        # (C,D) -> meet 0̂, join 1̂  — this step's labels must not intersect
+        apply(c_item, d_item)
+        good, labels = proof.label_trace()
+        assert not good
+        # Check the intermediate labels the paper states: Labels(C)={3},
+        # Labels(D)={2}.
+        assert labels[c_item] == frozenset({3})
+        assert labels[d_item] == frozenset({2})
+
+    def test_ex_5_30_bad_for_missing_label(self):
+        """Fig. 8: every step has common labels, but label 1 never reaches
+        a copy of 1̂."""
+        lat, inputs = fig8_lattice()
+        idx = lat.index
+        elements = [idx("X"), idx("Y"), idx("Z"), idx("W")]
+        origin = {i: n for i, n in enumerate(["X", "Y", "Z", "W"])}
+        proof = SMProof(lat, list(elements), origin)
+
+        def apply(a, b):
+            x, y = proof.elements[a], proof.elements[b]
+            meet_item = len(proof.elements)
+            proof.elements.extend([lat.meet(x, y), lat.join(x, y)])
+            proof.steps.append(SMStep(a, b))
+            proof.produced.append((meet_item, meet_item + 1))
+            return meet_item, meet_item + 1
+
+        a_item, c_item = apply(0, 1)   # (X,Y) -> (A, C)
+        b_item, d_item = apply(2, 3)   # (Z,W) -> (B, D)
+        apply(a_item, d_item)          # (A,D) -> (0̂, 1̂)
+        apply(b_item, c_item)          # (B,C) -> (0̂, 1̂)
+        good, labels = proof.label_trace()
+        assert not good
+        # Labels after step 2 match Ex. 5.30: C={1,3}, D={1,2}, A={2,3}...
+        # (A got fresh label 2 at step 1; D is the join of step 2 with
+        # common labels {1,2}.)
+        assert labels[d_item] >= frozenset({1, 2})
+
+    def test_verify_rejects_reuse(self):
+        lat, inputs = fig4_lattice()
+        idx_r = inputs["R"]
+        idx_s = inputs["S"]
+        proof = SMProof(lat, [idx_r, idx_s], {0: "R", 1: "S"})
+        x, y = proof.elements[0], proof.elements[1]
+        proof.elements.extend([lat.meet(x, y), lat.join(x, y)])
+        proof.steps.append(SMStep(0, 1))
+        proof.produced.append((2, 3))
+        # Reusing a consumed item is invalid.
+        proof.elements.extend([lat.meet(x, y), lat.join(x, y)])
+        proof.steps.append(SMStep(0, 1))
+        proof.produced.append((4, 5))
+        assert not proof.verify()

@@ -1,0 +1,193 @@
+"""Lattice properties: distributivity, normality (repro.lattice.properties)."""
+
+from fractions import Fraction
+
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig9_lattice,
+    lattice_from_fds,
+    m3,
+    m3_query_lattice,
+    n5,
+)
+from repro.lattice.properties import (
+    atomic_hypergraph,
+    coatomic_hypergraph,
+    has_m3_with_top,
+    is_distributive,
+    is_modular,
+    is_normal_lattice,
+    output_inequality_holds,
+)
+
+
+class TestDistributivity:
+    def test_boolean_distributive(self):
+        assert is_distributive(boolean_algebra("xyz"))
+
+    def test_m3_not_distributive(self):
+        assert not is_distributive(m3())
+
+    def test_n5_not_distributive(self):
+        assert not is_distributive(n5())
+
+    def test_simple_fds_distributive(self):
+        # Prop. 3.2: simple fds give distributive lattices.
+        fds = FDSet([FD("a", "b"), FD("b", "c"), FD("d", "c")], "abcd")
+        assert is_distributive(lattice_from_fds(fds))
+
+    def test_fig1_not_distributive(self):
+        assert not is_distributive(fig1_lattice()[0])
+
+    def test_xy_to_z_distributive(self):
+        # Sec. 3.1's example of a non-simple fd giving... this 7-element
+        # lattice is NOT distributive (z ∧ (x∨y) = z ≠ 0 = (z∧x)∨(z∧y)).
+        fds = FDSet([FD("xy", "z")], "xyz")
+        assert not is_distributive(lattice_from_fds(fds))
+
+
+class TestModularity:
+    def test_m3_modular(self):
+        assert is_modular(m3())
+
+    def test_n5_not_modular(self):
+        assert not is_modular(n5())
+
+    def test_boolean_modular(self):
+        assert is_modular(boolean_algebra("xy"))
+
+
+class TestM3Detection:
+    def test_m3_detected(self):
+        assert has_m3_with_top(m3())
+
+    def test_boolean_clean(self):
+        assert not has_m3_with_top(boolean_algebra("xyz"))
+
+    def test_n5_clean(self):
+        assert not has_m3_with_top(n5())
+
+    def test_fig9_no_m3_at_top(self):
+        # Fig. 9's lattice is normal (Ex. 5.31) — consistent with the
+        # conjecture it has no M3 with the same top.
+        assert not has_m3_with_top(fig9_lattice()[0])
+
+
+class TestCoatomicHypergraph:
+    def test_fig1_matches_fig2(self):
+        """Fig. 2: H_co has nodes {xyu, yz, xzu}, e_R = {yz, xzu}, etc."""
+        lat, inputs = fig1_lattice()
+        graph = coatomic_hypergraph(lat, inputs)
+        label = {v: lat.label(v) for v in graph.vertices}
+        # R = xy is below co-atom xyu only, so e_R omits xyu.
+        e_r = {label[v] for v in graph.edges["R"]}
+        assert e_r == {frozenset("yz"), frozenset("xzu")}
+        e_s = {label[v] for v in graph.edges["S"]}
+        assert e_s == {frozenset("xyu"), frozenset("xzu")}
+        e_t = {label[v] for v in graph.edges["T"]}
+        assert e_t == {frozenset("xyu"), frozenset("yz")}
+
+    def test_boolean_coatomic_isomorphic_to_query_hypergraph(self):
+        # In 2^X, x <-> X - {x} (Sec. 4.2).
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+        }
+        graph = coatomic_hypergraph(lat, inputs)
+        # e_R = co-atoms not containing R = {xz, yz} complement-wise...
+        # R=xy is below co-atom xy... no co-atom xy in 2^{xyz}: co-atoms are
+        # xy, xz, yz; R=xy is below xy only, so e_R = {xz, yz}.
+        e_r = {lat.label(v) for v in graph.edges["R"]}
+        assert e_r == {frozenset("xz"), frozenset("yz")}
+
+    def test_atomic_hypergraph_fig1(self):
+        """Fig. 2 left: atoms y,x,u,z; e_R = {x,y}, e_S = {y,z}? — e_S is
+        the atoms below S=yz: y and z."""
+        lat, inputs = fig1_lattice()
+        graph = atomic_hypergraph(lat, inputs)
+        e_s = {lat.label(v) for v in graph.edges["S"]}
+        assert e_s == {frozenset("y"), frozenset("z")}
+
+
+class TestOutputInequality:
+    def test_triangle_shearer(self):
+        # h(xy)+h(yz)+h(zx) >= 2h(1̂): weights 1/2 each.
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+            "T": lat.index(frozenset("xz")),
+        }
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert output_inequality_holds(lat, weights, inputs)
+
+    def test_triangle_insufficient_weights(self):
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+            "T": lat.index(frozenset("xz")),
+        }
+        weights = {name: Fraction(1, 3) for name in inputs}
+        assert not output_inequality_holds(lat, weights, inputs)
+
+    def test_m3_half_cover_fails(self):
+        # Prop. 4.10's witness: h(x)+h(y)+h(z) >= 2h(1̂) FAILS on M3.
+        lat, inputs = m3_query_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert not output_inequality_holds(lat, weights, inputs)
+
+    def test_m3_integral_cover_holds(self):
+        lat, inputs = m3_query_lattice()
+        weights = {"R": Fraction(1), "S": Fraction(1), "T": Fraction(0)}
+        assert output_inequality_holds(lat, weights, inputs)
+
+    def test_fig9_inequality_holds(self):
+        # h(M)+h(N)+h(O) >= 2h(1̂) holds (Ex. 5.31) even with no SM-proof.
+        lat, inputs = fig9_lattice()
+        weights = {name: Fraction(1, 2) for name in inputs}
+        assert output_inequality_holds(lat, weights, inputs)
+
+    def test_fig4_sm_bound_inequality(self):
+        # Ex. 5.20: weights 1/3 each.
+        lat, inputs = fig4_lattice()
+        weights = {name: Fraction(1, 3) for name in inputs}
+        assert output_inequality_holds(lat, weights, inputs)
+
+
+class TestNormality:
+    def test_boolean_normal(self):
+        lat = boolean_algebra("xyz")
+        inputs = {
+            "R": lat.index(frozenset("xy")),
+            "S": lat.index(frozenset("yz")),
+            "T": lat.index(frozenset("xz")),
+        }
+        assert is_normal_lattice(lat, inputs)
+
+    def test_m3_not_normal(self):
+        lat, inputs = m3_query_lattice()
+        assert not is_normal_lattice(lat, inputs)
+
+    def test_fig1_normal(self):
+        lat, inputs = fig1_lattice()
+        assert is_normal_lattice(lat, inputs)
+
+    def test_fig4_normal(self):
+        lat, inputs = fig4_lattice()
+        assert is_normal_lattice(lat, inputs)
+
+    def test_fig9_normal(self):
+        # "More surprisingly, the lattice is normal" (Ex. 5.31).
+        lat, inputs = fig9_lattice()
+        assert is_normal_lattice(lat, inputs)
+
+    def test_n5_normal_small(self):
+        # N5 is normal (Sec. 1.2).
+        lat = n5()
+        inputs = {"A": lat.index("b"), "B": lat.index("c")}
+        assert is_normal_lattice(lat, inputs)

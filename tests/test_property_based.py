@@ -1,0 +1,240 @@
+"""Hypothesis property tests on the core structures and invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.database import Database
+from repro.engine.generic_join import generic_join
+from repro.engine.ops import natural_join, semijoin
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import lattice_from_fds
+from repro.lattice.mobius import mobius_expand_upper, mobius_inverse_upper
+from repro.lattice.polymatroid import LatticeFunction, step_function
+from repro.query.query import triangle_query
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+VARIABLES = "wxyz"
+
+
+@st.composite
+def fd_sets(draw):
+    """Random small FD sets over up to 4 variables."""
+    n_fds = draw(st.integers(0, 4))
+    fds = []
+    for _ in range(n_fds):
+        lhs = draw(
+            st.sets(st.sampled_from(VARIABLES), min_size=1, max_size=3)
+        )
+        rhs = draw(
+            st.sets(st.sampled_from(VARIABLES), min_size=1, max_size=2)
+        )
+        fds.append(FD(frozenset(lhs), frozenset(rhs)))
+    return FDSet(fds, VARIABLES)
+
+
+@st.composite
+def small_relations(draw, schema=("x", "y")):
+    tuples = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, 5) for _ in schema]), max_size=25
+        )
+    )
+    return Relation("R", schema, tuples)
+
+
+@st.composite
+def triangle_databases(draw):
+    edges = st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30
+    )
+    return Database(
+        [
+            Relation("R", ("x", "y"), draw(edges)),
+            Relation("S", ("y", "z"), draw(edges)),
+            Relation("T", ("z", "x"), draw(edges)),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# FD closure is a closure operator
+# ----------------------------------------------------------------------
+
+@given(fd_sets(), st.sets(st.sampled_from(VARIABLES)))
+def test_closure_extensive(fds, attrs):
+    assert frozenset(attrs) <= fds.closure(attrs)
+
+
+@given(fd_sets(), st.sets(st.sampled_from(VARIABLES)))
+def test_closure_idempotent(fds, attrs):
+    once = fds.closure(attrs)
+    assert fds.closure(once) == once
+
+
+@given(
+    fd_sets(),
+    st.sets(st.sampled_from(VARIABLES)),
+    st.sets(st.sampled_from(VARIABLES)),
+)
+def test_closure_monotone(fds, a, b):
+    if frozenset(a) <= frozenset(b):
+        assert fds.closure(a) <= fds.closure(b)
+
+
+@given(fd_sets())
+def test_minimal_cover_equivalent(fds):
+    assert fds.minimal_cover().equivalent(fds)
+
+
+# ----------------------------------------------------------------------
+# FD lattices are lattices; meets are intersections
+# ----------------------------------------------------------------------
+
+@given(fd_sets())
+@settings(max_examples=40, deadline=None)
+def test_fd_lattice_meet_is_intersection(fds):
+    lattice = lattice_from_fds(fds)
+    for i in range(lattice.n):
+        for j in range(lattice.n):
+            meet = lattice.label(lattice.meet(i, j))
+            assert meet == lattice.label(i) & lattice.label(j)
+
+
+@given(fd_sets())
+@settings(max_examples=40, deadline=None)
+def test_fd_lattice_join_is_closure_of_union(fds):
+    lattice = lattice_from_fds(fds)
+    for i in range(lattice.n):
+        for j in range(lattice.n):
+            join = lattice.label(lattice.join(i, j))
+            assert join == fds.closure(lattice.label(i) | lattice.label(j))
+
+
+# ----------------------------------------------------------------------
+# Möbius inversion and step functions
+# ----------------------------------------------------------------------
+
+@given(fd_sets(), st.lists(st.integers(-5, 5), min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_mobius_roundtrip(fds, raw_values):
+    lattice = lattice_from_fds(fds)
+    values = [Fraction(raw_values[i % len(raw_values)]) for i in range(lattice.n)]
+    g = mobius_inverse_upper(lattice, values)
+    assert mobius_expand_upper(lattice, g) == values
+
+
+@given(fd_sets())
+@settings(max_examples=30, deadline=None)
+def test_step_functions_are_normal_polymatroids(fds):
+    lattice = lattice_from_fds(fds)
+    for z in range(lattice.n):
+        if z == lattice.top:
+            continue
+        h = step_function(lattice, z)
+        assert h.is_polymatroid()
+        assert h.is_normal()
+
+
+@given(
+    fd_sets(),
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_nonneg_combos_of_steps_are_normal(fds, coefficients):
+    # Sec. 4: normal polymatroids = cone of step functions.
+    lattice = lattice_from_fds(fds)
+    h = LatticeFunction.zero(lattice)
+    candidates = [z for z in range(lattice.n) if z != lattice.top]
+    for k, c in enumerate(coefficients):
+        z = candidates[k % len(candidates)]
+        h = h + step_function(lattice, z).scale(c)
+    assert h.is_normal()
+    assert h.is_polymatroid()
+
+
+@given(fd_sets())
+@settings(max_examples=30, deadline=None)
+def test_lovasz_monotonization(fds):
+    # Lovász of any nonneg submodular keeps top value and is a polymatroid.
+    lattice = lattice_from_fds(fds)
+    h = LatticeFunction(
+        lattice, [Fraction(2) for _ in range(lattice.n)]
+    )
+    values = list(h.values)
+    values[lattice.bottom] = Fraction(0)
+    h = LatticeFunction(lattice, values)
+    if h.is_submodular():
+        hbar = h.lovasz_monotonization()
+        assert hbar.is_polymatroid()
+        assert hbar.values[lattice.top] == h.values[lattice.top]
+
+
+# ----------------------------------------------------------------------
+# Relational operators
+# ----------------------------------------------------------------------
+
+@given(small_relations(), small_relations(schema=("y", "z")))
+def test_join_is_subset_of_cross_product_semantics(r, s):
+    out = natural_join(r, s)
+    for t in out.tuples:
+        row = dict(zip(out.schema, t))
+        assert (row["x"], row["y"]) in set(r.tuples)
+        assert (row["y"], row["z"]) in set(s.tuples)
+
+
+@given(small_relations(), small_relations(schema=("y", "z")))
+def test_join_complete(r, s):
+    out = set(natural_join(r, s).tuples)
+    s_index = s.index_on(("y",))
+    for (x, y) in r.tuples:
+        for (_, z) in s_index.get((y,), ()):
+            assert (x, y, z) in out
+
+
+@given(small_relations(), small_relations(schema=("y", "z")))
+def test_semijoin_idempotent(r, s):
+    once = semijoin(r, s)
+    twice = semijoin(once, s)
+    assert set(once.tuples) == set(twice.tuples)
+
+
+@given(small_relations())
+def test_project_degree_consistency(r):
+    # Σ over x-groups of degree = |R|.
+    total = sum(r.degree({"x": v}) for v in r.distinct_values("x"))
+    assert total == len(r)
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence on random triangle instances
+# ----------------------------------------------------------------------
+
+@given(triangle_databases())
+@settings(max_examples=25, deadline=None)
+def test_generic_join_matches_binary_plan(db):
+    query = triangle_query()
+    a, _ = generic_join(query, db)
+    b, _ = binary_join_plan(query, db)
+    assert set(a.tuples) == set(b.project(a.schema).tuples)
+
+
+@given(triangle_databases())
+@settings(max_examples=15, deadline=None)
+def test_csma_matches_binary_plan(db):
+    from repro.core.csma import csma
+    from repro.lattice.builders import lattice_from_query
+
+    query = triangle_query()
+    lattice, inputs = lattice_from_query(query)
+    result = csma(query, db, lattice, inputs)
+    b, _ = binary_join_plan(query, db)
+    assert set(result.relation.tuples) == set(
+        b.project(result.relation.schema).tuples
+    )

@@ -1,0 +1,165 @@
+"""More hypothesis property tests: entropy, LFTJ, chains, inequalities."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.database import Database
+from repro.engine.generic_join import generic_join
+from repro.engine.leapfrog import leapfrog_triejoin
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import lattice_from_fds
+from repro.lattice.chains import Chain, all_maximal_chains, is_good_chain
+from repro.lattice.entropy import Distribution
+from repro.lattice.polymatroid import step_function
+from repro.lp.llp import LatticeLinearProgram
+from repro.query.query import triangle_query
+
+
+@st.composite
+def small_distributions(draw):
+    n_vars = draw(st.integers(2, 3))
+    variables = tuple("xyz"[:n_vars])
+    tuples = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, 3) for _ in variables]),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return Distribution.uniform(variables, tuples)
+
+
+@st.composite
+def fd_sets(draw):
+    n_fds = draw(st.integers(0, 3))
+    fds = []
+    for _ in range(n_fds):
+        lhs = draw(st.sets(st.sampled_from("wxyz"), min_size=1, max_size=2))
+        rhs = draw(st.sets(st.sampled_from("wxyz"), min_size=1, max_size=2))
+        fds.append(FD(frozenset(lhs), frozenset(rhs)))
+    return FDSet(fds, "wxyz")
+
+
+# ----------------------------------------------------------------------
+# Entropy
+# ----------------------------------------------------------------------
+
+@given(small_distributions())
+@settings(max_examples=50, deadline=None)
+def test_entropy_profile_always_polymatroid(dist):
+    """Every entropic vector is a polymatroid (Sec. 2)."""
+    assert dist.is_polymatroid_profile(tolerance=1e-7)
+
+
+@given(small_distributions())
+@settings(max_examples=50, deadline=None)
+def test_entropy_bounded_by_log_support(dist):
+    assert dist.entropy() <= math.log2(len(dist.weights)) + 1e-9
+
+
+@given(small_distributions())
+@settings(max_examples=50, deadline=None)
+def test_conditional_entropy_nonnegative(dist):
+    vars_ = dist.variables
+    assert dist.conditional_entropy(vars_[:1], vars_[1:]) >= -1e-9
+
+
+@given(small_distributions())
+@settings(max_examples=50, deadline=None)
+def test_mutual_information_nonnegative(dist):
+    vars_ = dist.variables
+    assert dist.mutual_information(vars_[:1], vars_[1:]) >= -1e-9
+
+
+# ----------------------------------------------------------------------
+# LFTJ vs generic join on random triangles
+# ----------------------------------------------------------------------
+
+@st.composite
+def triangle_dbs(draw):
+    edges = st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=25
+    )
+    return Database(
+        [
+            Relation("R", ("x", "y"), draw(edges)),
+            Relation("S", ("y", "z"), draw(edges)),
+            Relation("T", ("z", "x"), draw(edges)),
+        ]
+    )
+
+
+@given(triangle_dbs())
+@settings(max_examples=25, deadline=None)
+def test_lftj_matches_generic(db):
+    query = triangle_query()
+    a, _ = leapfrog_triejoin(query, db)
+    b, _ = generic_join(query, db)
+    assert set(a.tuples) == set(b.project(a.schema).tuples)
+
+
+# ----------------------------------------------------------------------
+# Chains and LLP on random FD lattices
+# ----------------------------------------------------------------------
+
+@given(fd_sets())
+@settings(max_examples=25, deadline=None)
+def test_maximal_chains_good_for_everything(fds):
+    """Prop. 5.2 on random FD lattices."""
+    lattice = lattice_from_fds(fds)
+    for chain in all_maximal_chains(lattice, limit=10):
+        assert is_good_chain(chain, range(lattice.n))
+
+
+@given(fd_sets())
+@settings(max_examples=20, deadline=None)
+def test_llp_bounded_by_sum_and_max(fds):
+    """GLVV is between the largest single input and the sum of inputs."""
+    lattice = lattice_from_fds(fds)
+    coatoms = lattice.coatoms
+    if not coatoms:
+        return
+    inputs = {f"R{k}": c for k, c in enumerate(coatoms)}
+    if lattice.join_all(inputs.values()) != lattice.top:
+        inputs["Rtop"] = lattice.top
+    logs = {name: 1.0 for name in inputs}
+    program = LatticeLinearProgram(lattice, inputs, logs)
+    value, _ = program.solve_primal()
+    assert -1e-6 <= value <= len(inputs) + 1e-6
+
+
+@given(fd_sets())
+@settings(max_examples=20, deadline=None)
+def test_dual_certificate_verifies_on_random_lattices(fds):
+    lattice = lattice_from_fds(fds)
+    coatoms = lattice.coatoms
+    if not coatoms:
+        return
+    inputs = {f"R{k}": c for k, c in enumerate(coatoms)}
+    if lattice.join_all(inputs.values()) != lattice.top:
+        inputs["Rtop"] = lattice.top
+    logs = {name: 1.0 for name in inputs}
+    inequality = LatticeLinearProgram(lattice, inputs, logs).solve_dual()
+    assert inequality.verify_certificate()
+
+
+@given(fd_sets(), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_step_functions_satisfy_dual_inequalities(fds, z_offset):
+    """Any dual-certified inequality holds on every step function."""
+    lattice = lattice_from_fds(fds)
+    coatoms = lattice.coatoms
+    if not coatoms:
+        return
+    inputs = {f"R{k}": c for k, c in enumerate(coatoms)}
+    if lattice.join_all(inputs.values()) != lattice.top:
+        inputs["Rtop"] = lattice.top
+    logs = {name: 1.0 for name in inputs}
+    inequality = LatticeLinearProgram(lattice, inputs, logs).solve_dual()
+    z = (lattice.bottom + z_offset) % lattice.n
+    if z == lattice.top:
+        return
+    assert inequality.verify_on(step_function(lattice, z))

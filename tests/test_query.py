@@ -1,0 +1,148 @@
+"""Query model, parser, hypergraph (repro.query)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fds.fd import FD, FDSet
+from repro.query.hypergraph import Hypergraph
+from repro.query.parse import parse_query
+from repro.query.query import Atom, Query, paper_example_query, triangle_query
+
+
+class TestAtomQuery:
+    def test_variables_in_order(self):
+        q = triangle_query()
+        assert q.variables == ("x", "y", "z")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError):
+            Query([Atom("R", ("x",)), Atom("R", ("y",))])
+
+    def test_atom_lookup(self):
+        q = triangle_query()
+        assert q.atom("S").attrs == ("y", "z")
+        with pytest.raises(KeyError):
+            q.atom("Z")
+
+    def test_fd_only_variable_included(self):
+        # Fig. 5: z appears only through the fd.
+        q = Query(
+            [Atom("R", ("x",)), Atom("S", ("y",))],
+            FDSet([FD("xy", "z")], "xyz"),
+        )
+        assert "z" in q.variables
+
+    def test_guard_detection(self):
+        q = Query(
+            [Atom("R", ("x", "y", "z"))], FDSet([FD("xy", "z")], "xyz")
+        )
+        assert q.guard(FD("xy", "z")).name == "R"
+        assert q.unguarded_fds() == []
+
+    def test_unguarded(self):
+        q = paper_example_query()
+        assert len(q.unguarded_fds()) == 2
+
+    def test_closure_query(self):
+        # All of Fig. 1's input attribute sets are already closed.
+        q = paper_example_query()
+        qc = q.closure_query()
+        assert set(qc.atom("T").attrs) == {"z", "u"}
+        assert not qc.fds
+
+    def test_closure_query_simple_key(self, simple_key_query):
+        qc = simple_key_query.closure_query()
+        assert set(qc.atom("R").attrs) == {"x", "y", "z"}
+
+    def test_cardinalities_log(self):
+        q = triangle_query()
+        logs = q.cardinalities_log({"R": 8, "S": 1, "T": 0})
+        assert logs["R"] == pytest.approx(3.0)
+        assert logs["S"] == 0.0
+        assert logs["T"] == 0.0
+
+    def test_hypergraph(self):
+        hg = triangle_query().hypergraph()
+        assert set(hg.vertices) == {"x", "y", "z"}
+        assert hg.edges["R"] == frozenset("xy")
+
+
+class TestParser:
+    def test_basic(self):
+        q = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)")
+        assert [a.name for a in q.atoms] == ["R", "S", "T"]
+        assert q.atoms[0].attrs == ("x", "y")
+
+    def test_headless(self):
+        q = parse_query("R(x,y), S(y,z)")
+        assert len(q.atoms) == 2
+
+    def test_with_fds(self):
+        q = parse_query("R(x,y), S(y,z), T(z,u); xz -> u, yu -> x")
+        assert len(q.fds) == 2
+        fds = list(q.fds)
+        assert fds[0] == FD("xz", "u")
+
+    def test_compact_fd_varlist(self):
+        q = parse_query("R(x,y), S(y,z); xy -> z")
+        assert list(q.fds)[0].lhs == frozenset("xy")
+
+    def test_no_atoms_raises(self):
+        with pytest.raises(ValueError):
+            parse_query("nothing here")
+
+    def test_multichar_variables(self):
+        q = parse_query("Edge(src, dst), Node(src)")
+        assert q.atoms[0].attrs == ("src", "dst")
+
+
+class TestHypergraph:
+    def test_isolated_vertices(self):
+        hg = Hypergraph(["a", "b"], {"e": ["a"]})
+        assert hg.isolated_vertices() == {"b"}
+
+    def test_edge_outside_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(["a"], {"e": ["a", "b"]})
+
+    def test_is_cover(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz", "T": "xz"})
+        assert hg.is_fractional_edge_cover(
+            {"R": Fraction(1, 2), "S": Fraction(1, 2), "T": Fraction(1, 2)}
+        )
+        assert not hg.is_fractional_edge_cover(
+            {"R": Fraction(1, 3), "S": Fraction(1, 3), "T": Fraction(1, 3)}
+        )
+
+    def test_cover_number_triangle(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz", "T": "xz"})
+        value, weights = hg.fractional_edge_cover_number()
+        assert float(value) == pytest.approx(1.5)
+        assert hg.is_fractional_edge_cover(weights)
+
+    def test_weighted_cover_prefers_small(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz", "T": "xz"})
+        value, weights = hg.fractional_edge_cover_number(
+            {"R": 1.0, "S": 1.0, "T": 100.0}
+        )
+        assert float(value) == pytest.approx(2.0)
+        assert weights["T"] == 0
+
+    def test_vertex_packing_duality(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz", "T": "xz"})
+        cover, _ = hg.fractional_edge_cover_number()
+        packing, _ = hg.fractional_vertex_packing()
+        assert float(cover) == pytest.approx(float(packing))
+
+    def test_cover_vertices_contains_half(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz", "T": "xz"})
+        points = hg.edge_cover_vertices()
+        half = Fraction(1, 2)
+        assert any(
+            p == {"R": half, "S": half, "T": half} for p in points
+        )
+
+    def test_incident_edges(self):
+        hg = Hypergraph("xyz", {"R": "xy", "S": "yz"})
+        assert set(hg.incident_edges("y")) == {"R", "S"}

@@ -1,0 +1,130 @@
+"""Exact rational linear algebra (repro.util.rational)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.util.rational import (
+    as_fraction,
+    enumerate_polytope_vertices,
+    is_feasible_point,
+    rank_exact,
+    rationalize,
+    solve_exact,
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 7)
+        assert as_fraction(f) is f
+
+    def test_float_exact(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_string(self):
+        assert as_fraction("3/4") == Fraction(3, 4)
+
+
+class TestRationalize:
+    def test_snaps_third(self):
+        assert rationalize(0.3333333333333333) == Fraction(1, 3)
+
+    def test_snaps_half(self):
+        assert rationalize(0.5000000001) == Fraction(1, 2)
+
+    def test_integer(self):
+        assert rationalize(2.0) == Fraction(2)
+
+
+class TestSolveExact:
+    def test_identity(self):
+        assert solve_exact([[1, 0], [0, 1]], [3, 4]) == [Fraction(3), Fraction(4)]
+
+    def test_2x2(self):
+        # x + y = 3, x - y = 1  ->  x = 2, y = 1
+        assert solve_exact([[1, 1], [1, -1]], [3, 1]) == [Fraction(2), Fraction(1)]
+
+    def test_fractional_solution(self):
+        # 2x = 1
+        assert solve_exact([[2]], [1]) == [Fraction(1, 2)]
+
+    def test_singular_returns_none(self):
+        assert solve_exact([[1, 1], [2, 2]], [1, 2]) is None
+
+    def test_inconsistent_returns_none(self):
+        assert solve_exact([[1, 1], [1, 1]], [1, 2]) is None
+
+    def test_overdetermined_consistent(self):
+        out = solve_exact([[1, 0], [0, 1], [1, 1]], [1, 2, 3])
+        assert out == [Fraction(1), Fraction(2)]
+
+    def test_empty(self):
+        assert solve_exact([], []) is None
+
+
+class TestRankExact:
+    def test_full_rank(self):
+        assert rank_exact([[1, 0], [0, 1]]) == 2
+
+    def test_deficient(self):
+        assert rank_exact([[1, 2], [2, 4]]) == 1
+
+    def test_zero_matrix(self):
+        assert rank_exact([[0, 0], [0, 0]]) == 0
+
+    def test_rectangular(self):
+        assert rank_exact([[1, 0, 1], [0, 1, 1]]) == 2
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        assert is_feasible_point([1, 1], [[1, 1]], [3])
+
+    def test_violates_row(self):
+        assert not is_feasible_point([2, 2], [[1, 1]], [3])
+
+    def test_negative_rejected(self):
+        assert not is_feasible_point([-1, 0], [], [])
+
+    def test_negative_allowed_when_free(self):
+        assert is_feasible_point([-1, 0], [], [], nonnegative=False)
+
+
+class TestVertexEnumeration:
+    def test_unit_square(self):
+        # x <= 1, y <= 1, x,y >= 0: four vertices.
+        vertices = enumerate_polytope_vertices(
+            [[1, 0], [0, 1]], [1, 1]
+        )
+        assert sorted(map(tuple, vertices)) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_triangle_cover_polytope(self):
+        # Edge cover polytope of the triangle query truncated at 1:
+        # -w_R - w_T <= -1 (vertex x), etc.  Classic vertices include
+        # (1/2, 1/2, 1/2).
+        a = [[-1, -1, 0], [0, -1, -1], [-1, 0, -1]]
+        b = [-1, -1, -1]
+        box_a = a + [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        box_b = b + [1, 1, 1]
+        vertices = {tuple(v) for v in enumerate_polytope_vertices(box_a, box_b)}
+        half = Fraction(1, 2)
+        assert (half, half, half) in vertices
+        assert (1, 1, 0) in vertices or (Fraction(1), Fraction(1), Fraction(0)) in vertices
+
+    def test_dimension_guard(self):
+        with pytest.raises(ValueError):
+            enumerate_polytope_vertices(
+                [[1] * 13], [1], max_dimension=12
+            )
+
+    def test_empty_constraints(self):
+        assert enumerate_polytope_vertices([], []) == []

@@ -1,0 +1,163 @@
+"""Weighted (asymmetric) cardinalities across the whole stack.
+
+The paper's bounds are all *weighted*: Σ w_j n_j with per-relation sizes.
+Most fixtures use unit logs; this suite exercises genuinely asymmetric
+profiles through the LPs, chains, proofs and algorithms.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.csma import csma
+from repro.core.proofs import find_good_sm_proof
+from repro.core.sma import submodularity_algorithm
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.udf import UDF
+from repro.lattice.builders import fig1_lattice, lattice_from_query
+from repro.lattice.chains import best_chain_bound
+from repro.lp.llp import LatticeLinearProgram
+from repro.query.query import paper_example_query, triangle_query
+
+
+def asymmetric_fig1_db(n_r: int, n_s: int, n_t: int, seed: int = 0):
+    """Random-ish R/S/T of different sizes for query (1)."""
+    rng = random.Random(seed)
+    dom = 32
+
+    def mk(size):
+        return {
+            (rng.randrange(dom), rng.randrange(dom)) for _ in range(size)
+        }
+
+    return Database(
+        [
+            Relation("R", ("x", "y"), mk(n_r)),
+            Relation("S", ("y", "z"), mk(n_s)),
+            Relation("T", ("z", "u"), mk(n_t)),
+        ],
+        udfs=[
+            UDF("f", ("x", "z"), "u", lambda x, z: (x + z) % dom),
+            UDF("g", ("y", "u"), "x", lambda y, u: (y * 3 + u) % dom),
+        ],
+    )
+
+
+class TestWeightedLLP:
+    def test_fig1_weighted_optimum(self):
+        """With |S| tiny the weighted bound pivots away from the symmetric
+        1/2,1/2,1/2 cover."""
+        lat, inputs = fig1_lattice()
+        logs = {"R": 10.0, "S": 1.0, "T": 10.0}
+        program = LatticeLinearProgram(lat, inputs, logs)
+        value, _ = program.solve_primal()
+        symmetric = 0.5 * sum(logs.values())
+        assert value <= symmetric
+        dual = program.solve_dual()
+        assert dual.bound(logs) == pytest.approx(value)
+        assert dual.verify_certificate()
+
+    def test_monotone_in_each_cardinality(self):
+        lat, inputs = fig1_lattice()
+        base = {"R": 4.0, "S": 4.0, "T": 4.0}
+        value0, _ = LatticeLinearProgram(lat, inputs, base).solve_primal()
+        for name in inputs:
+            bumped = dict(base)
+            bumped[name] += 2.0
+            value1, _ = LatticeLinearProgram(lat, inputs, bumped).solve_primal()
+            assert value1 >= value0 - 1e-9
+
+    def test_zero_size_relation(self):
+        lat, inputs = fig1_lattice()
+        logs = {"R": 0.0, "S": 5.0, "T": 5.0}
+        value, _ = LatticeLinearProgram(lat, inputs, logs).solve_primal()
+        # h(R) = 0 pins h(xy) = 0, and monotone structure caps the top.
+        assert value <= 10.0 + 1e-9
+
+
+class TestWeightedChains:
+    def test_best_chain_adapts_to_sizes(self):
+        lat, inputs = fig1_lattice()
+        symmetric = {"R": 6.0, "S": 6.0, "T": 6.0}
+        v_sym, _, w_sym = best_chain_bound(lat, inputs, symmetric)
+        skewed = {"R": 6.0, "S": 0.5, "T": 6.0}
+        v_skew, _, w_skew = best_chain_bound(lat, inputs, skewed)
+        assert v_skew < v_sym
+        # With S nearly free the cover should lean on S.
+        assert w_skew.get("S", 0) >= w_sym.get("S", 0) - 1e-9
+
+    def test_chain_bound_at_least_glvv(self):
+        lat, inputs = fig1_lattice()
+        for logs in (
+            {"R": 3.0, "S": 7.0, "T": 5.0},
+            {"R": 1.0, "S": 1.0, "T": 20.0},
+        ):
+            chain_v, _, _ = best_chain_bound(lat, inputs, logs)
+            glvv, _ = LatticeLinearProgram(lat, inputs, logs).solve_primal()
+            assert chain_v >= glvv - 1e-6
+
+
+class TestWeightedProofs:
+    def test_sm_proof_with_asymmetric_weights(self):
+        """Dual weights like (1, 1, 0) or (1/2, ...) from skewed sizes
+        still admit good proofs on fig1."""
+        lat, inputs = fig1_lattice()
+        logs = {"R": 10.0, "S": 1.0, "T": 10.0}
+        solution = LatticeLinearProgram(lat, inputs, logs).solve()
+        proof = find_good_sm_proof(
+            lat, solution.inequality.weights, inputs, max_steps=14
+        )
+        assert proof is not None
+        assert proof.is_good()
+
+
+class TestWeightedAlgorithms:
+    @pytest.mark.parametrize(
+        "sizes", [(200, 20, 200), (50, 300, 50), (30, 30, 300)]
+    )
+    def test_chain_algorithm_asymmetric(self, sizes):
+        query = paper_example_query()
+        db = asymmetric_fig1_db(*sizes)
+        lattice, inputs = lattice_from_query(query)
+        logs = {k: db.log_sizes()[k] for k in inputs}
+        _, chain, _ = best_chain_bound(lattice, inputs, logs)
+        out, _ = chain_algorithm(query, db, lattice, inputs, chain)
+        ref, _ = binary_join_plan(query, db)
+        assert set(out.tuples) == set(ref.project(out.schema).tuples)
+
+    @pytest.mark.parametrize("sizes", [(200, 20, 200), (30, 30, 300)])
+    def test_csma_asymmetric(self, sizes):
+        query = paper_example_query()
+        db = asymmetric_fig1_db(*sizes)
+        lattice, inputs = lattice_from_query(query)
+        result = csma(query, db, lattice, inputs)
+        ref, _ = binary_join_plan(query, db)
+        assert set(result.relation.tuples) == set(
+            ref.project(result.relation.schema).tuples
+        )
+        assert result.stats.fallbacks == 0
+
+    def test_sma_asymmetric_triangle(self):
+        query = triangle_query()
+        rng = random.Random(3)
+        db = Database(
+            [
+                Relation("R", ("x", "y"),
+                         {(rng.randrange(12), rng.randrange(12))
+                          for _ in range(150)}),
+                Relation("S", ("y", "z"),
+                         {(rng.randrange(12), rng.randrange(12))
+                          for _ in range(20)}),
+                Relation("T", ("z", "x"),
+                         {(rng.randrange(12), rng.randrange(12))
+                          for _ in range(150)}),
+            ]
+        )
+        lattice, inputs = lattice_from_query(query)
+        out, _ = submodularity_algorithm(query, db, lattice, inputs)
+        ref, _ = binary_join_plan(query, db)
+        assert set(out.tuples) == set(ref.project(out.schema).tuples)
