@@ -7,6 +7,11 @@ tuple of ``Q_{i-1}`` it iterates over the *cheapest* covering relation
 the others — the combinatorial counterpart of Radhakrishnan's telescoping
 proof, with runtime Õ(N + Π_j N_j^{w_j}) for any fractional edge cover w of
 the chain hypergraph (Thm. 5.7).
+
+The frontier is kept as raw tuples over the sorted attributes of C_{i-1};
+per-step candidate generation, expansion (via compiled plans) and
+verification all run positionally — the counted work is identical to the
+row-dict formulation, only the constant factor drops.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.engine.database import Database
+from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.lattice.chains import Chain, is_good_chain, shearer_chain
@@ -26,6 +32,28 @@ from repro.query.query import Query
 class ChainAlgorithmStats:
     tuples_touched: int = 0
     per_step_sizes: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _CoverInfo:
+    """Per-(step, covering relation) positional access paths."""
+
+    name: str
+    proj: Relation
+    # Degree/match lookups keyed on the attrs shared with the frontier.
+    index: dict
+    key: object
+    # Extension: projection attrs not yet in the frontier.
+    extra_attrs: tuple[str, ...]
+    extra_key: object
+    # Verification: candidate → full projection-schema key; membership
+    # index built lazily on first verify (single-cover steps never need it).
+    cand_key: object
+    cand_extra_key: object
+    full_index: dict | None = None
+    # Compiled expansion (prefix ++ extra → C_i), lazily built.
+    plan: object = None
+    reorder: object = None
 
 
 def chain_algorithm(
@@ -66,7 +94,8 @@ def chain_algorithm(
             raise ValueError(f"chain step {i} is covered by no input")
         covering.append(names)
 
-    # Per-step projections Π_{R_j ∧ C_i}(R_j⁺), built lazily.
+    # Per-step projections Π_{R_j ∧ C_i}(R_j⁺), built lazily (and memoized
+    # again inside Relation.project).
     projections: dict[tuple[int, str], Relation] = {}
 
     def projection(i: int, name: str) -> Relation:
@@ -76,89 +105,115 @@ def chain_algorithm(
             projections[key] = expanded[name].project(sorted(shared))
         return projections[key]
 
-    # Q_0 = {()} (line 2).
-    frontier: list[dict[str, object]] = [{}]
+    # Q_0 = {()} (line 2).  Frontier tuples are laid out over prev_attrs.
+    frontier: list[tuple] = [()]
+    prev_attrs: tuple[str, ...] = ()
     stats.per_step_sizes.append(1)
 
     for i in range(1, k + 1):
         ci: frozenset = lattice.label(chain.elements[i])
-        next_frontier: dict[tuple, dict[str, object]] = {}
         ci_sorted = tuple(sorted(ci))
+        if not frontier:
+            # Nothing to extend: skip building the per-step access paths
+            # (the naive path built its projections lazily and likewise did
+            # no work here), but keep the per-step stats trajectory.
+            prev_attrs = ci_sorted
+            stats.per_step_sizes.append(0)
+            continue
+        prev_set = frozenset(prev_attrs)
+        infos: list[_CoverInfo] = []
+        for name in covering[i]:
+            proj = projection(i, name)
+            bound_attrs = tuple(a for a in proj.schema if a in prev_set)
+            extra_attrs = tuple(a for a in proj.schema if a not in prev_set)
+            infos.append(
+                _CoverInfo(
+                    name=name,
+                    proj=proj,
+                    index=proj.index_on(bound_attrs),
+                    key=tuple_getter(
+                        prev_attrs.index(a) for a in bound_attrs
+                    ),
+                    extra_attrs=extra_attrs,
+                    extra_key=tuple_getter(proj.positions(extra_attrs)),
+                    cand_key=tuple_getter(
+                        ci_sorted.index(a) for a in proj.schema
+                    ),
+                    cand_extra_key=tuple_getter(
+                        ci_sorted.index(a) for a in extra_attrs
+                    ),
+                )
+            )
+
+        def ensure_plan(info: _CoverInfo):
+            if info.plan is None:
+                info.plan = db.expansion_plan(prev_attrs + info.extra_attrs, ci)
+                info.reorder = tuple_getter(info.plan.positions(ci_sorted))
+            return info.plan
+
+        def verify(candidate: tuple, prefix: tuple, chosen: _CoverInfo) -> bool:
+            """Line 6's intersection, checked per candidate tuple.
+
+            For every other covering relation j: the candidate's R_j ∧ C_i
+            projection must be present in Π_{R_j ∧ C_i}(R_j), and
+            re-expanding the prefix joined with that projection must
+            reproduce the candidate (the subtle step of footnote 8)."""
+            for info in infos:
+                if info is chosen:
+                    continue
+                counter.add()
+                full_index = info.full_index
+                if full_index is None:
+                    full_index = info.full_index = info.proj.index_on(
+                        info.proj.schema
+                    )
+                if info.cand_key(candidate) not in full_index:
+                    return False
+                plan = ensure_plan(info)
+                rebuilt = plan.execute(
+                    prefix + info.cand_extra_key(candidate), counter
+                )
+                if rebuilt is None or info.reorder(rebuilt) != candidate:
+                    return False
+            return True
+
+        next_frontier: dict[tuple, None] = {}
         for t in frontier:
             # Pick j* = argmin |t ⋈ Π_{R_j ∧ C_i}(R_j)| by degree lookup.
-            best_name = None
-            best_count = None
-            for name in covering[i]:
-                proj = projection(i, name)
-                partial = {a: t[a] for a in proj.schema if a in t}
-                count = proj.degree(partial)
+            best: _CoverInfo | None = None
+            best_count: int | None = None
+            for info in infos:
+                count = len(info.index.get(info.key(t), ()))
                 counter.add()
                 if best_count is None or count < best_count:
-                    best_name, best_count = name, count
-            proj_star = projection(i, best_name)
-            partial_star = {a: t[a] for a in proj_star.schema if a in t}
-            for match in proj_star.matching(partial_star):
-                counter.add()
-                candidate = dict(t)
-                candidate.update(zip(proj_star.schema, match))
+                    best, best_count = info, count
+            matches = best.index.get(best.key(t), ())
+            if not matches:
+                continue
+            counter.add(len(matches))
+            plan = ensure_plan(best)
+            execute = plan.execute
+            extra_key = best.extra_key
+            for match in matches:
                 # Expand to C_i (goodness guarantees the closure is C_i).
-                expanded_t = db.expand_tuple(candidate, target=ci, counter=counter)
+                expanded_t = execute(t + extra_key(match), counter)
                 if expanded_t is None:
                     continue
-                if not _verify(
-                    expanded_t, t, i, covering[i], best_name, projection,
-                    db, ci, counter,
-                ):
+                candidate = best.reorder(expanded_t)
+                if not verify(candidate, t, best):
                     continue
-                key = tuple(expanded_t[a] for a in ci_sorted)
-                next_frontier[key] = expanded_t
-        frontier = list(next_frontier.values())
+                next_frontier[candidate] = None
+        frontier = list(next_frontier)
+        prev_attrs = ci_sorted
         stats.per_step_sizes.append(len(frontier))
 
     schema = tuple(sorted(lattice.label(chain.elements[k])))
+    consistent = db.udf_filter(schema)
     out = Relation(
         "Q",
         schema,
-        (
-            tuple(t[a] for a in schema)
-            for t in frontier
-            if db.udf_consistent(t)
-        ),
+        frontier if consistent is None else filter(consistent, frontier),
+        distinct=True,
     )
     stats.tuples_touched = counter.tuples_touched
     return out, stats
-
-
-def _verify(
-    candidate: dict[str, object],
-    prefix: dict[str, object],
-    i: int,
-    covering_names: list[str],
-    chosen: str,
-    projection,
-    db: Database,
-    ci: frozenset,
-    counter: WorkCounter,
-) -> bool:
-    """Line 6's intersection, checked per candidate tuple.
-
-    For every other covering relation j: the candidate's R_j ∧ C_i
-    projection must be present in Π_{R_j ∧ C_i}(R_j), and re-expanding the
-    prefix joined with that projection must reproduce the candidate (the
-    subtle step of footnote 8)."""
-    for name in covering_names:
-        if name == chosen:
-            continue
-        proj = projection(i, name)
-        counter.add()
-        key_binding = {a: candidate[a] for a in proj.schema}
-        if proj.degree(key_binding) == 0:
-            return False
-        rebuilt = dict(prefix)
-        rebuilt.update(key_binding)
-        rebuilt = db.expand_tuple(rebuilt, target=ci, counter=counter)
-        if rebuilt is None or any(
-            rebuilt[a] != candidate[a] for a in candidate
-        ):
-            return False
-    return True

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine.database import Database
+from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.lattice.lattice import Lattice
@@ -323,22 +324,14 @@ def csma(
     run_branch(root, rules, 0)
 
     # Union + exact filter against the original inputs (and UDF-consistency,
-    # which holds by construction through the expansion procedure).
+    # which holds by construction through the expansion procedure).  The
+    # filter runs positionally on the compiled membership/UDF checks.
     top_attrs = tuple(sorted(lattice.label(lattice.top)))
     seen: dict[tuple, None] = {}
     for rel in outputs:
         for t in rel.project(top_attrs).tuples:
             seen.setdefault(t, None)
-    result = []
-    input_rels = {name: db[name] for name in inputs}
-    for t in seen:
-        counter.add()
-        row = dict(zip(top_attrs, t))
-        if all(
-            rel.degree({a: row[a] for a in rel.schema}) > 0
-            for rel in input_rels.values()
-        ) and db.udf_consistent(row):
-            result.append(t)
+    result = db.final_filter(top_attrs, seen, inputs, counter=counter)
     stats.tuples_touched = counter.tuples_touched
     return CSMAResult(Relation("Q", top_attrs, result), stats)
 
@@ -361,18 +354,29 @@ def _execute_cd(
     x_attrs = tuple(sorted(lattice.label(rule.x)))
     index = table.index_on(x_attrs)
     buckets: dict[int, list[tuple]] = {}
+    bucket_indexes: dict[int, dict[tuple, list[tuple]]] = {}
     for key, bucket in index.items():
         counter.add(len(bucket))
         level = max(0, int(math.log2(len(bucket))))
         buckets.setdefault(level, []).extend(bucket)
+        bucket_indexes.setdefault(level, {})[key] = bucket
     children: list[_Branch] = []
     for level, tuples in sorted(buckets.items()):
         child = branch.clone()
-        sub_table = Relation(f"{table.name}@deg{level}", table.schema, tuples)
+        # Buckets partition the parent's (distinct) tuples, so the child is
+        # distinct by provenance and inherits its X-index from the
+        # partition instead of re-hashing.
+        partition = bucket_indexes[level]
+        sub_table = Relation(
+            f"{table.name}@deg{level}", table.schema, tuples, distinct=True
+        )
+        sub_table.seed_index(x_attrs, partition)
         child.tables[rule.y] = sub_table
         child.degree_guards[(rule.x, rule.y)] = sub_table
-        child.tables[rule.x] = sub_table.project(
-            x_attrs, name=f"Π({table.name})@deg{level}"
+        # Π_X of the bucket is exactly the partition's key set.
+        child.tables[rule.x] = Relation(
+            f"Π({table.name})@deg{level}", x_attrs, partition.keys(),
+            distinct=True,
         )
         child.degree_guards[(lattice.bottom, rule.x)] = child.tables[rule.x]
         children.append(child)
@@ -417,25 +421,32 @@ def _execute_join_rule(
     left_positions = left.positions(shared)
     guard_extra = tuple(a for a in guard.schema if a not in left.varset)
     extra_positions = guard.positions(guard_extra)
-    out_schema: tuple[str, ...] | None = None
+    out_schema = tuple(sorted(target_attrs))
+    # Compiled plan from the concatenated (left ++ guard-extra) layout to
+    # the target's closed varset; lazily compiled on the first match so an
+    # empty join (like the naive path) never compiles anything.
+    left_key = tuple_getter(left_positions)
+    extra_key = tuple_getter(extra_positions)
+    plan = None
+    execute = None
+    out_key = None
     out_tuples: list[tuple] = []
     for t in left.tuples:
-        key = tuple(t[p] for p in left_positions)
-        matches = guard_index.get(key, ()) if shared else guard.tuples
+        matches = guard_index.get(left_key(t), ()) if shared else guard.tuples
+        if not matches:
+            continue
+        counter.add(len(matches))
+        if plan is None:
+            plan = db.expansion_plan(left.schema + guard_extra, target_attrs)
+            execute = plan.execute
+            out_key = tuple_getter(plan.positions(out_schema))
         for match in matches:
-            counter.add()
-            row = dict(zip(left.schema, t))
-            row.update(zip(guard_extra, (match[p] for p in extra_positions)))
-            expanded = db.expand_tuple(row, target=target_attrs, counter=counter)
-            if expanded is None:
-                continue
-            if out_schema is None:
-                out_schema = tuple(sorted(expanded))
-            out_tuples.append(tuple(expanded[a] for a in out_schema))
-    if out_schema is None:
-        out_schema = tuple(sorted(target_attrs))
+            expanded = execute(t + extra_key(match), counter)
+            if expanded is not None:
+                out_tuples.append(out_key(expanded))
+    # (left tuple, guard image) → output is injective, so no re-dedup.
     branch.tables[target] = Relation(
-        f"T({lattice.label(target)})", out_schema, out_tuples
+        f"T({lattice.label(target)})", out_schema, out_tuples, distinct=True
     )
     branch.degree_guards[(lattice.bottom, target)] = branch.tables[target]
     return True
@@ -460,8 +471,11 @@ def _fallback_join(
     target = lattice.label(lattice.top)
     out_schema = tuple(sorted(target))
     rows = []
-    for row in current.as_dicts():
-        expanded = db.expand_tuple(row, target=target, counter=counter)
-        if expanded is not None:
-            rows.append(tuple(expanded[a] for a in out_schema))
+    if len(current):
+        plan = db.expansion_plan(current.schema, target)
+        reorder = plan.positions(out_schema)
+        for t in current.tuples:
+            expanded = plan.execute(t, counter)
+            if expanded is not None:
+                rows.append(tuple(expanded[p] for p in reorder))
     return Relation("fallback", out_schema, rows)

@@ -48,8 +48,21 @@ class Planner:
         self._log_sizes = {
             name: db.log_sizes()[name] for name in self.inputs
         }
+        # choose() is deterministic per tolerance; run() re-asks it, and
+        # the underlying LP solves are memoized anyway — cache the verdict
+        # (and the chain it was based on) so repeated queries are free.
+        self._choices: dict[float, PlanChoice] = {}
+        self._chain = None
 
     def choose(self, tolerance: float = 1e-6) -> PlanChoice:
+        cached = self._choices.get(tolerance)
+        if cached is not None:
+            return cached
+        choice = self._choose(tolerance)
+        self._choices[tolerance] = choice
+        return choice
+
+    def _choose(self, tolerance: float) -> PlanChoice:
         from repro.core.simple_keys import all_guarded_simple_keys
 
         if not self.query.fds:
@@ -81,6 +94,7 @@ class Planner:
         chain_log2, chain, _ = best_chain_bound(
             self.lattice, self.inputs, self._log_sizes
         )
+        self._chain = chain
         if chain is not None and chain_log2 <= glvv + tolerance:
             return PlanChoice(
                 algorithm="chain",
@@ -115,9 +129,11 @@ class Planner:
         elif choice.algorithm == "closure-trick":
             out, _ = closure_trick_join(self.query, self.db)
         elif choice.algorithm == "chain":
-            _, chain, _ = best_chain_bound(
-                self.lattice, self.inputs, self._log_sizes
-            )
+            chain = self._chain
+            if chain is None:
+                _, chain, _ = best_chain_bound(
+                    self.lattice, self.inputs, self._log_sizes
+                )
             out, _ = chain_algorithm(
                 self.query, self.db, self.lattice, self.inputs, chain
             )

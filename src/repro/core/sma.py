@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Mapping
 
 from repro.core.proofs import SMProof, find_good_sm_proof
 from repro.engine.database import Database
+from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.lattice.lattice import Lattice
@@ -118,37 +118,42 @@ def submodularity_algorithm(
         z_positions_x = t_x.positions(tuple(a for a in z_attrs))
         x_z_proj = {tuple(t[p] for p in z_positions_x) for t in t_x.tuples}
         meet_tuples = [key for key in heavy_keys if key in x_z_proj]
-        tables[meet_item] = Relation(f"T({meet_item})", z_attrs, meet_tuples)
+        tables[meet_item] = Relation(
+            f"T({meet_item})", z_attrs, meet_tuples, distinct=True
+        )
 
-        # T(X∨Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺ (line 9).
+        # T(X∨Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺ (line 9), executed on the
+        # compiled expansion plan for the concatenated (X ++ Y-extra) layout.
         xy_attrs = lattice.label(xy)
-        join_rows: list[dict[str, object]] = []
-        x_schema = t_x.schema
         y_extra = tuple(a for a in t_y.schema if a not in t_x.varset)
         y_lookup_attrs = tuple(a for a in t_y.schema if a in t_x.varset)
         y_join_index = t_y.index_on(y_lookup_attrs)
-        lookup_positions_x = t_x.positions(y_lookup_attrs)
-        extra_positions_y = t_y.positions(y_extra)
+        x_key = tuple_getter(t_x.positions(y_lookup_attrs))
+        z_key_of = tuple_getter(z_positions_y)
+        extra_key = tuple_getter(t_y.positions(y_extra))
+        out_schema = tuple(sorted(xy_attrs))
+        plan = None
+        execute = None
+        out_key = None
         out_tuples: list[tuple] = []
-        out_schema: tuple[str, ...] | None = None
         for t in t_x.tuples:
-            key = tuple(t[p] for p in lookup_positions_x)
-            for match in y_join_index.get(key, ()):
-                counter.add()
-                z_key = tuple(match[p] for p in z_positions_y)
-                if z_key not in lite_keys:
+            matches = y_join_index.get(x_key(t), ())
+            if not matches:
+                continue
+            counter.add(len(matches))
+            if plan is None:
+                plan = db.expansion_plan(t_x.schema + y_extra, xy_attrs)
+                execute = plan.execute
+                out_key = tuple_getter(plan.positions(out_schema))
+            for match in matches:
+                if z_key_of(match) not in lite_keys:
                     continue
-                row = dict(zip(x_schema, t))
-                row.update(zip(y_extra, (match[p] for p in extra_positions_y)))
-                expanded_row = db.expand_tuple(row, target=xy_attrs, counter=counter)
-                if expanded_row is None:
-                    continue
-                if out_schema is None:
-                    out_schema = tuple(sorted(expanded_row))
-                out_tuples.append(tuple(expanded_row[a] for a in out_schema))
-        if out_schema is None:
-            out_schema = tuple(sorted(xy_attrs))
-        tables[join_item] = Relation(f"T({join_item})", out_schema, out_tuples)
+                expanded_row = execute(t + extra_key(match), counter)
+                if expanded_row is not None:
+                    out_tuples.append(out_key(expanded_row))
+        tables[join_item] = Relation(
+            f"T({join_item})", out_schema, out_tuples, distinct=True
+        )
         _assert_budget(tables[meet_item], h_star, z, lattice, slack_bits)
         _assert_budget(tables[join_item], h_star, xy, lattice, slack_bits)
         stats.table_sizes[meet_item] = len(tables[meet_item])
@@ -163,17 +168,7 @@ def submodularity_algorithm(
         aligned = rel.project(top_attrs)
         for t in aligned.tuples:
             candidates.setdefault(t, None)
-    result: list[tuple] = []
-    positions = {a: i for i, a in enumerate(top_attrs)}
-    input_rels = {name: db[name] for name in inputs}
-    for t in candidates:
-        counter.add()
-        row = dict(zip(top_attrs, t))
-        if all(
-            rel.degree({a: row[a] for a in rel.schema}) > 0
-            for rel in input_rels.values()
-        ) and db.udf_consistent(row):
-            result.append(t)
+    result = db.final_filter(top_attrs, candidates, inputs, counter=counter)
     stats.tuples_touched = counter.tuples_touched
     return Relation("Q", top_attrs, result), stats
 

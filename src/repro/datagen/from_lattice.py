@@ -114,17 +114,19 @@ def database_from_world(
     relations = [
         world.project(atom.attrs, name=atom.name) for atom in query.atoms
     ]
+    from repro.engine.expansion_plan import tuple_getter
+
     udfs: list[UDF] = []
     for fd in query.fds:
         lhs = tuple(sorted(fd.lhs))
         for target in sorted(fd.rhs - fd.lhs):
             if any(u.output == target and tuple(u.inputs) == lhs for u in udfs):
                 continue
-            table: dict[tuple, object] = {}
-            lhs_positions = world.positions(lhs)
+            lhs_key = tuple_getter(world.positions(lhs))
             target_pos = world.positions((target,))[0]
-            for t in world.tuples:
-                table[tuple(t[p] for p in lhs_positions)] = t[target_pos]
+            table: dict[tuple, object] = {
+                lhs_key(t): t[target_pos] for t in world.tuples
+            }
             udfs.append(
                 UDF(
                     f"{target}_of_{''.join(lhs)}",

@@ -55,26 +55,34 @@ def binary_join_plan(
         current = natural_join(current, db[name], counter=counter)
         stats.intermediate_sizes.append(len(current))
     if apply_fd_filters and set(current.schema) != set(query.variables):
-        # Fill UDF-determined variables and drop inconsistent tuples.
+        # Fill UDF-determined variables and drop inconsistent tuples,
+        # through the compiled expansion plan for the intermediate schema.
         filled = []
         target = frozenset(query.variables)
-        for row in current.as_dicts():
-            counter.add()
-            expanded = db.expand_tuple(row, target=target, counter=counter)
-            if expanded is not None and db.udf_consistent(expanded):
-                filled.append(tuple(expanded[v] for v in query.variables))
+        if len(current):
+            plan = db.expansion_plan(current.schema, target)
+            from repro.engine.expansion_plan import tuple_getter
+
+            out_key = tuple_getter(plan.positions(query.variables))
+            consistent = db.udf_filter(plan.out_schema)
+            counter.add(len(current))
+            for t in current.tuples:
+                expanded = plan.execute(t, counter)
+                if expanded is not None and (
+                    consistent is None or consistent(expanded)
+                ):
+                    filled.append(out_key(expanded))
         current = Relation("Q", query.variables, filled)
     elif apply_fd_filters:
         # Check every fd that has a UDF witness (predicates u = f(x, z)).
-        def consistent(row: dict[str, object]) -> bool:
-            counter.add()
-            for udf in db.udfs:
-                if set(udf.inputs) <= row.keys() and udf.output in row:
-                    if db.udfs.apply(udf, row) != row[udf.output]:
-                        return False
-            return True
-
-        current = current.restrict(consistent, name="Q")
-        current = current.project(query.variables, name="Q")
+        consistent = db.udf_filter(current.schema)
+        counter.add(len(current))
+        if consistent is None:
+            kept = list(current.tuples)
+        else:
+            kept = [t for t in current.tuples if consistent(t)]
+        current = Relation(
+            "Q", current.schema, kept, distinct=True
+        ).project(query.variables, name="Q")
     stats.tuples_touched = counter.tuples_touched
     return current, stats

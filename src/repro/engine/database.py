@@ -5,6 +5,13 @@ guards, the UDF registry for unguarded fds, and optional declared degree
 bounds.  The *expansion* of a relation fills in functionally-determined
 attributes: guarded fds by joining with a projection of the guard relation,
 unguarded fds by evaluating the UDF — in time Õ(N), as the paper requires.
+
+Expansion runs through compiled positional plans
+(:mod:`repro.engine.expansion_plan`): for each (source schema, target)
+pair the FD-application order is derived symbolically once, guard lookups
+become precomputed functional maps, and per-tuple execution touches no
+dicts.  ``repro.engine.reference`` retains the naive path; the two are
+differentially tested for identical outputs *and* identical work counts.
 """
 
 from __future__ import annotations
@@ -12,9 +19,18 @@ from __future__ import annotations
 import math
 from typing import Iterable, Mapping, Sequence
 
-from repro.engine.ops import WorkCounter, natural_join
+from repro.engine.expansion_plan import (
+    GUARD,
+    UDF as UDF_STEP,
+    ExpansionPlan,
+    RelationExpansionPlan,
+    build_guard_lookup,
+    build_multi_guard_lookup,
+    tuple_getter,
+)
+from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
-from repro.fds.fd import FD, FDSet, VarSet, varset
+from repro.fds.fd import FD, FDSet, VarSet
 from repro.fds.udf import UDF, UDFRegistry
 
 
@@ -33,6 +49,14 @@ class Database:
         degree_bounds: Mapping[tuple[VarSet, str], int] | None = None,
     ):
         self.relations: dict[str, Relation] = {}
+        # Compiled-kernel caches.  Keys incorporate len(fds)/len(udfs) so
+        # post-hoc fd/udf registration cannot serve stale plans; adding a
+        # relation clears everything (it may become a better guard).
+        self._tuple_plans: dict[tuple, ExpansionPlan] = {}
+        self._relation_plans: dict[tuple, RelationExpansionPlan] = {}
+        self._guard_lookups: dict[tuple, dict] = {}
+        # Keyed on (schema, #udfs) — the salt covers post-hoc registration.
+        self._udf_filters: dict[tuple, tuple] = {}
         for rel in relations:
             self.add(rel)
         self.fds: FDSet = fds if fds is not None else FDSet()
@@ -51,6 +75,13 @@ class Database:
         if relation.name in self.relations:
             raise ValueError(f"duplicate relation {relation.name!r}")
         self.relations[relation.name] = relation
+        self._invalidate_plans()
+
+    def _invalidate_plans(self) -> None:
+        self._tuple_plans.clear()
+        self._relation_plans.clear()
+        self._guard_lookups.clear()
+        self._udf_filters.clear()
 
     def __getitem__(self, name: str) -> Relation:
         return self.relations[name]
@@ -89,6 +120,163 @@ class Database:
         ]
 
     # ------------------------------------------------------------------
+    # Compiled expansion plans (the positional kernel)
+    # ------------------------------------------------------------------
+    def _plan_salt(self) -> tuple[int, int]:
+        return (len(self.fds), len(self.udfs))
+
+    def _guard_lookup(
+        self,
+        guard: Relation,
+        key_attrs: tuple[str, ...],
+        value_attrs: tuple[str, ...],
+        multi: bool,
+    ) -> dict:
+        key = (guard.name, key_attrs, value_attrs, multi)
+        cached = self._guard_lookups.get(key)
+        if cached is None:
+            build = build_multi_guard_lookup if multi else build_guard_lookup
+            cached = build(guard, key_attrs, value_attrs)
+            self._guard_lookups[key] = cached
+        return cached
+
+    def expansion_plan(
+        self, source_schema: Sequence[str], target: VarSet | None = None
+    ) -> ExpansionPlan:
+        """Compile (and cache) the per-tuple expansion plan for a schema.
+
+        Symbolically replays the expansion loop: at each step the first
+        applicable fd with goal progress is applied — guarded fds become
+        functional-lookup steps keyed on the lhs, unguarded fds become UDF
+        steps — until the bound attributes reach ``target`` (default: the
+        closure of the source schema).
+        """
+        source_schema = tuple(source_schema)
+        key = (source_schema, target, self._plan_salt())
+        cached = self._tuple_plans.get(key)
+        if cached is not None:
+            return cached
+        bound = frozenset(source_schema)
+        goal = target if target is not None else self.fds.closure(bound)
+        layout = list(source_schema)
+        pos = {a: i for i, a in enumerate(layout)}
+        steps: list[tuple] = []
+        while bound != goal:
+            progressed = False
+            for fd in self.applicable_fds(bound):
+                missing = (fd.rhs - bound) & goal
+                if not missing:
+                    continue
+                guard = self.guard_relation(fd)
+                if guard is not None:
+                    # Key attrs in guard-schema order: reuses the same
+                    # cached guard index the naive lookup would build.
+                    key_attrs = tuple(
+                        a for a in guard.schema if a in fd.lhs
+                    )
+                    new_attrs = tuple(sorted(missing))
+                    lookup = self._guard_lookup(
+                        guard, key_attrs, new_attrs, multi=False
+                    )
+                    steps.append(
+                        (GUARD, tuple(pos[a] for a in key_attrs), lookup)
+                    )
+                    for a in new_attrs:
+                        pos[a] = len(layout)
+                        layout.append(a)
+                else:
+                    for attr in sorted(missing):
+                        udf = self.udfs.resolve(bound, attr)
+                        if udf is None:
+                            raise ExpansionError(
+                                f"no guard and no UDF for {fd!r} -> {attr!r}"
+                            )
+                        steps.append(
+                            (
+                                UDF_STEP,
+                                tuple(pos[a] for a in udf.inputs),
+                                udf.fn,
+                            )
+                        )
+                        pos[attr] = len(layout)
+                        layout.append(attr)
+                bound = bound | missing
+                progressed = True
+                break
+            if not progressed:
+                raise ExpansionError(
+                    f"cannot expand tuple over {sorted(bound)} to {sorted(goal)}"
+                )
+        plan = ExpansionPlan(source_schema, tuple(layout), tuple(steps))
+        self._tuple_plans[key] = plan
+        return plan
+
+    def relation_plan(self, source_schema: Sequence[str]) -> RelationExpansionPlan:
+        """Compile (and cache) the whole-relation expansion plan ``R → R⁺``.
+
+        Guard steps replicate the join with ``Π_{X∪Y}(guard)``: the key is
+        every already-bound attribute of lhs ∪ rhs (in schema order) and
+        fd-violating keys contribute one row per distinct image.
+        """
+        source_schema = tuple(source_schema)
+        key = (source_schema, self._plan_salt())
+        cached = self._relation_plans.get(key)
+        if cached is not None:
+            return cached
+        bound = frozenset(source_schema)
+        target = self.fds.closure(bound)
+        layout = list(source_schema)
+        pos = {a: i for i, a in enumerate(layout)}
+        steps: list[tuple] = []
+        while bound != target:
+            progressed = False
+            for fd in self.applicable_fds(bound):
+                if not fd.rhs - bound:
+                    continue
+                guard = self.guard_relation(fd)
+                if guard is not None:
+                    attrs = tuple(sorted(fd.lhs | fd.rhs))
+                    attr_set = frozenset(attrs)
+                    shared = tuple(a for a in layout if a in attr_set)
+                    extra = tuple(a for a in attrs if a not in bound)
+                    lookup = self._guard_lookup(guard, shared, extra, multi=True)
+                    steps.append(
+                        (GUARD, tuple(pos[a] for a in shared), lookup)
+                    )
+                    for a in extra:
+                        pos[a] = len(layout)
+                        layout.append(a)
+                    bound = bound | frozenset(extra)
+                else:
+                    for attr in sorted(fd.rhs - bound):
+                        udf = self.udfs.resolve(bound, attr)
+                        if udf is None:
+                            raise ExpansionError(
+                                f"no guard relation and no UDF for fd {fd!r} "
+                                f"(attribute {attr!r})"
+                            )
+                        steps.append(
+                            (
+                                UDF_STEP,
+                                tuple(pos[a] for a in udf.inputs),
+                                udf.fn,
+                            )
+                        )
+                        pos[attr] = len(layout)
+                        layout.append(attr)
+                        bound = bound | {attr}
+                progressed = True
+                break
+            if not progressed:
+                raise ExpansionError(
+                    f"cannot expand {tuple(layout)} towards {sorted(target)}: "
+                    "missing guard/UDF"
+                )
+        plan = RelationExpansionPlan(source_schema, tuple(layout), tuple(steps))
+        self._relation_plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
     # The expansion procedure (Sec. 2)
     # ------------------------------------------------------------------
     def expand_relation(
@@ -103,104 +291,125 @@ class Database:
         grow; tuples with no guard partner are dangling and dropped);
         unguarded fds evaluate their UDF per tuple.
         """
-        current = relation
-        target = self.fds.closure(current.varset)
-        while current.varset != target:
-            progressed = False
-            for fd in self.applicable_fds(current.varset):
-                new_attrs = fd.rhs - current.varset
-                if not new_attrs:
-                    continue
-                current = self._apply_fd(current, fd, counter)
-                progressed = True
-                break
-            if not progressed:
-                raise ExpansionError(
-                    f"cannot expand {current.schema} towards {sorted(target)}: "
-                    "missing guard/UDF"
-                )
-        return current
-
-    def _apply_fd(
-        self, relation: Relation, fd: FD, counter: WorkCounter | None
-    ) -> Relation:
-        guard = self.guard_relation(fd)
-        if guard is not None:
-            attrs = tuple(sorted(fd.lhs | fd.rhs))
-            lookup = guard.project(attrs, name=f"Π({guard.name})")
-            return natural_join(
-                relation, lookup, name=relation.name, counter=counter
-            )
-        # Unguarded: fill each rhs attribute via a UDF.
-        current = relation
-        for target_attr in sorted(fd.rhs - relation.varset):
-            udf = self.udfs.resolve(current.varset, target_attr)
-            if udf is None:
-                raise ExpansionError(
-                    f"no guard relation and no UDF for fd {fd!r} "
-                    f"(attribute {target_attr!r})"
-                )
-            positions = current.positions(udf.inputs)
-            new_tuples = []
-            for t in current.tuples:
-                if counter is not None:
-                    counter.add()
-                new_tuples.append(t + (udf(*(t[p] for p in positions)),))
-            current = Relation(
-                current.name, current.schema + (target_attr,), new_tuples
-            )
-        return current
+        plan = self.relation_plan(relation.schema)
+        if not plan.steps:
+            return relation
+        tuples = plan.execute_all(relation.tuples, counter)
+        # Guard steps map each distinct tuple to distinct images and UDF
+        # steps are injective, so the output is distinct by provenance.
+        return Relation(relation.name, plan.out_schema, tuples, distinct=True)
 
     def expand_tuple(
         self,
-        binding: dict[str, object],
+        binding: Mapping[str, object],
         target: VarSet | None = None,
         counter: WorkCounter | None = None,
     ) -> dict[str, object] | None:
         """Expand a single tuple (as an attr->value dict) to the closure of
         its attributes.  Returns None when a guard lookup misses (dangling)
-        or a guarded fd maps the tuple to several images inconsistently.
+        or a guarded fd maps the tuple to several images inconsistently
+        (checked once per guard key when the lookup is compiled).
+
+        Pure: the caller's ``binding`` is never mutated.
         """
-        bound = varset(binding)
-        goal = target if target is not None else self.fds.closure(bound)
-        while bound != goal:
-            progressed = False
-            for fd in self.applicable_fds(bound):
-                missing = (fd.rhs - bound) & goal
-                if not missing:
-                    continue
-                guard = self.guard_relation(fd)
-                if guard is not None:
-                    key_binding = {a: binding[a] for a in fd.lhs}
-                    matches = guard.matching(key_binding)
-                    if counter is not None:
-                        counter.add()
-                    if not matches:
-                        return None
-                    reference = matches[0]
-                    for attr in missing:
-                        pos = guard.positions((attr,))[0]
-                        value = reference[pos]
-                        # All matches must agree (the guard satisfies the fd).
-                        binding[attr] = value
-                else:
-                    for attr in sorted(missing):
-                        udf = self.udfs.resolve(bound, attr)
-                        if udf is None:
-                            raise ExpansionError(
-                                f"no guard and no UDF for {fd!r} -> {attr!r}"
-                            )
-                        if counter is not None:
-                            counter.add()
-                        binding[attr] = self.udfs.apply(udf, binding)
-                bound = varset(binding)
-                progressed = True
-                break
-            if not progressed:
-                raise ExpansionError(
-                    f"cannot expand tuple over {sorted(bound)} to {sorted(goal)}"
+        schema = tuple(binding)
+        plan = self.expansion_plan(schema, target)
+        out = plan.execute(tuple(binding.values()), counter)
+        if out is None:
+            return None
+        return dict(zip(plan.out_schema, out))
+
+    # ------------------------------------------------------------------
+    # UDF-consistency filtering
+    # ------------------------------------------------------------------
+    def _udf_check_triples(self, schema: tuple[str, ...]) -> list[tuple]:
+        """``(fn, input_positions, output_position)`` per UDF fully covered
+        by ``schema``, in registration order (uncached helper for
+        :meth:`udf_filter`, which owns the cache)."""
+        positions = {a: i for i, a in enumerate(schema)}
+        checks = []
+        for udf in self.udfs:
+            if udf.output in positions and all(
+                a in positions for a in udf.inputs
+            ):
+                checks.append(
+                    (
+                        udf.fn,
+                        tuple(positions[a] for a in udf.inputs),
+                        positions[udf.output],
+                    )
                 )
-        return binding
+        return checks
+
+    def udf_filter(self, schema: Sequence[str]):
+        """Compiled positional predicate ``t -> bool`` for UDF consistency.
+
+        Returns ``None`` when no UDF is fully covered by ``schema`` (so
+        callers can skip the filter entirely); otherwise a closure testing
+        every covered UDF in registration order with unrolled argument
+        extraction.
+        """
+        key = (tuple(schema), len(self.udfs))
+        cached = self._udf_filters.get(key)
+        if cached is None:
+            checks = self._udf_check_triples(key[0])
+            if not checks:
+                cached = (None,)
+            else:
+                # Flatten the conjunction into one generated function so a
+                # row check costs a single call frame plus the UDF calls.
+                namespace: dict[str, object] = {}
+                clauses = []
+                for i, (fn, input_positions, output_position) in enumerate(checks):
+                    namespace[f"fn{i}"] = fn
+                    args = ", ".join(f"t[{p}]" for p in input_positions)
+                    clauses.append(f"fn{i}({args}) == t[{output_position}]")
+                source = (
+                    "def consistent(t):\n    return " + " and ".join(clauses)
+                )
+                exec(source, namespace)
+                cached = (namespace["consistent"],)
+            self._udf_filters[key] = cached
+        return cached[0]
+
+    def final_filter(
+        self,
+        top_attrs: tuple[str, ...],
+        candidates: Iterable[tuple],
+        input_names: Iterable[str],
+        counter: WorkCounter | None = None,
+    ) -> list[tuple]:
+        """Exact final filter: keep candidate tuples (over ``top_attrs``)
+        present in every named input relation and UDF-consistent.
+
+        Positional form of the per-algorithm "filter against the inputs"
+        epilogue: membership via each input's full-schema hash index, UDF
+        consistency via the compiled checks.  One work-counter touch per
+        candidate, as in the naive row-dict filter.
+        """
+        membership_checks = []
+        for name in input_names:
+            rel = self.relations[name]
+            membership_checks.append(
+                (
+                    rel.index_on(rel.schema),
+                    tuple_getter(top_attrs.index(a) for a in rel.schema),
+                )
+            )
+        consistent = self.udf_filter(top_attrs)
+        candidates = list(candidates)
+        if counter is not None:
+            counter.add(len(candidates))
+        result: list[tuple] = []
+        for t in candidates:
+            ok = True
+            for index, key in membership_checks:
+                if key(t) not in index:
+                    ok = False
+                    break
+            if ok and (consistent is None or consistent(t)):
+                result.append(t)
+        return result
 
     def udf_consistent(self, row: Mapping[str, object]) -> bool:
         """Does ``row`` satisfy every UDF-defined fd it fully covers?
@@ -210,11 +419,10 @@ class Database:
         in their final filter, making the output semantics identical across
         engines even for partial (lookup-table) UDFs.
         """
-        for udf in self.udfs:
-            if udf.output in row and all(a in row for a in udf.inputs):
-                if self.udfs.apply(udf, row) != row[udf.output]:
-                    return False
-        return True
+        consistent = self.udf_filter(tuple(row))
+        if consistent is None:
+            return True
+        return consistent(tuple(row.values()))
 
     # ------------------------------------------------------------------
     # Statistics for CLLP constraints

@@ -6,6 +6,10 @@ cannot exploit functional dependencies analytically (Sec. 1.2).  With
 paper): a variable functionally determined by the bound prefix is computed
 via the expansion procedure instead of enumerated — this prunes per-branch
 work but provably does not change the Ω(N²) worst case of Ex. 5.8.
+
+Prefix bindings are raw tuples over ``order[:depth]``; the per-depth
+candidate indexes, verification keys, FD closures and expansion plans are
+all derived once per depth, so the recursion touches no dicts.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine.database import Database
+from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.query.query import Query
@@ -50,82 +55,122 @@ def generic_join(
         raise ValueError("order must be a permutation of the query variables")
     stats = GenericJoinStats(per_depth=[0] * len(order))
     relations = {atom.name: db[atom.name] for atom in query.atoms}
-    atoms_with = {
-        var: [atom for atom in query.atoms if var in atom.varset]
-        for var in order
-    }
     results: list[tuple] = []
 
-    def verify_binding(binding: dict[str, object], var: str) -> bool:
-        """Check the new value against every atom fully bound so far."""
-        for atom in atoms_with[var]:
+    # Per-depth compiled access paths.  ``choose``: (index, key positions in
+    # the prefix, candidate-value position) per atom containing the
+    # variable, keyed on the attrs bound *before* it.  ``verify``: the same
+    # per atom but with the variable itself bound.
+    choose_paths: list[list[tuple]] = []
+    verify_paths: list[list[tuple]] = []
+    determined: list[bool] = []
+    plans: list = []
+    for depth, var in enumerate(order):
+        bound = order[:depth]
+        bound_set = frozenset(bound)
+        extended = bound + (var,)
+        choose_atoms: list[tuple] = []
+        verify_atoms: list[tuple] = []
+        for atom in query.atoms:
+            if var not in atom.varset:
+                continue
             rel = relations[atom.name]
-            partial = {a: binding[a] for a in atom.attrs if a in binding}
-            if rel.degree(partial) == 0:
+            battrs = tuple(
+                a for a in rel.schema if a in bound_set and a in atom.varset
+            )
+            choose_atoms.append(
+                (
+                    rel.index_on(battrs),
+                    tuple_getter(bound.index(a) for a in battrs),
+                    rel.positions((var,))[0],
+                )
+            )
+            vattrs = tuple(
+                a
+                for a in rel.schema
+                if (a in bound_set or a == var) and a in atom.varset
+            )
+            verify_atoms.append(
+                (
+                    rel.index_on(vattrs),
+                    tuple_getter(extended.index(a) for a in vattrs),
+                )
+            )
+        choose_paths.append(choose_atoms)
+        verify_paths.append(verify_atoms)
+        determined.append(
+            fd_aware and var in db.fds.closure(bound_set)
+        )
+        plans.append(None)  # expansion plans compile lazily per depth
+
+    consistent = db.udf_filter(order)
+    n_vars = len(order)
+
+    def verify_binding(candidate: tuple, depth: int) -> bool:
+        """Check the new value against every atom fully bound so far."""
+        for index, key in verify_paths[depth]:
+            if key(candidate) not in index:
                 return False
         return True
 
-    def extend(depth: int, binding: dict[str, object]) -> None:
-        if depth == len(order):
-            if db.udf_consistent(binding):
-                results.append(tuple(binding[v] for v in order))
+    def extend(depth: int, prefix: tuple) -> None:
+        if depth == n_vars:
+            if consistent is None or consistent(prefix):
+                results.append(prefix)
             return
         var = order[depth]
-        if fd_aware:
-            determined = var in db.fds.closure(frozenset(binding))
-            if determined:
-                extended = db.expand_tuple(
-                    dict(binding),
-                    target=frozenset(binding) | {var},
-                    counter=counter,
+        if determined[depth]:
+            plan = plans[depth]
+            if plan is None:
+                plan = db.expansion_plan(
+                    order[:depth], frozenset(order[:depth]) | {var}
                 )
-                stats.per_depth[depth] += 1
-                stats.tuples_touched += 1
-                if counter is not None:
-                    counter.add()
-                if extended is None:
-                    return
-                value = extended[var]
-                candidate = dict(binding)
-                candidate[var] = value
-                if verify_binding(candidate, var):
-                    extend(depth + 1, candidate)
+                plans[depth] = plan
+            extended = plan.execute(prefix, counter)
+            stats.per_depth[depth] += 1
+            stats.tuples_touched += 1
+            if counter is not None:
+                counter.add()
+            if extended is None:
                 return
+            # The plan appends exactly {var}: extended IS prefix + (value,).
+            if verify_binding(extended, depth):
+                extend(depth + 1, extended)
+            return
         # Choose the atom with the fewest matching extensions.
-        best_atom = None
+        best = None
         best_count = None
-        for atom in atoms_with[var]:
-            rel = relations[atom.name]
-            partial = {a: binding[a] for a in atom.attrs if a in binding}
-            count = rel.degree(partial)
+        for path in choose_paths[depth]:
+            index, key, _ = path
+            count = len(index.get(key(prefix), ()))
             if best_count is None or count < best_count:
-                best_atom, best_count = atom, count
-        if best_atom is None:
+                best, best_count = path, count
+        if best is None:
             # Variable in no atom: it must be FD-determined; oblivious
             # engines cannot handle it.
             raise ValueError(
                 f"variable {var!r} appears in no atom; "
                 "use fd_aware=True or the core algorithms"
             )
-        rel = relations[best_atom.name]
-        partial = {a: binding[a] for a in best_atom.attrs if a in binding}
-        pos = rel.positions((var,))[0]
+        index, key, var_position = best
+        matches = index.get(key(prefix), ())
+        if not matches:
+            return
+        stats.tuples_touched += len(matches)
+        stats.per_depth[depth] += len(matches)
+        if counter is not None:
+            counter.add(len(matches))
         seen: set = set()
-        for t in rel.matching(partial):
-            stats.tuples_touched += 1
-            stats.per_depth[depth] += 1
-            if counter is not None:
-                counter.add()
-            value = t[pos]
+        for t in matches:
+            value = t[var_position]
             if value in seen:
                 continue
             seen.add(value)
-            candidate = dict(binding)
-            candidate[var] = value
-            if verify_binding(candidate, var):
+            candidate = prefix + (value,)
+            if verify_binding(candidate, depth):
                 extend(depth + 1, candidate)
 
-    extend(0, {})
+    extend(0, ())
     out = Relation("Q", order, results)
     stats.intermediate_peak = len(out)
     return out, stats

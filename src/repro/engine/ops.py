@@ -1,10 +1,11 @@
 """Relational operators over :class:`~repro.engine.relation.Relation`.
 
 All operators are set-semantics (duplicates eliminated) as in the paper's
-model.  ``natural_join`` is index-nested-loops over the smaller side, which
-is the right primitive for the per-tuple joins inside the paper's
-algorithms; full query evaluation goes through the algorithms in
-``repro.core`` or the baselines in this package.
+model.  ``natural_join`` is a hash join that builds its index on the
+smaller side and probes with the larger, which is the right primitive for
+the per-tuple joins inside the paper's algorithms; full query evaluation
+goes through the algorithms in ``repro.core`` or the baselines in this
+package.
 """
 
 from __future__ import annotations
@@ -42,24 +43,55 @@ def natural_join(
     name: str | None = None,
     counter: WorkCounter | None = None,
 ) -> Relation:
-    """Hash join on the shared attributes; output schema = left ++ new right."""
+    """Hash join on the shared attributes; output schema = left ++ new right.
+
+    The hash index is built on the smaller relation and probed with the
+    larger — a constant-factor heuristic only (the counted work is the
+    number of emitted rows either way; output schema order is preserved).
+    """
+    from repro.engine.expansion_plan import tuple_getter
+
     shared = tuple(a for a in left.schema if a in right.varset)
     right_extra = tuple(a for a in right.schema if a not in left.varset)
     out_schema = left.schema + right_extra
-    if len(left) > len(right) and set(left.schema) >= set(right.schema):
-        # Heuristic only matters for speed, not semantics.
-        pass
-    index = right.index_on(shared)
-    extra_positions = right.positions(right_extra)
-    shared_positions = left.positions(shared)
-    out = []
-    for t in left.tuples:
-        key = tuple(t[p] for p in shared_positions)
-        for match in index.get(key, ()):
-            out.append(t + tuple(match[p] for p in extra_positions))
-            if counter is not None:
-                counter.add()
-    return Relation(name or f"({left.name}⋈{right.name})", out_schema, out)
+    extra_key = tuple_getter(right.positions(right_extra))
+    out: list[tuple] = []
+    if len(left) < len(right):
+        # Build on the smaller left side, probe with right tuples.
+        index = left.index_on(shared)
+        probe_key = tuple_getter(right.positions(shared))
+        for u in right.tuples:
+            matches = index.get(probe_key(u))
+            if not matches:
+                continue
+            extra = extra_key(u)
+            for t in matches:
+                out.append(t + extra)
+    else:
+        index = right.index_on(shared)
+        probe_key = tuple_getter(left.positions(shared))
+        # Extract the appended columns once per *probed* bucket (untouched
+        # buckets cost nothing; repeated probes of a hot key reuse the list).
+        extras: dict[tuple, list[tuple]] = {}
+        for t in left.tuples:
+            key = probe_key(t)
+            bucket = index.get(key)
+            if not bucket:
+                continue
+            extra_rows = extras.get(key)
+            if extra_rows is None:
+                extra_rows = [extra_key(m) for m in bucket]
+                extras[key] = extra_rows
+            for extra in extra_rows:
+                out.append(t + extra)
+    if counter is not None:
+        counter.add(len(out))
+    # An output row is determined by its (left tuple, appended columns)
+    # pair and both factors are distinct, so the join output needs no
+    # re-deduplication.
+    return Relation(
+        name or f"({left.name}⋈{right.name})", out_schema, out, distinct=True
+    )
 
 
 def semijoin(
@@ -77,7 +109,7 @@ def semijoin(
             counter.add()
         if tuple(t[p] for p in positions) in index:
             kept.append(t)
-    return Relation(left.name, left.schema, kept)
+    return Relation(left.name, left.schema, kept, distinct=True)
 
 
 def intersect(left: Relation, right: Relation) -> Relation:
@@ -90,6 +122,7 @@ def intersect(left: Relation, right: Relation) -> Relation:
         f"({left.name}∩{right.name})",
         left.schema,
         (t for t in left.tuples if t in other),
+        distinct=True,
     )
 
 
@@ -120,5 +153,6 @@ def cross_product(
             if counter is not None:
                 counter.add()
     return Relation(
-        f"({left.name}×{right.name})", left.schema + right.schema, out
+        f"({left.name}×{right.name})", left.schema + right.schema, out,
+        distinct=True,
     )

@@ -5,36 +5,96 @@ Indexes on attribute subsets are built lazily and cached; they give O(1)
 degree lookups (`|σ_{X=v}(R)|`), which the Chain Algorithm, SMA and CSMA
 all rely on (the paper charges a log factor for this via sorted indexes;
 hashing gives amortized O(1) and does not change any shape).
+
+Three kernel-level optimizations keep derived relations cheap:
+
+* **Interned schemas** — the (schema, positions, varset) triple is computed
+  once per distinct schema in a module registry and shared by every
+  relation over it.
+* **Distinctness provenance** — operators whose output is provably
+  duplicate-free (``select``, ``rename``, permuting projections, guard
+  expansions, CD log-degree buckets) construct with ``distinct=True`` and
+  skip the re-deduplication pass entirely.
+* **Index inheritance** — children built from a partition of a parent index
+  (:meth:`seed_index`) start life with that index installed instead of
+  re-hashing their tuples; projections are memoized per parent.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Sequence
+
+# Opt-in re-validation of the ``distinct=True`` fast path (set
+# REPRO_CHECK_DISTINCT=1; the test suite enables it).  Each call site's
+# distinctness rests on an injectivity argument — this flag re-checks those
+# arguments at runtime without taxing production construction.
+_CHECK_DISTINCT = os.environ.get("REPRO_CHECK_DISTINCT", "").strip().lower() not in (
+    "", "0", "false", "no", "off"
+)
+
+# Registry of interned (schema, positions, varset) triples, keyed by the
+# schema tuple.  Schemas are tiny and few; the registry is effectively
+# bounded by the set of distinct schemas ever constructed.
+_SCHEMA_REGISTRY: dict[tuple, tuple[tuple, dict, frozenset]] = {}
+
+
+def _intern_schema(schema: Sequence[str]) -> tuple[tuple, dict, frozenset]:
+    key = tuple(schema)
+    cached = _SCHEMA_REGISTRY.get(key)
+    if cached is None:
+        if len(set(key)) != len(key):
+            raise ValueError(f"duplicate attributes in schema {key}")
+        cached = (key, {a: i for i, a in enumerate(key)}, frozenset(key))
+        _SCHEMA_REGISTRY[key] = cached
+    return cached
 
 
 class Relation:
     """An immutable relation: ``schema`` (attribute names) + distinct tuples."""
 
-    __slots__ = ("name", "schema", "tuples", "_indexes", "_positions")
+    __slots__ = (
+        "name", "schema", "tuples", "_indexes", "_positions", "_varset",
+        "_projections",
+    )
 
     def __init__(
         self,
         name: str,
         schema: Sequence[str],
         tuples: Iterable[tuple] = (),
+        distinct: bool = False,
     ):
         self.name = name
-        self.schema: tuple[str, ...] = tuple(schema)
-        if len(set(self.schema)) != len(self.schema):
-            raise ValueError(f"duplicate attributes in schema {self.schema}")
-        width = len(self.schema)
-        deduped = dict.fromkeys(tuple(t) for t in tuples)
-        for t in deduped:
-            if len(t) != width:
-                raise ValueError(f"tuple {t} does not match schema {self.schema}")
-        self.tuples: tuple[tuple, ...] = tuple(deduped)
+        self.schema, self._positions, self._varset = _intern_schema(schema)
+        if distinct:
+            # Provenance guarantees distinct, well-formed tuples: skip the
+            # dedup/validation pass (internal fast path for operators).
+            self.tuples: tuple[tuple, ...] = tuple(tuples)
+            if _CHECK_DISTINCT:
+                width = len(self.schema)
+                if any(
+                    not isinstance(t, tuple) or len(t) != width
+                    for t in self.tuples
+                ):
+                    raise AssertionError(
+                        f"distinct=True with malformed tuples for {self.schema}"
+                    )
+                if len(set(self.tuples)) != len(self.tuples):
+                    raise AssertionError(
+                        f"distinct=True violated for {name}[{self.schema}]"
+                    )
+        else:
+            width = len(self.schema)
+            deduped = dict.fromkeys(map(tuple, tuples))
+            for t in deduped:
+                if len(t) != width:
+                    raise ValueError(
+                        f"tuple {t} does not match schema {self.schema}"
+                    )
+            self.tuples = tuple(deduped)
         self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
-        self._positions: dict[str, int] = {a: i for i, a in enumerate(self.schema)}
+        self._projections: dict[tuple, "Relation"] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -49,7 +109,7 @@ class Relation:
 
     @property
     def varset(self) -> frozenset:
-        return frozenset(self.schema)
+        return self._varset
 
     def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
         return tuple(self._positions[a] for a in attrs)
@@ -66,12 +126,26 @@ class Relation:
         cached = self._indexes.get(key)
         if cached is not None:
             return cached
-        positions = self.positions(key)
+        from repro.engine.expansion_plan import tuple_getter
+
+        extract = tuple_getter(self.positions(key))
         index: dict[tuple, list[tuple]] = {}
+        setdefault = index.setdefault
         for t in self.tuples:
-            index.setdefault(tuple(t[p] for p in positions), []).append(t)
+            setdefault(extract(t), []).append(t)
         self._indexes[key] = index
         return index
+
+    def seed_index(
+        self, attrs: Sequence[str], index: dict[tuple, list[tuple]]
+    ) -> None:
+        """Install a pre-built index (inherited from a parent's partition).
+
+        Used by operators that already hold the exact ``{key: bucket}``
+        partition for this relation (e.g. CD log-degree bucketing) so the
+        child never re-hashes its tuples.
+        """
+        self._indexes[tuple(attrs)] = index
 
     def matching(self, binding: Mapping[str, object]) -> list[tuple]:
         """Tuples agreeing with ``binding`` on the bound attributes in schema."""
@@ -104,20 +178,39 @@ class Relation:
     # Relational operators (see also repro.engine.ops)
     # ------------------------------------------------------------------
     def project(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
-        positions = self.positions(tuple(attrs))
-        return Relation(
+        attrs = tuple(attrs)
+        if attrs == self.schema and name is None:
+            return self
+        cache_key = (attrs, name)
+        cached = self._projections.get(cache_key)
+        if cached is not None:
+            return cached
+        from repro.engine.expansion_plan import tuple_getter
+
+        extract = tuple_getter(self.positions(attrs))
+        # A projection onto a permutation of the full schema is injective:
+        # the result inherits distinctness from this relation.
+        permutation = len(attrs) == len(self.schema)
+        result = Relation(
             name or f"π({self.name})",
-            tuple(attrs),
-            (tuple(t[p] for p in positions) for t in self.tuples),
+            attrs,
+            map(extract, self.tuples),
+            distinct=permutation,
         )
+        self._projections[cache_key] = result
+        return result
 
     def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
         schema = tuple(mapping.get(a, a) for a in self.schema)
-        return Relation(name or self.name, schema, self.tuples)
+        return Relation(name or self.name, schema, self.tuples, distinct=True)
 
     def select(self, binding: Mapping[str, object], name: str | None = None) -> "Relation":
+        # A selection is a subset of this relation's (distinct) tuples.
         return Relation(
-            name or f"σ({self.name})", self.schema, self.matching(binding)
+            name or f"σ({self.name})",
+            self.schema,
+            self.matching(binding),
+            distinct=True,
         )
 
     def restrict(self, predicate, name: str | None = None) -> "Relation":
@@ -127,7 +220,7 @@ class Relation:
             for t in self.tuples
             if predicate(dict(zip(self.schema, t)))
         ]
-        return Relation(name or f"σ({self.name})", self.schema, kept)
+        return Relation(name or f"σ({self.name})", self.schema, kept, distinct=True)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"Relation({self.name}[{','.join(self.schema)}], {len(self)} tuples)"

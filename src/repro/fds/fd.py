@@ -62,6 +62,10 @@ class FDSet:
         for fd in self._fds:
             universe |= fd.lhs | fd.rhs
         self._variables: VarSet = universe
+        # Closure memo, salted with len(self._fds) so post-hoc add()s
+        # invalidate transparently.  Closure is called per compiled plan,
+        # per generic-join depth and per lattice build — heavily repeated.
+        self._closure_cache: dict[tuple[VarSet, int], VarSet] = {}
 
     @property
     def variables(self) -> VarSet:
@@ -90,8 +94,14 @@ class FDSet:
         """The closure ``X⁺``: smallest superset of ``X`` closed under all fds.
 
         Standard fixpoint chase; linear in ``|FD| * |X|`` per round.
+        Memoized per attribute set (salted with the fd count).
         """
-        closed = set(varset(attrs))
+        start = varset(attrs)
+        key = (start, len(self._fds))
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return cached
+        closed = set(start)
         changed = True
         while changed:
             changed = False
@@ -99,7 +109,9 @@ class FDSet:
                 if fd.lhs <= closed and not fd.rhs <= closed:
                     closed |= fd.rhs
                     changed = True
-        return frozenset(closed)
+        result = frozenset(closed)
+        self._closure_cache[key] = result
+        return result
 
     def is_closed(self, attrs: Iterable[str] | str) -> bool:
         attrs = varset(attrs)

@@ -14,9 +14,25 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.lattice.lattice import Lattice
 from repro.lattice.polymatroid import LatticeFunction
 from repro.lp.solver import solve_lp
+
+
+def lattice_lp_cache(lattice: Lattice) -> dict:
+    """Per-lattice memo for LP solutions and constraint-matrix skeletons.
+
+    Attached to the lattice instance (lattices are immutable after
+    construction), so CSMA restarts, per-branch re-solves and the planner's
+    repeated bound queries all share one cache with the lattice's lifetime.
+    """
+    cache = lattice.__dict__.get("_lp_memo")
+    if cache is None:
+        cache = {}
+        lattice._lp_memo = cache
+    return cache
 
 
 @dataclass(frozen=True)
@@ -149,75 +165,119 @@ class ConditionalLLP:
             (x, y) for x in range(lat.n) for y in lat.upper_covers[x]
         ]
 
+    def _primal_skeleton(self, degree_pairs: tuple[tuple[int, int], ...]):
+        """Constraint matrix for the primal, cached per (lattice, pairs).
+
+        Only the first ``len(degree_pairs)`` entries of ``b_ub`` depend on
+        the constraint bounds; re-solves that merely tighten bounds (CSMA
+        restarts) reuse the matrix and swap the ``b`` vector.
+        """
+        lat = self.lattice
+        cache = lattice_lp_cache(lat)
+        key = ("cllp-primal-skel", degree_pairs)
+        skeleton = cache.get(key)
+        if skeleton is None:
+            a_ub: list[list[float]] = []
+            for x, y in degree_pairs:
+                row = [0.0] * lat.n
+                row[y] += 1.0
+                row[x] -= 1.0
+                a_ub.append(row)
+            for i, j in lat.incomparable_pairs:
+                row = [0.0] * lat.n
+                row[lat.meet(i, j)] += 1.0
+                row[lat.join(i, j)] += 1.0
+                row[i] -= 1.0
+                row[j] -= 1.0
+                a_ub.append(row)
+            for x, y in self._cover_pairs():
+                row = [0.0] * lat.n
+                row[x] += 1.0
+                row[y] -= 1.0
+                a_ub.append(row)
+            costs = [0.0] * lat.n
+            costs[lat.top] = -1.0
+            eq_row = [0.0] * lat.n
+            eq_row[lat.bottom] = 1.0
+            skeleton = (
+                np.ascontiguousarray(a_ub, dtype=float),
+                np.zeros(len(a_ub)),
+                np.ascontiguousarray(costs, dtype=float),
+                np.ascontiguousarray([eq_row], dtype=float),
+            )
+            cache[key] = skeleton
+        return skeleton
+
     def solve_primal(self) -> tuple[float, LatticeFunction]:
         lat = self.lattice
-        costs = [0.0] * lat.n
-        costs[lat.top] = -1.0
-        a_ub: list[list[float]] = []
-        b_ub: list[float] = []
         bounds = self.bounds_by_pair()
-        for (x, y), bound in bounds.items():
-            row = [0.0] * lat.n
-            row[y] += 1.0
-            row[x] -= 1.0
-            a_ub.append(row)
-            b_ub.append(bound)
-        for i, j in lat.incomparable_pairs:
-            row = [0.0] * lat.n
-            row[lat.meet(i, j)] += 1.0
-            row[lat.join(i, j)] += 1.0
-            row[i] -= 1.0
-            row[j] -= 1.0
-            a_ub.append(row)
-            b_ub.append(0.0)
-        for x, y in self._cover_pairs():
-            row = [0.0] * lat.n
-            row[x] += 1.0
-            row[y] -= 1.0
-            a_ub.append(row)
-            b_ub.append(0.0)
-        eq_row = [0.0] * lat.n
-        eq_row[lat.bottom] = 1.0
-        solution = solve_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0.0])
+        degree_pairs = tuple(bounds)
+        a_ub, b_template, costs, a_eq = self._primal_skeleton(degree_pairs)
+        b_ub = b_template.copy()
+        b_ub[: len(degree_pairs)] = [bounds[p] for p in degree_pairs]
+        solution = solve_lp(costs, a_ub, b_ub, a_eq=a_eq, b_eq=[0.0])
         return -solution.objective, LatticeFunction(lat, solution.x_rational)
+
+    def _dual_skeleton(self, degree_pairs: tuple[tuple[int, int], ...]):
+        """Dual constraint matrix, cached per (lattice, pairs) — only the
+        cost vector depends on the bounds."""
+        lat = self.lattice
+        cache = lattice_lp_cache(lat)
+        key = ("cllp-dual-skel", degree_pairs)
+        skeleton = cache.get(key)
+        if skeleton is None:
+            incomparable = lat.incomparable_pairs
+            cover_pairs = self._cover_pairs()
+            n_c, n_s, n_m = (
+                len(degree_pairs), len(incomparable), len(cover_pairs)
+            )
+            a_ub: list[list[float]] = []
+            b_ub: list[float] = []
+            for z in range(lat.n):
+                if z == lat.bottom:
+                    continue
+                row = [0.0] * (n_c + n_s + n_m)
+                for k, (x, y) in enumerate(degree_pairs):
+                    if y == z:
+                        row[k] += 1.0
+                    if x == z:
+                        row[k] -= 1.0
+                for k, (a, b) in enumerate(incomparable):
+                    if lat.meet(a, b) == z:
+                        row[n_c + k] += 1.0
+                    if lat.join(a, b) == z:
+                        row[n_c + k] += 1.0
+                    if a == z or b == z:
+                        row[n_c + k] -= 1.0
+                for k, (x, y) in enumerate(cover_pairs):
+                    if y == z:
+                        row[n_c + n_s + k] -= 1.0
+                    if x == z:
+                        row[n_c + n_s + k] += 1.0
+                target = 1.0 if z == lat.top else 0.0
+                a_ub.append([-v for v in row])
+                b_ub.append(-target)
+            skeleton = (
+                np.ascontiguousarray(a_ub, dtype=float),
+                np.ascontiguousarray(b_ub, dtype=float),
+                incomparable,
+                cover_pairs,
+            )
+            cache[key] = skeleton
+        return skeleton
 
     def solve_dual(self) -> DualCLLP:
         """Explicit dual (Eq. (26)): min Σ n_{Y|X} c_{Y|X} s.t. netflows."""
         lat = self.lattice
         bounds = self.bounds_by_pair()
         degree_pairs = list(bounds)
-        incomparable = lat.incomparable_pairs
-        cover_pairs = self._cover_pairs()
+        a_ub, b_ub, incomparable, cover_pairs = self._dual_skeleton(
+            tuple(degree_pairs)
+        )
         n_c, n_s, n_m = len(degree_pairs), len(incomparable), len(cover_pairs)
         costs = (
             [bounds[p] for p in degree_pairs] + [0.0] * n_s + [0.0] * n_m
         )
-        a_ub: list[list[float]] = []
-        b_ub: list[float] = []
-        for z in range(lat.n):
-            if z == lat.bottom:
-                continue
-            row = [0.0] * (n_c + n_s + n_m)
-            for k, (x, y) in enumerate(degree_pairs):
-                if y == z:
-                    row[k] += 1.0
-                if x == z:
-                    row[k] -= 1.0
-            for k, (a, b) in enumerate(incomparable):
-                if lat.meet(a, b) == z:
-                    row[n_c + k] += 1.0
-                if lat.join(a, b) == z:
-                    row[n_c + k] += 1.0
-                if a == z or b == z:
-                    row[n_c + k] -= 1.0
-            for k, (x, y) in enumerate(cover_pairs):
-                if y == z:
-                    row[n_c + n_s + k] -= 1.0
-                if x == z:
-                    row[n_c + n_s + k] += 1.0
-            target = 1.0 if z == lat.top else 0.0
-            a_ub.append([-v for v in row])
-            b_ub.append(-target)
         solution = solve_lp(costs, a_ub, b_ub)
         c = {
             degree_pairs[k]: solution.x_rational[k]
@@ -240,6 +300,22 @@ class ConditionalLLP:
         return dual
 
     def solve(self) -> CLLPSolution:
-        objective, h_raw = self.solve_primal()
-        dual = self.solve_dual()
-        return CLLPSolution(objective=objective, h=h_raw, dual=dual)
+        """Solve primal + dual, memoized on the canonical constraint
+        multiset.
+
+        CSMA restarts, per-branch re-solves and the planner's repeated
+        bound queries frequently rebuild :class:`ConditionalLLP` objects
+        with identical effective constraints; keying on the canonicalized
+        (pair → tightest bound) map makes those hit the cache instead of
+        rebuilding and re-solving the scipy LP.  Solutions are treated as
+        immutable by all consumers.
+        """
+        cache = lattice_lp_cache(self.lattice)
+        key = ("cllp-solve", tuple(sorted(self.bounds_by_pair().items())))
+        cached = cache.get(key)
+        if cached is None:
+            objective, h_raw = self.solve_primal()
+            dual = self.solve_dual()
+            cached = CLLPSolution(objective=objective, h=h_raw, dual=dual)
+            cache[key] = cached
+        return cached

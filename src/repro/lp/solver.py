@@ -6,11 +6,15 @@ All programs in this package are minimizations of ``c @ x`` subject to
 * deterministic handling of empty constraint blocks,
 * dual values (constraint marginals) surfaced with consistent signs,
 * rationalization of the solution vector (the polytopes here have
-  data-independent rational vertices, footnote 10 of the paper).
+  data-independent rational vertices, footnote 10 of the paper),
+* a bounded memo of solved programs keyed on the exact problem bytes —
+  LP solving is a pure function, and the same LLP/CLLP instances recur
+  across benchmark sweeps, planner calls and CSMA restarts.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
@@ -23,6 +27,13 @@ from repro.util.rational import rationalize
 
 class LPError(RuntimeError):
     """Raised when an LP is infeasible/unbounded or the solver fails."""
+
+
+#: Solved-program memo (problem bytes → LPSolution).  LP solving is pure,
+#: so returning the cached (immutable-by-convention) solution is safe; the
+#: size cap bounds memory on long sweeps with many distinct instances.
+_SOLVE_CACHE: "OrderedDict[tuple, LPSolution]" = OrderedDict()
+_SOLVE_CACHE_MAX = 512
 
 
 @dataclass
@@ -49,15 +60,28 @@ def solve_lp(
     max_denominator: int = 10_000,
 ) -> LPSolution:
     """Minimize ``costs @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``, ``x >= 0``."""
-    costs = np.asarray(costs, dtype=float)
+    costs = np.ascontiguousarray(costs, dtype=float)
     n = costs.shape[0]
     kwargs = {}
     if a_ub is not None and len(a_ub) > 0:
-        kwargs["A_ub"] = np.asarray(a_ub, dtype=float)
-        kwargs["b_ub"] = np.asarray(b_ub, dtype=float)
+        kwargs["A_ub"] = np.ascontiguousarray(a_ub, dtype=float)
+        kwargs["b_ub"] = np.ascontiguousarray(b_ub, dtype=float)
     if a_eq is not None and len(a_eq) > 0:
-        kwargs["A_eq"] = np.asarray(a_eq, dtype=float)
-        kwargs["b_eq"] = np.asarray(b_eq, dtype=float)
+        kwargs["A_eq"] = np.ascontiguousarray(a_eq, dtype=float)
+        kwargs["b_eq"] = np.ascontiguousarray(b_eq, dtype=float)
+    cache_key = (
+        costs.tobytes(),
+        kwargs["A_ub"].tobytes() if "A_ub" in kwargs else None,
+        kwargs["b_ub"].tobytes() if "b_ub" in kwargs else None,
+        kwargs["A_eq"].tobytes() if "A_eq" in kwargs else None,
+        kwargs["b_eq"].tobytes() if "b_eq" in kwargs else None,
+        kwargs["A_ub"].shape if "A_ub" in kwargs else None,
+        max_denominator,
+    )
+    cached = _SOLVE_CACHE.get(cache_key)
+    if cached is not None:
+        _SOLVE_CACHE.move_to_end(cache_key)
+        return cached
     result = linprog(costs, bounds=[(0, None)] * n, method="highs", **kwargs)
     if not result.success:
         raise LPError(f"LP failed: {result.message}")
@@ -70,10 +94,14 @@ def solve_lp(
     if "A_eq" in kwargs and result.eqlin is not None:
         duals_eq = -np.asarray(result.eqlin.marginals, dtype=float)
     x_rational = [rationalize(v, max_denominator) for v in result.x]
-    return LPSolution(
+    solution = LPSolution(
         objective=float(result.fun),
         x=np.asarray(result.x, dtype=float),
         duals_ub=duals_ub,
         duals_eq=duals_eq,
         x_rational=x_rational,
     )
+    _SOLVE_CACHE[cache_key] = solution
+    if len(_SOLVE_CACHE) > _SOLVE_CACHE_MAX:
+        _SOLVE_CACHE.popitem(last=False)
+    return solution

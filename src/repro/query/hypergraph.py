@@ -112,6 +112,14 @@ class Hypergraph:
             float(log_weights[name]) if log_weights is not None else 1.0
             for name in self.edge_names
         ]
+        # Scaling the cost vector changes neither the feasible region nor
+        # the optimal vertex set; normalizing makes proportional instances
+        # (the same hypergraph at different data sizes) identical problems,
+        # so the solver's memo serves them.  The reported objective is
+        # recomputed exactly from the weights below, unaffected by scaling.
+        scale = max(costs, default=0.0)
+        if scale > 0:
+            costs = [c / scale for c in costs]
         a_ub = []
         b_ub = []
         for vertex in self.vertices:

@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
+# Must be set before repro.engine.relation is imported: re-validates every
+# distinct=True fast-path construction throughout the suite (an inherited
+# empty value counts as unset, hence `or "1"` rather than setdefault).
+os.environ["REPRO_CHECK_DISTINCT"] = os.environ.get("REPRO_CHECK_DISTINCT") or "1"
+
 import pytest
 
 from repro.engine.database import Database
