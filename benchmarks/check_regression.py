@@ -1,0 +1,128 @@
+"""Bench-trajectory regression gate (used by CI after the E16 sweep).
+
+Compares a freshly-produced ``BENCH_<tag>.json`` against the committed
+trajectory baseline::
+
+    python benchmarks/check_regression.py FRESH.json [BASELINE.json]
+
+Baseline defaults to the newest committed ``BENCH_PR*.json`` in the repo
+root.  Policy (mirrors PERFORMANCE.md):
+
+* **fail** when a measured E16 growth exponent drifts from the baseline by
+  more than ``EXPONENT_TOLERANCE`` — the exponents are the paper's claims
+  and must not move across engine generations;
+* **fail** when a workload's ``tuples_touched`` changed for an engine the
+  kernel contract covers — the counted work is bit-identical by design,
+  so any drift means the kernel changed semantics, not just speed;
+* **warn** (never fail) when the sweep wall-clock regressed beyond
+  ``WALL_CLOCK_SLACK`` — timing noise on shared CI runners is not a
+  correctness signal, but the trajectory should be visible in the log.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EXPONENT_TOLERANCE = 0.05
+WALL_CLOCK_SLACK = 1.5  # fresh may take up to 1.5x the baseline before warning
+
+#: Per-workload counters that are run-shape metadata, not kernel work
+#: (branch/restart counts follow the CLLP solve, not the expansion kernel).
+_METADATA_KEYS = frozenset({"branches", "restarts"})
+
+
+def find_default_baseline() -> Path | None:
+    """The committed trajectory with the highest PR number."""
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    return max(candidates)[1] if candidates else None
+
+
+def compare(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
+    """Returns (failures, warnings)."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    base_e16 = baseline.get("e16", {})
+    fresh_e16 = fresh.get("e16", {})
+
+    base_exp = base_e16.get("exponents", {})
+    fresh_exp = fresh_e16.get("exponents", {})
+    for name, value in base_exp.items():
+        if name not in fresh_exp:
+            failures.append(f"exponent {name!r} missing from fresh sweep")
+            continue
+        drift = abs(fresh_exp[name] - value)
+        if drift > EXPONENT_TOLERANCE:
+            failures.append(
+                f"exponent drift at {name!r}: baseline {value:.4f} vs "
+                f"fresh {fresh_exp[name]:.4f} (|Δ| = {drift:.4f} > "
+                f"{EXPONENT_TOLERANCE})"
+            )
+
+    base_work = base_e16.get("tuples_touched", {})
+    fresh_work = fresh_e16.get("tuples_touched", {})
+    for workload, engines in base_work.items():
+        fresh_engines = fresh_work.get(workload)
+        if fresh_engines is None:
+            failures.append(f"workload {workload!r} missing from fresh sweep")
+            continue
+        for engine, count in engines.items():
+            if engine in _METADATA_KEYS:
+                continue
+            fresh_count = fresh_engines.get(engine)
+            if fresh_count != count:
+                failures.append(
+                    f"tuples_touched drift at {workload}/{engine}: "
+                    f"baseline {count} vs fresh {fresh_count}"
+                )
+
+    base_wall = base_e16.get("wall_clock_s")
+    fresh_wall = fresh_e16.get("wall_clock_s")
+    if base_wall and fresh_wall and fresh_wall > base_wall * WALL_CLOCK_SLACK:
+        warnings.append(
+            f"E16 wall-clock regressed: baseline {base_wall}s vs fresh "
+            f"{fresh_wall}s (> {WALL_CLOCK_SLACK}x; timing only — not "
+            "failing the gate)"
+        )
+    return failures, warnings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path = Path(argv[1])
+    if len(argv) == 3:
+        baseline_path = Path(argv[2])
+    else:
+        baseline_path = find_default_baseline()
+        if baseline_path is None:
+            print("no committed BENCH_PR*.json baseline found", file=sys.stderr)
+            return 2
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    print(f"baseline: {baseline_path.name} (tag {baseline.get('tag')})")
+    print(f"fresh:    {fresh_path} (tag {fresh.get('tag')})")
+
+    failures, warnings = compare(baseline, fresh)
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        print(f"{len(failures)} regression(s) against {baseline_path.name}")
+        return 1
+    print("bench trajectory ok: exponents and tuples_touched match baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -2,9 +2,14 @@
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # → BENCH_PR1.json
-    PYTHONPATH=src python benchmarks/run_all.py --tag PR2  # → BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_all.py            # → BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_all.py --tag PR3  # → BENCH_PR3.json
     PYTHONPATH=src python benchmarks/run_all.py --quick    # E16 metrics only
+
+After emitting a trajectory, compare it against the committed baseline
+with ``python benchmarks/check_regression.py BENCH_<tag>.json`` (CI runs
+this on every push: fail on exponent / tuples_touched drift, warn on
+wall-clock regression).
 
 The trajectory file records, per PR, everything needed to compare engine
 generations honestly:
@@ -138,7 +143,7 @@ def run_e16_sweep() -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tag", default="PR1", help="trajectory tag (file suffix)")
+    parser.add_argument("--tag", default="PR2", help="trajectory tag (file suffix)")
     parser.add_argument(
         "--out", default=None, help="output path (default BENCH_<tag>.json)"
     )

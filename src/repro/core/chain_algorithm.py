@@ -8,10 +8,12 @@ the others — the combinatorial counterpart of Radhakrishnan's telescoping
 proof, with runtime Õ(N + Π_j N_j^{w_j}) for any fractional edge cover w of
 the chain hypergraph (Thm. 5.7).
 
-The frontier is kept as raw tuples over the sorted attributes of C_{i-1};
-per-step candidate generation, expansion (via compiled plans) and
-verification all run positionally — the counted work is identical to the
-row-dict formulation, only the constant factor drops.
+The frontier is kept as raw tuples over the sorted attributes of C_{i-1}
+and flows through the kernel in whole-frontier batches: per-tuple work is
+only the data-dependent cover argmin; candidate expansion and the
+footnote-8 verification push one batch per covering relation through the
+compiled plans (``ExpansionPlan.execute_batch``).  The counted work is
+identical to the row-dict formulation, only the constant factor drops.
 """
 
 from __future__ import annotations
@@ -151,57 +153,78 @@ def chain_algorithm(
                 info.reorder = tuple_getter(info.plan.positions(ci_sorted))
             return info.plan
 
-        def verify(candidate: tuple, prefix: tuple, chosen: _CoverInfo) -> bool:
-            """Line 6's intersection, checked per candidate tuple.
-
-            For every other covering relation j: the candidate's R_j ∧ C_i
-            projection must be present in Π_{R_j ∧ C_i}(R_j), and
-            re-expanding the prefix joined with that projection must
-            reproduce the candidate (the subtle step of footnote 8)."""
-            for info in infos:
-                if info is chosen:
-                    continue
+        # Stage 1 — per-tuple cover choice (the argmin is data-dependent,
+        # so the degree probes stay per tuple), accumulating each tuple's
+        # matches into the chosen cover's frontier batch.
+        batches: list[list[tuple]] = [[] for _ in infos]
+        for t in frontier:
+            # Pick j* = argmin |t ⋈ Π_{R_j ∧ C_i}(R_j)| by degree lookup.
+            best_idx = 0
+            best_count: int | None = None
+            for j, info in enumerate(infos):
+                count = len(info.index.get(info.key(t), ()))
                 counter.add()
+                if best_count is None or count < best_count:
+                    best_idx, best_count = j, count
+            best = infos[best_idx]
+            matches = best.index.get(best.key(t), ())
+            if not matches:
+                continue
+            counter.add(len(matches))
+            extra_key = best.extra_key
+            batches[best_idx].extend(t + extra_key(m) for m in matches)
+
+        # Stage 2 — each batch goes through its cover's compiled plan in
+        # one call (goodness guarantees the closure is C_i); the prefix of
+        # a surviving candidate is recovered positionally (the plan's
+        # layout starts with prev_attrs).
+        n_prev = len(prev_attrs)
+        next_frontier: dict[tuple, None] = {}
+        for chosen, rows in zip(infos, batches):
+            if not rows:
+                continue
+            plan = ensure_plan(chosen)
+            reorder = chosen.reorder
+            survivors = [
+                (reorder(e), e[:n_prev])
+                for e in plan.execute_batch(rows, counter)
+                if e is not None
+            ]
+            # Stage 3 — line 6's intersection, batched per other covering
+            # relation: the candidate's R_j ∧ C_i projection must be
+            # present in Π_{R_j ∧ C_i}(R_j), and re-expanding the prefix
+            # joined with that projection must reproduce the candidate
+            # (the subtle step of footnote 8).  A candidate failing one
+            # cover never reaches the next — exactly the per-tuple
+            # early-exit, so the counted work is identical.
+            for info in infos:
+                if info is chosen or not survivors:
+                    continue
+                counter.add(len(survivors))
                 full_index = info.full_index
                 if full_index is None:
                     full_index = info.full_index = info.proj.index_on(
                         info.proj.schema
                     )
-                if info.cand_key(candidate) not in full_index:
-                    return False
-                plan = ensure_plan(info)
-                rebuilt = plan.execute(
-                    prefix + info.cand_extra_key(candidate), counter
+                cand_key = info.cand_key
+                passed = [
+                    (c, p) for c, p in survivors if cand_key(c) in full_index
+                ]
+                if not passed:
+                    survivors = passed
+                    continue
+                info_plan = ensure_plan(info)
+                cand_extra_key = info.cand_extra_key
+                rebuilt = info_plan.execute_batch(
+                    [p + cand_extra_key(c) for c, p in passed], counter
                 )
-                if rebuilt is None or info.reorder(rebuilt) != candidate:
-                    return False
-            return True
-
-        next_frontier: dict[tuple, None] = {}
-        for t in frontier:
-            # Pick j* = argmin |t ⋈ Π_{R_j ∧ C_i}(R_j)| by degree lookup.
-            best: _CoverInfo | None = None
-            best_count: int | None = None
-            for info in infos:
-                count = len(info.index.get(info.key(t), ()))
-                counter.add()
-                if best_count is None or count < best_count:
-                    best, best_count = info, count
-            matches = best.index.get(best.key(t), ())
-            if not matches:
-                continue
-            counter.add(len(matches))
-            plan = ensure_plan(best)
-            execute = plan.execute
-            extra_key = best.extra_key
-            for match in matches:
-                # Expand to C_i (goodness guarantees the closure is C_i).
-                expanded_t = execute(t + extra_key(match), counter)
-                if expanded_t is None:
-                    continue
-                candidate = best.reorder(expanded_t)
-                if not verify(candidate, t, best):
-                    continue
+                info_reorder = info.reorder
+                survivors = [
+                    (c, p)
+                    for (c, p), rb in zip(passed, rebuilt)
+                    if rb is not None and info_reorder(rb) == c
+                ]
+            for candidate, _ in survivors:
                 next_frontier[candidate] = None
         frontier = list(next_frontier)
         prev_attrs = ci_sorted

@@ -422,28 +422,27 @@ def _execute_join_rule(
     guard_extra = tuple(a for a in guard.schema if a not in left.varset)
     extra_positions = guard.positions(guard_extra)
     out_schema = tuple(sorted(target_attrs))
-    # Compiled plan from the concatenated (left ++ guard-extra) layout to
-    # the target's closed varset; lazily compiled on the first match so an
-    # empty join (like the naive path) never compiles anything.
     left_key = tuple_getter(left_positions)
     extra_key = tuple_getter(extra_positions)
-    plan = None
-    execute = None
-    out_key = None
-    out_tuples: list[tuple] = []
+    # Collect the whole (left ⋈ guard) frontier, then push it through the
+    # compiled plan in one batch; an empty join (like the naive path)
+    # never compiles anything.
+    rows: list[tuple] = []
     for t in left.tuples:
         matches = guard_index.get(left_key(t), ()) if shared else guard.tuples
         if not matches:
             continue
         counter.add(len(matches))
-        if plan is None:
-            plan = db.expansion_plan(left.schema + guard_extra, target_attrs)
-            execute = plan.execute
-            out_key = tuple_getter(plan.positions(out_schema))
-        for match in matches:
-            expanded = execute(t + extra_key(match), counter)
-            if expanded is not None:
-                out_tuples.append(out_key(expanded))
+        rows.extend(t + extra_key(match) for match in matches)
+    out_tuples: list[tuple] = []
+    if rows:
+        plan = db.expansion_plan(left.schema + guard_extra, target_attrs)
+        out_key = tuple_getter(plan.positions(out_schema))
+        out_tuples = [
+            out_key(expanded)
+            for expanded in plan.execute_batch(rows, counter)
+            if expanded is not None
+        ]
     # (left tuple, guard image) → output is injective, so no re-dedup.
     branch.tables[target] = Relation(
         f"T({lattice.label(target)})", out_schema, out_tuples, distinct=True
@@ -473,9 +472,12 @@ def _fallback_join(
     rows = []
     if len(current):
         plan = db.expansion_plan(current.schema, target)
-        reorder = plan.positions(out_schema)
-        for t in current.tuples:
-            expanded = plan.execute(t, counter)
-            if expanded is not None:
-                rows.append(tuple(expanded[p] for p in reorder))
+        out_key = tuple_getter(plan.positions(out_schema))
+        rows = [
+            out_key(expanded)
+            for expanded in plan.execute_batch_columns(
+                current.columns(), len(current), counter
+            )
+            if expanded is not None
+        ]
     return Relation("fallback", out_schema, rows)

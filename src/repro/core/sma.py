@@ -132,25 +132,29 @@ def submodularity_algorithm(
         z_key_of = tuple_getter(z_positions_y)
         extra_key = tuple_getter(t_y.positions(y_extra))
         out_schema = tuple(sorted(xy_attrs))
-        plan = None
-        execute = None
-        out_key = None
-        out_tuples: list[tuple] = []
+        # Collect the light part of the (T(X) ⋈ T(Y)) frontier, then push
+        # it through the compiled plan in one batch (an empty join never
+        # compiles anything, as in the naive path).
+        rows: list[tuple] = []
         for t in t_x.tuples:
             matches = y_join_index.get(x_key(t), ())
             if not matches:
                 continue
             counter.add(len(matches))
-            if plan is None:
-                plan = db.expansion_plan(t_x.schema + y_extra, xy_attrs)
-                execute = plan.execute
-                out_key = tuple_getter(plan.positions(out_schema))
-            for match in matches:
-                if z_key_of(match) not in lite_keys:
-                    continue
-                expanded_row = execute(t + extra_key(match), counter)
-                if expanded_row is not None:
-                    out_tuples.append(out_key(expanded_row))
+            rows.extend(
+                t + extra_key(match)
+                for match in matches
+                if z_key_of(match) in lite_keys
+            )
+        out_tuples: list[tuple] = []
+        if rows:
+            plan = db.expansion_plan(t_x.schema + y_extra, xy_attrs)
+            out_key = tuple_getter(plan.positions(out_schema))
+            out_tuples = [
+                out_key(expanded_row)
+                for expanded_row in plan.execute_batch(rows, counter)
+                if expanded_row is not None
+            ]
         tables[join_item] = Relation(
             f"T({join_item})", out_schema, out_tuples, distinct=True
         )

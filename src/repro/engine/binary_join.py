@@ -55,8 +55,9 @@ def binary_join_plan(
         current = natural_join(current, db[name], counter=counter)
         stats.intermediate_sizes.append(len(current))
     if apply_fd_filters and set(current.schema) != set(query.variables):
-        # Fill UDF-determined variables and drop inconsistent tuples,
-        # through the compiled expansion plan for the intermediate schema.
+        # Fill UDF-determined variables and drop inconsistent tuples: the
+        # whole intermediate goes through the compiled expansion plan in
+        # one batch, fed straight from the relation's columnar view.
         filled = []
         target = frozenset(query.variables)
         if len(current):
@@ -66,12 +67,14 @@ def binary_join_plan(
             out_key = tuple_getter(plan.positions(query.variables))
             consistent = db.udf_filter(plan.out_schema)
             counter.add(len(current))
-            for t in current.tuples:
-                expanded = plan.execute(t, counter)
-                if expanded is not None and (
-                    consistent is None or consistent(expanded)
-                ):
-                    filled.append(out_key(expanded))
+            filled = [
+                out_key(expanded)
+                for expanded in plan.execute_batch_columns(
+                    current.columns(), len(current), counter
+                )
+                if expanded is not None
+                and (consistent is None or consistent(expanded))
+            ]
         current = Relation("Q", query.variables, filled)
     elif apply_fd_filters:
         # Check every fd that has a UDF witness (predicates u = f(x, z)).

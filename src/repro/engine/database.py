@@ -140,43 +140,63 @@ class Database:
             self._guard_lookups[key] = cached
         return cached
 
-    def expansion_plan(
-        self, source_schema: Sequence[str], target: VarSet | None = None
-    ) -> ExpansionPlan:
-        """Compile (and cache) the per-tuple expansion plan for a schema.
+    def _compile_steps(
+        self,
+        source_schema: tuple[str, ...],
+        goal: VarSet,
+        relation_mode: bool,
+    ) -> tuple[tuple[tuple, ...], tuple[str, ...]]:
+        """The symbolic replay shared by tuple and relation plans.
 
-        Symbolically replays the expansion loop: at each step the first
-        applicable fd with goal progress is applied — guarded fds become
-        functional-lookup steps keyed on the lhs, unguarded fds become UDF
-        steps — until the bound attributes reach ``target`` (default: the
-        closure of the source schema).
+        At each iteration the *first* applicable fd with goal progress is
+        applied (guarded fds become lookup steps, unguarded ones UDF
+        steps) until the bound attributes reach ``goal``.  The two plan
+        variants differ only in three pinned rules, each mirroring its
+        naive reference formulation exactly:
+
+        * **missing attrs** — tuple mode targets ``(rhs - bound) & goal``
+          (a partial ``target`` stops early); relation mode always chases
+          the full ``rhs - bound``.
+        * **guard key** — tuple mode keys on the fd's lhs in guard-schema
+          order with a single-image lookup; relation mode keys on every
+          already-bound attribute of lhs ∪ rhs in layout order with a
+          multi-image lookup (join set semantics).
+        * **UDF resolution scope** — tuple mode resolves every missing
+          attribute against the *pre-fd* bound set (as
+          ``reference_expand_tuple`` does); relation mode grows the bound
+          set per attribute (as ``reference_expand_relation`` does).
+
+        Returns ``(steps, out_layout)``.
         """
-        source_schema = tuple(source_schema)
-        key = (source_schema, target, self._plan_salt())
-        cached = self._tuple_plans.get(key)
-        if cached is not None:
-            return cached
         bound = frozenset(source_schema)
-        goal = target if target is not None else self.fds.closure(bound)
         layout = list(source_schema)
         pos = {a: i for i, a in enumerate(layout)}
         steps: list[tuple] = []
         while bound != goal:
             progressed = False
             for fd in self.applicable_fds(bound):
-                missing = (fd.rhs - bound) & goal
+                if relation_mode:
+                    missing = fd.rhs - bound
+                else:
+                    missing = (fd.rhs - bound) & goal
                 if not missing:
                     continue
                 guard = self.guard_relation(fd)
                 if guard is not None:
-                    # Key attrs in guard-schema order: reuses the same
-                    # cached guard index the naive lookup would build.
-                    key_attrs = tuple(
-                        a for a in guard.schema if a in fd.lhs
-                    )
-                    new_attrs = tuple(sorted(missing))
+                    if relation_mode:
+                        attrs = tuple(sorted(fd.lhs | fd.rhs))
+                        attr_set = frozenset(attrs)
+                        key_attrs = tuple(a for a in layout if a in attr_set)
+                        new_attrs = tuple(a for a in attrs if a not in bound)
+                    else:
+                        # Key attrs in guard-schema order: reuses the same
+                        # cached guard index the naive lookup would build.
+                        key_attrs = tuple(
+                            a for a in guard.schema if a in fd.lhs
+                        )
+                        new_attrs = tuple(sorted(missing))
                     lookup = self._guard_lookup(
-                        guard, key_attrs, new_attrs, multi=False
+                        guard, key_attrs, new_attrs, multi=relation_mode
                     )
                     steps.append(
                         (GUARD, tuple(pos[a] for a in key_attrs), lookup)
@@ -184,6 +204,7 @@ class Database:
                     for a in new_attrs:
                         pos[a] = len(layout)
                         layout.append(a)
+                    bound = bound | frozenset(new_attrs)
                 else:
                     for attr in sorted(missing):
                         udf = self.udfs.resolve(bound, attr)
@@ -200,14 +221,38 @@ class Database:
                         )
                         pos[attr] = len(layout)
                         layout.append(attr)
-                bound = bound | missing
+                        if relation_mode:
+                            bound = bound | {attr}
+                    if not relation_mode:
+                        bound = bound | missing
                 progressed = True
                 break
             if not progressed:
                 raise ExpansionError(
-                    f"cannot expand tuple over {sorted(bound)} to {sorted(goal)}"
+                    f"cannot expand {tuple(source_schema)} over "
+                    f"{sorted(bound)} to {sorted(goal)}: missing guard/UDF"
                 )
-        plan = ExpansionPlan(source_schema, tuple(layout), tuple(steps))
+        return tuple(steps), tuple(layout)
+
+    def expansion_plan(
+        self, source_schema: Sequence[str], target: VarSet | None = None
+    ) -> ExpansionPlan:
+        """Compile (and cache) the per-tuple expansion plan for a schema,
+        towards ``target`` (default: the closure of the source schema)."""
+        source_schema = tuple(source_schema)
+        key = (source_schema, target, self._plan_salt())
+        cached = self._tuple_plans.get(key)
+        if cached is not None:
+            return cached
+        goal = (
+            target
+            if target is not None
+            else self.fds.closure(frozenset(source_schema))
+        )
+        steps, layout = self._compile_steps(
+            source_schema, goal, relation_mode=False
+        )
+        plan = ExpansionPlan(source_schema, layout, steps)
         self._tuple_plans[key] = plan
         return plan
 
@@ -223,56 +268,11 @@ class Database:
         cached = self._relation_plans.get(key)
         if cached is not None:
             return cached
-        bound = frozenset(source_schema)
-        target = self.fds.closure(bound)
-        layout = list(source_schema)
-        pos = {a: i for i, a in enumerate(layout)}
-        steps: list[tuple] = []
-        while bound != target:
-            progressed = False
-            for fd in self.applicable_fds(bound):
-                if not fd.rhs - bound:
-                    continue
-                guard = self.guard_relation(fd)
-                if guard is not None:
-                    attrs = tuple(sorted(fd.lhs | fd.rhs))
-                    attr_set = frozenset(attrs)
-                    shared = tuple(a for a in layout if a in attr_set)
-                    extra = tuple(a for a in attrs if a not in bound)
-                    lookup = self._guard_lookup(guard, shared, extra, multi=True)
-                    steps.append(
-                        (GUARD, tuple(pos[a] for a in shared), lookup)
-                    )
-                    for a in extra:
-                        pos[a] = len(layout)
-                        layout.append(a)
-                    bound = bound | frozenset(extra)
-                else:
-                    for attr in sorted(fd.rhs - bound):
-                        udf = self.udfs.resolve(bound, attr)
-                        if udf is None:
-                            raise ExpansionError(
-                                f"no guard relation and no UDF for fd {fd!r} "
-                                f"(attribute {attr!r})"
-                            )
-                        steps.append(
-                            (
-                                UDF_STEP,
-                                tuple(pos[a] for a in udf.inputs),
-                                udf.fn,
-                            )
-                        )
-                        pos[attr] = len(layout)
-                        layout.append(attr)
-                        bound = bound | {attr}
-                progressed = True
-                break
-            if not progressed:
-                raise ExpansionError(
-                    f"cannot expand {tuple(layout)} towards {sorted(target)}: "
-                    "missing guard/UDF"
-                )
-        plan = RelationExpansionPlan(source_schema, tuple(layout), tuple(steps))
+        goal = self.fds.closure(frozenset(source_schema))
+        steps, layout = self._compile_steps(
+            source_schema, goal, relation_mode=True
+        )
+        plan = RelationExpansionPlan(source_schema, layout, steps)
         self._relation_plans[key] = plan
         return plan
 

@@ -7,9 +7,13 @@ paper): a variable functionally determined by the bound prefix is computed
 via the expansion procedure instead of enumerated — this prunes per-branch
 work but provably does not change the Ω(N²) worst case of Ex. 5.8.
 
-Prefix bindings are raw tuples over ``order[:depth]``; the per-depth
-candidate indexes, verification keys, FD closures and expansion plans are
-all derived once per depth, so the recursion touches no dicts.
+Prefix bindings are raw tuples over ``order[:depth]``, evaluated
+level-wise: the whole depth-d frontier extends to depth d+1 in one pass,
+so FD-determined variables bind through a single batched plan execution.
+Candidate indexes, verification keys, FD closures and expansion plans are
+derived once per depth, and the hash indexes themselves are built on
+first probe — a frontier that dies early never pays for the depths below
+it.
 """
 
 from __future__ import annotations
@@ -55,22 +59,23 @@ def generic_join(
         raise ValueError("order must be a permutation of the query variables")
     stats = GenericJoinStats(per_depth=[0] * len(order))
     relations = {atom.name: db[atom.name] for atom in query.atoms}
-    results: list[tuple] = []
 
-    # Per-depth compiled access paths.  ``choose``: (index, key positions in
-    # the prefix, candidate-value position) per atom containing the
-    # variable, keyed on the attrs bound *before* it.  ``verify``: the same
-    # per atom but with the variable itself bound.
-    choose_paths: list[list[tuple]] = []
-    verify_paths: list[list[tuple]] = []
+    # Per-depth compiled access paths.  ``choose``: key positions in the
+    # prefix + candidate-value position per atom containing the variable,
+    # keyed on the attrs bound *before* it.  ``verify``: the same per atom
+    # but with the variable itself bound.  The hash indexes themselves
+    # (slot 4 / 3) are deferred to the first probe at their depth, so a
+    # query whose frontier dies at depth d builds nothing below d.
+    choose_paths: list[list[list]] = []
+    verify_paths: list[list[list]] = []
     determined: list[bool] = []
     plans: list = []
     for depth, var in enumerate(order):
         bound = order[:depth]
         bound_set = frozenset(bound)
-        extended = bound + (var,)
-        choose_atoms: list[tuple] = []
-        verify_atoms: list[tuple] = []
+        extended_attrs = bound + (var,)
+        choose_atoms: list[list] = []
+        verify_atoms: list[list] = []
         for atom in query.atoms:
             if var not in atom.varset:
                 continue
@@ -79,11 +84,13 @@ def generic_join(
                 a for a in rel.schema if a in bound_set and a in atom.varset
             )
             choose_atoms.append(
-                (
-                    rel.index_on(battrs),
+                [
+                    rel,
+                    battrs,
                     tuple_getter(bound.index(a) for a in battrs),
                     rel.positions((var,))[0],
-                )
+                    None,  # index, built on first probe
+                ]
             )
             vattrs = tuple(
                 a
@@ -91,10 +98,12 @@ def generic_join(
                 if (a in bound_set or a == var) and a in atom.varset
             )
             verify_atoms.append(
-                (
-                    rel.index_on(vattrs),
-                    tuple_getter(extended.index(a) for a in vattrs),
-                )
+                [
+                    rel,
+                    vattrs,
+                    tuple_getter(extended_attrs.index(a) for a in vattrs),
+                    None,  # index, built on first probe
+                ]
             )
         choose_paths.append(choose_atoms)
         verify_paths.append(verify_atoms)
@@ -104,73 +113,88 @@ def generic_join(
         plans.append(None)  # expansion plans compile lazily per depth
 
     consistent = db.udf_filter(order)
-    n_vars = len(order)
 
     def verify_binding(candidate: tuple, depth: int) -> bool:
         """Check the new value against every atom fully bound so far."""
-        for index, key in verify_paths[depth]:
-            if key(candidate) not in index:
+        for path in verify_paths[depth]:
+            index = path[3]
+            if index is None:
+                index = path[3] = path[0].index_on(path[1])
+            if path[2](candidate) not in index:
                 return False
         return True
 
-    def extend(depth: int, prefix: tuple) -> None:
-        if depth == n_vars:
-            if consistent is None or consistent(prefix):
-                results.append(prefix)
-            return
-        var = order[depth]
+    # Level-wise evaluation: the prefix frontier for depth d+1 is computed
+    # from the whole depth-d frontier, so FD-determined variables bind by
+    # one batched plan execution instead of one call per prefix.  Child
+    # order within a prefix matches the recursive formulation, so results
+    # (and all counted work) are identical to the depth-first original.
+    frontier: list[tuple] = [()]
+    for depth, var in enumerate(order):
+        if not frontier:
+            break
         if determined[depth]:
             plan = plans[depth]
             if plan is None:
-                plan = db.expansion_plan(
+                plan = plans[depth] = db.expansion_plan(
                     order[:depth], frozenset(order[:depth]) | {var}
                 )
-                plans[depth] = plan
-            extended = plan.execute(prefix, counter)
-            stats.per_depth[depth] += 1
-            stats.tuples_touched += 1
+            n = len(frontier)
+            stats.per_depth[depth] += n
+            stats.tuples_touched += n
             if counter is not None:
-                counter.add()
-            if extended is None:
-                return
+                counter.add(n)
             # The plan appends exactly {var}: extended IS prefix + (value,).
-            if verify_binding(extended, depth):
-                extend(depth + 1, extended)
-            return
-        # Choose the atom with the fewest matching extensions.
-        best = None
-        best_count = None
-        for path in choose_paths[depth]:
-            index, key, _ = path
-            count = len(index.get(key(prefix), ()))
-            if best_count is None or count < best_count:
-                best, best_count = path, count
-        if best is None:
+            frontier = [
+                extended
+                for extended in plan.execute_batch(frontier, counter)
+                if extended is not None and verify_binding(extended, depth)
+            ]
+            continue
+        paths = choose_paths[depth]
+        if not paths:
             # Variable in no atom: it must be FD-determined; oblivious
             # engines cannot handle it.
             raise ValueError(
                 f"variable {var!r} appears in no atom; "
                 "use fd_aware=True or the core algorithms"
             )
-        index, key, var_position = best
-        matches = index.get(key(prefix), ())
-        if not matches:
-            return
-        stats.tuples_touched += len(matches)
-        stats.per_depth[depth] += len(matches)
-        if counter is not None:
-            counter.add(len(matches))
-        seen: set = set()
-        for t in matches:
-            value = t[var_position]
-            if value in seen:
+        next_frontier: list[tuple] = []
+        append = next_frontier.append
+        for prefix in frontier:
+            # Choose the atom with the fewest matching extensions.
+            best = None
+            best_count = None
+            for path in paths:
+                index = path[4]
+                if index is None:
+                    index = path[4] = path[0].index_on(path[1])
+                count = len(index.get(path[2](prefix), ()))
+                if best_count is None or count < best_count:
+                    best, best_count = path, count
+            matches = best[4].get(best[2](prefix), ())
+            if not matches:
                 continue
-            seen.add(value)
-            candidate = prefix + (value,)
-            if verify_binding(candidate, depth):
-                extend(depth + 1, candidate)
+            stats.tuples_touched += len(matches)
+            stats.per_depth[depth] += len(matches)
+            if counter is not None:
+                counter.add(len(matches))
+            var_position = best[3]
+            seen: set = set()
+            for t in matches:
+                value = t[var_position]
+                if value in seen:
+                    continue
+                seen.add(value)
+                candidate = prefix + (value,)
+                if verify_binding(candidate, depth):
+                    append(candidate)
+        frontier = next_frontier
 
-    extend(0, ())
+    if consistent is None:
+        results = frontier
+    else:
+        results = [t for t in frontier if consistent(t)]
     out = Relation("Q", order, results)
     stats.intermediate_peak = len(out)
     return out, stats

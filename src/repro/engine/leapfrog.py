@@ -1,4 +1,4 @@
-"""LeapFrog TrieJoin (Veldhuizen [23]) on sorted trie indexes.
+"""LeapFrog TrieJoin (Veldhuizen [23]) on the positional kernel.
 
 The paper's industrial baseline: a worst-case optimal join that walks one
 variable at a time, intersecting the sorted children of per-relation trie
@@ -9,7 +9,15 @@ by the expansion procedure instead of trie search.
 This implementation is faithful to the published algorithm (trie
 iterators with open/up/seek/next, the leapfrog k-way intersection) rather
 than a re-skin of :mod:`repro.engine.generic_join` — the two serve as
-independent engines whose agreement is itself a test.
+independent engines whose agreement is itself a test.  Execution rides on
+the shared positional substrate: prefixes are raw tuples over
+``order[:depth]``, footnote 1's FD binding goes through the compiled
+expansion plan for that prefix schema (closure membership and plans are
+derived once per depth, not per node), and the final UDF-consistency check
+is the compiled positional predicate.  ``expansion="reference"`` swaps the
+plan for the naive row-dict formulation
+(:func:`repro.engine.reference.reference_expand_tuple`); the differential
+suite runs both and asserts bit-identical results and work counts.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine.database import Database
+from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.query.query import Query
 
@@ -144,15 +153,27 @@ def leapfrog_triejoin(
     db: Database,
     order: Sequence[str] | None = None,
     fd_aware: bool = True,
+    counter: WorkCounter | None = None,
+    expansion: str = "plan",
 ) -> tuple[Relation, LeapfrogStats]:
     """Evaluate ``query`` with LFTJ over tries built in ``order``.
 
     ``fd_aware`` enables footnote 1: bind FD-determined variables via the
-    expansion procedure at the earliest level.
+    expansion procedure at the earliest level.  ``counter`` receives the
+    expansion substrate's work charges (one touch per fd application, as
+    everywhere in the kernel).  ``expansion`` selects the substrate:
+    ``"plan"`` (compiled positional plans, the default) or ``"reference"``
+    (the naive row-dict path) — the differential suite asserts the two are
+    observationally identical.
     """
     order = tuple(order) if order is not None else query.variables
     if set(order) != set(query.variables):
         raise ValueError("order must be a permutation of the query variables")
+    if expansion not in ("plan", "reference"):
+        raise ValueError(f"unknown expansion substrate {expansion!r}")
+    use_reference = expansion == "reference"
+    if use_reference:
+        from repro.engine.reference import reference_expand_tuple
     stats = LeapfrogStats()
     tries: dict[str, TrieIndex] = {}
     for atom in query.atoms:
@@ -166,24 +187,52 @@ def leapfrog_triejoin(
         ]
         for v in order
     }
+    n_vars = len(order)
+    # Per-depth static data: every prefix at depth d has schema
+    # order[:d], so closure membership and the expansion plan are derived
+    # once per depth instead of once per node.
+    determined = [
+        fd_aware and var in db.fds.closure(frozenset(order[:depth]))
+        for depth, var in enumerate(order)
+    ]
+    plans: list = [None] * n_vars
+    consistent = db.udf_filter(order)
     results: list[tuple] = []
 
-    def descend(depth: int, binding: dict[str, object],
+    def bind_determined(depth: int, prefix: tuple):
+        """Footnote 1: the FD-determined value for ``prefix``, or ``None``
+        when the prefix dangles (guard miss / inconsistent guard key)."""
+        if use_reference:
+            expanded = reference_expand_tuple(
+                db,
+                dict(zip(order[:depth], prefix)),
+                target=frozenset(order[:depth]) | {order[depth]},
+                counter=counter,
+            )
+            return None if expanded is None else (expanded[order[depth]],)
+        plan = plans[depth]
+        if plan is None:
+            plan = plans[depth] = db.expansion_plan(
+                order[:depth], frozenset(order[:depth]) | {order[depth]}
+            )
+        extended = plan.execute(prefix, counter)
+        # The plan appends exactly {var}: extended IS prefix + (value,).
+        return None if extended is None else (extended[depth],)
+
+    def descend(depth: int, prefix: tuple,
                 open_iters: dict[str, TrieIterator]) -> None:
-        if depth == len(order):
-            if db.udf_consistent(binding):
-                results.append(tuple(binding[v] for v in order))
+        if depth == n_vars:
+            if consistent is None or consistent(prefix):
+                results.append(prefix)
             return
         var = order[depth]
         names = var_atoms[var]
-        if fd_aware and var in db.fds.closure(frozenset(binding)):
-            expanded = db.expand_tuple(
-                dict(binding), target=frozenset(binding) | {var}
-            )
+        if determined[depth]:
+            bound = bind_determined(depth, prefix)
             stats.tuples_touched += 1
-            if expanded is None:
+            if bound is None:
                 return
-            value = expanded[var]
+            (value,) = bound
             # Verify against each trie having this level.
             next_iters = {}
             ok = True
@@ -197,9 +246,7 @@ def leapfrog_triejoin(
                     break
                 next_iters[name] = it
             if ok:
-                child = dict(binding)
-                child[var] = value
-                descend(depth + 1, child, open_iters)
+                descend(depth + 1, prefix + (value,), open_iters)
             for name in reversed(list(next_iters)):
                 open_iters[name].up()
             return
@@ -225,9 +272,7 @@ def leapfrog_triejoin(
                 it.path[-1] = parent["children"][parent["keys"][0]]
                 it.seek(value)
                 stats.seeks += 1
-            child = dict(binding)
-            child[var] = value
-            descend(depth + 1, child, open_iters)
+            descend(depth + 1, prefix + (value,), open_iters)
         for name in reversed(names):
             open_iters[name].up()
 
@@ -235,5 +280,5 @@ def leapfrog_triejoin(
         atom.name: TrieIterator(tries[atom.name]) for atom in query.atoms
     }
     if all(len(db[atom.name]) for atom in query.atoms):
-        descend(0, {}, open_iters)
+        descend(0, (), open_iters)
     return Relation("Q", order, results), stats

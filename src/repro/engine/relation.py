@@ -23,6 +23,7 @@ Three kernel-level optimizations keep derived relations cheap:
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 # Opt-in re-validation of the ``distinct=True`` fast path (set
@@ -34,9 +35,19 @@ _CHECK_DISTINCT = os.environ.get("REPRO_CHECK_DISTINCT", "").strip().lower() not
 )
 
 # Registry of interned (schema, positions, varset) triples, keyed by the
-# schema tuple.  Schemas are tiny and few; the registry is effectively
-# bounded by the set of distinct schemas ever constructed.
-_SCHEMA_REGISTRY: dict[tuple, tuple[tuple, dict, frozenset]] = {}
+# schema tuple.  Interning is a sharing optimization only — each relation
+# holds its own references, so evicting an entry merely means the next
+# construction over that schema rebuilds the triple.  The LRU cap bounds
+# the registry under heavy traffic with unbounded distinct schemas.
+_SCHEMA_REGISTRY: "OrderedDict[tuple, tuple[tuple, dict, frozenset]]" = (
+    OrderedDict()
+)
+SCHEMA_REGISTRY_MAX = 4096
+
+# Per-relation projection memos are capped the same way: a projection is a
+# pure function of (parent, attrs, name), so eviction only costs a
+# recomputation on the next request.
+PROJECTION_CACHE_MAX = 64
 
 
 def _intern_schema(schema: Sequence[str]) -> tuple[tuple, dict, frozenset]:
@@ -47,6 +58,10 @@ def _intern_schema(schema: Sequence[str]) -> tuple[tuple, dict, frozenset]:
             raise ValueError(f"duplicate attributes in schema {key}")
         cached = (key, {a: i for i, a in enumerate(key)}, frozenset(key))
         _SCHEMA_REGISTRY[key] = cached
+        if len(_SCHEMA_REGISTRY) > SCHEMA_REGISTRY_MAX:
+            _SCHEMA_REGISTRY.popitem(last=False)
+    else:
+        _SCHEMA_REGISTRY.move_to_end(key)
     return cached
 
 
@@ -55,7 +70,7 @@ class Relation:
 
     __slots__ = (
         "name", "schema", "tuples", "_indexes", "_positions", "_varset",
-        "_projections",
+        "_projections", "_columns",
     )
 
     def __init__(
@@ -94,7 +109,8 @@ class Relation:
                     )
             self.tuples = tuple(deduped)
         self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
-        self._projections: dict[tuple, "Relation"] = {}
+        self._projections: "OrderedDict[tuple, Relation]" = OrderedDict()
+        self._columns: tuple[tuple, ...] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -116,6 +132,22 @@ class Relation:
 
     def as_dicts(self) -> list[dict[str, object]]:
         return [dict(zip(self.schema, t)) for t in self.tuples]
+
+    def columns(self) -> tuple[tuple, ...]:
+        """Columnar view: one tuple per attribute, cached after first use.
+
+        The batched plan backend (`ExpansionPlan.execute_batch_columns`)
+        consumes this directly, so pushing a whole relation through a plan
+        skips the per-call transposition.
+        """
+        if self._columns is None:
+            from operator import itemgetter
+
+            self._columns = tuple(
+                tuple(map(itemgetter(j), self.tuples))
+                for j in range(len(self.schema))
+            )
+        return self._columns
 
     # ------------------------------------------------------------------
     # Indexing / degrees
@@ -184,6 +216,7 @@ class Relation:
         cache_key = (attrs, name)
         cached = self._projections.get(cache_key)
         if cached is not None:
+            self._projections.move_to_end(cache_key)
             return cached
         from repro.engine.expansion_plan import tuple_getter
 
@@ -198,6 +231,8 @@ class Relation:
             distinct=permutation,
         )
         self._projections[cache_key] = result
+        if len(self._projections) > PROJECTION_CACHE_MAX:
+            self._projections.popitem(last=False)
         return result
 
     def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":

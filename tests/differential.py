@@ -1,0 +1,337 @@
+"""Reusable differential-testing machinery for every engine.
+
+This module is the *contract* a new execution backend must satisfy before
+it ships (see PERFORMANCE.md, "The differential testing contract"):
+
+1. **Result agreement** — on every randomized instance, the engine's
+   output relation must equal every other engine's output
+   (:func:`run_all_engines` / :func:`assert_engines_agree`).
+2. **Work transparency** — any path that executes expansion work must
+   charge ``tuples_touched`` bit-identically to the naive reference
+   formulation in :mod:`repro.engine.reference`
+   (:func:`assert_batch_backend_equivalence`,
+   :func:`assert_leapfrog_substrate_equivalence`).
+
+The registry below names every current engine; ``MANDATORY_ENGINES`` are
+the ones that must run on every instance the generators produce.  The
+batched plan backend (``ExpansionPlan.execute_batch`` row-loop, columnwise
+and numpy paths) and the positional-kernel leapfrog port are registered as
+mandatory — a regression in either fails this harness, not just a
+downstream benchmark.
+
+Test files import from here; this module itself is not collected (no
+``test_`` prefix).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.core.chain_algorithm import chain_algorithm
+from repro.core.csma import csma
+from repro.core.simple_keys import all_guarded_simple_keys, closure_trick_join
+from repro.core.sma import SMAError, submodularity_algorithm
+from repro.datagen.from_lattice import database_from_world, query_from_lattice
+from repro.engine.binary_join import binary_join_plan
+from repro.engine.database import Database
+from repro.engine.generic_join import generic_join
+from repro.engine.leapfrog import leapfrog_triejoin
+from repro.engine.ops import WorkCounter
+from repro.engine.relation import Relation
+from repro.engine.reference import reference_expand_tuple
+from repro.fds.fd import FD, FDSet
+from repro.lattice.builders import fig4_lattice, fig9_lattice, lattice_from_query
+from repro.lattice.chains import best_chain_bound
+from repro.query.query import Atom, Query
+
+# ----------------------------------------------------------------------
+# Randomized instance generators
+# ----------------------------------------------------------------------
+
+def random_world_instance(seed: int) -> tuple[Query, Database]:
+    """A random world over a paper lattice → query + runnable database.
+
+    The world is sampled uniformly, so input projections may or may not
+    satisfy the declared fds — exercising both the functional and the
+    multi-image guard paths.
+    """
+    rng = random.Random(seed)
+    lattice_maker = [fig4_lattice, fig9_lattice][seed % 2]
+    lat, inputs = lattice_maker()
+    query, var_to_ji = query_from_lattice(lat, inputs)
+    variables = sorted(var_to_ji)
+    domain = rng.randint(2, 4)
+    n_tuples = rng.randint(5, 40)
+    world = {
+        tuple(rng.randrange(domain) for _ in variables)
+        for _ in range(n_tuples)
+    }
+    return query, database_from_world(query, variables, sorted(world))
+
+
+def _random_cyclic_key_instance(
+    rng: random.Random,
+    domain_range: tuple[int, int],
+    size_range: tuple[int, int],
+    fixed_size: bool,
+) -> tuple[Query, Database]:
+    """A random 3-4 atom cyclic query where one relation guards a random
+    simple key, realized as a functional instance.
+
+    ``fixed_size`` draws one relation size for the whole instance (the
+    historical fuzz-workload shape) instead of one per atom.
+    """
+    n_atoms = rng.choice([3, 4])
+    variables = list("wxyz")[:n_atoms]
+    atoms = [
+        Atom(f"R{k}", (variables[k], variables[(k + 1) % n_atoms]))
+        for k in range(n_atoms)
+    ]
+    key_atom = rng.randrange(n_atoms)
+    key_var, dep_var = atoms[key_atom].attrs
+    fds = FDSet([FD(key_var, dep_var)], variables)
+    query = Query(atoms, fds)
+    domain = rng.randint(*domain_range)
+    size = rng.randint(*size_range) if fixed_size else None
+    relations = []
+    for k, atom in enumerate(atoms):
+        if k == key_atom:
+            shift = rng.randrange(domain)
+            tuples = {(v, (v * 3 + shift) % domain) for v in range(domain)}
+        else:
+            tuples = {
+                (rng.randrange(domain), rng.randrange(domain))
+                for _ in range(size if fixed_size else rng.randint(*size_range))
+            }
+        relations.append(Relation(atom.name, atom.attrs, tuples))
+    return query, Database(relations, fds=fds)
+
+
+def random_guarded_instance(seed: int) -> tuple[Query, Database]:
+    """A small random cyclic simple-key instance (expansion-level corpus)."""
+    return _random_cyclic_key_instance(
+        random.Random(seed + 1000),
+        domain_range=(3, 8),
+        size_range=(5, 30),
+        fixed_size=False,
+    )
+
+
+def random_simple_key_workload(seed: int) -> tuple[Query, Database]:
+    """A larger random cyclic simple-key workload (cross-engine corpus;
+    every engine applies)."""
+    return _random_cyclic_key_instance(
+        random.Random(seed),
+        domain_range=(4, 10),
+        size_range=(10, 60),
+        fixed_size=True,
+    )
+
+
+def all_instances(seed: int):
+    """The expansion-level differential corpus: one world instance + one
+    guarded instance per seed."""
+    yield random_world_instance(seed)
+    yield random_guarded_instance(seed)
+
+
+# ----------------------------------------------------------------------
+# The engine registry
+# ----------------------------------------------------------------------
+
+def _run_binary(query, db, schema):
+    out, _ = binary_join_plan(query, db)
+    return set(out.project(schema).tuples)
+
+
+def _run_chain(query, db, schema):
+    lattice, inputs = lattice_from_query(query)
+    logs = {k: db.log_sizes()[k] for k in inputs}
+    value, chain, _ = best_chain_bound(lattice, inputs, logs)
+    if chain is None or value == float("inf"):
+        return None
+    out, _ = chain_algorithm(query, db, lattice, inputs, chain)
+    return set(out.project(schema).tuples)
+
+
+def _run_sma(query, db, schema):
+    lattice, inputs = lattice_from_query(query)
+    try:
+        out, _ = submodularity_algorithm(query, db, lattice, inputs)
+    except SMAError:
+        return None
+    return set(out.project(schema).tuples)
+
+
+def _run_csma(query, db, schema):
+    lattice, inputs = lattice_from_query(query)
+    result = csma(query, db, lattice, inputs)
+    return set(result.relation.project(schema).tuples)
+
+
+def _run_closure_trick(query, db, schema):
+    if not all_guarded_simple_keys(query):
+        return None
+    out, _ = closure_trick_join(query, db)
+    return set(out.project(schema).tuples)
+
+
+def _vars_all_in_atoms(query) -> bool:
+    in_atoms = set().union(*(a.varset for a in query.atoms))
+    return in_atoms >= set(query.variables)
+
+
+def _run_generic(query, db, schema):
+    if not _vars_all_in_atoms(query):
+        return None
+    out, _ = generic_join(query, db, fd_aware=True)
+    return set(out.project(schema).tuples)
+
+
+def _run_lftj(query, db, schema):
+    if not _vars_all_in_atoms(query):
+        return None
+    out, _ = leapfrog_triejoin(query, db)
+    return set(out.project(schema).tuples)
+
+
+def _run_lftj_reference(query, db, schema):
+    if not _vars_all_in_atoms(query):
+        return None
+    out, _ = leapfrog_triejoin(query, db, expansion="reference")
+    return set(out.project(schema).tuples)
+
+
+#: name → runner(query, db, schema) -> set | None (None = not applicable).
+ENGINES: dict[str, Callable] = {
+    "binary": _run_binary,
+    "chain": _run_chain,
+    "sma": _run_sma,
+    "csma": _run_csma,
+    "closure-trick": _run_closure_trick,
+    "generic": _run_generic,
+    "lftj": _run_lftj,
+    "lftj-reference-expansion": _run_lftj_reference,
+}
+
+#: Engines that must be applicable (and agree) on every instance the
+#: generators in this module produce.  The kernel-ported leapfrog and its
+#: reference-substrate twin are mandatory: their agreement *is* the
+#: differential test of the port.
+MANDATORY_ENGINES = ("binary", "csma", "generic", "lftj",
+                     "lftj-reference-expansion")
+
+
+def run_all_engines(query, db) -> dict[str, set]:
+    """Run every applicable engine; return {name: tuple-set} aligned to the
+    canonical (sorted-variable) schema."""
+    schema = tuple(sorted(query.variables))
+    outputs = {}
+    for name, runner in ENGINES.items():
+        result = runner(query, db, schema)
+        if result is not None:
+            outputs[name] = result
+    return outputs
+
+
+def assert_engines_agree(query, db, context: str = "") -> dict[str, set]:
+    """Every applicable engine must produce the same result set; every
+    mandatory engine must be applicable."""
+    outputs = run_all_engines(query, db)
+    for name in MANDATORY_ENGINES:
+        assert name in outputs, f"mandatory engine {name} did not run {context}"
+    reference = outputs["binary"]
+    for name, result in outputs.items():
+        assert result == reference, f"{name} disagrees {context}"
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Work-transparency assertions (bit-identical tuples_touched)
+# ----------------------------------------------------------------------
+
+def _reference_tuple_rows(db, schema, out_schema, rows, counter):
+    """Per-row naive expansion, aligned like ``execute_batch`` output."""
+    out = []
+    for row in rows:
+        expanded = reference_expand_tuple(
+            db, dict(zip(schema, row)), counter=counter
+        )
+        out.append(
+            None if expanded is None
+            else tuple(expanded[a] for a in out_schema)
+        )
+    return out
+
+
+def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
+    """The batched plan backend ≡ the naive per-tuple reference.
+
+    For every stored relation: build a frontier of stored + garbage rows,
+    run it through (a) per-row ``reference_expand_tuple``, (b) the
+    generated row-loop, (c) the columnwise backend, (d) the columnwise
+    backend with the numpy unique-key path forced on — all four must
+    produce identical aligned outputs and identical work counts.
+    """
+    import repro.engine.expansion_plan as ep
+
+    for name, rel in db.relations.items():
+        plan = db.expansion_plan(rel.schema)
+        rows = list(rel.tuples)[:12]
+        rows += [
+            tuple(rng.randrange(12) for _ in rel.schema) for _ in range(8)
+        ]
+        # Duplicate rows so the unique-key dedup path has repetition.
+        rows = rows * 2
+
+        ref_counter = WorkCounter()
+        ref = _reference_tuple_rows(
+            db, rel.schema, plan.out_schema, rows, ref_counter
+        )
+
+        variants = {}
+        saved = (ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS)
+        try:
+            ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = 10 ** 9, 10 ** 9
+            variants["rows"] = _run_variant(plan, rows)
+            ep.COLUMN_MIN_ROWS = 1
+            variants["columns"] = _run_variant(plan, rows)
+            ep.NUMPY_MIN_ROWS = 1
+            variants["numpy"] = _run_variant(plan, rows)
+        finally:
+            ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = saved
+
+        for variant, (counter, out) in variants.items():
+            assert out == ref, f"{name}: batch[{variant}] output diverges"
+            assert counter.tuples_touched == ref_counter.tuples_touched, (
+                f"{name}: batch[{variant}] counts "
+                f"{counter.tuples_touched} != {ref_counter.tuples_touched}"
+            )
+
+
+def _run_variant(plan, rows):
+    counter = WorkCounter()
+    return counter, plan.execute_batch(rows, counter)
+
+
+def assert_leapfrog_substrate_equivalence(query, db) -> None:
+    """The kernel-ported LFTJ ≡ LFTJ on the naive reference substrate:
+    identical results, identical engine stats, and bit-identical expansion
+    work counts through the threaded counter."""
+    if not _vars_all_in_atoms(query):
+        return
+    plan_counter = WorkCounter()
+    ref_counter = WorkCounter()
+    out_plan, stats_plan = leapfrog_triejoin(query, db, counter=plan_counter)
+    out_ref, stats_ref = leapfrog_triejoin(
+        query, db, counter=ref_counter, expansion="reference"
+    )
+    assert set(out_plan.tuples) == set(out_ref.tuples)
+    assert stats_plan.tuples_touched == stats_ref.tuples_touched
+    assert stats_plan.seeks == stats_ref.seeks
+    assert plan_counter.tuples_touched == ref_counter.tuples_touched, (
+        f"leapfrog expansion counts diverge: kernel "
+        f"{plan_counter.tuples_touched} != reference "
+        f"{ref_counter.tuples_touched}"
+    )

@@ -51,6 +51,26 @@ class TestGenericJoin:
         b, _ = binary_join_plan(triangle, db)
         assert set(a.tuples) == set(b.project(a.schema).tuples)
 
+    def test_dead_frontier_builds_no_indexes(self, triangle):
+        """Index construction is deferred to first probe: a query whose
+        frontier dies at depth 0 must not pay the O(N) index builds for
+        the untouched atoms and depths (regression for the old eager
+        per-(atom, depth) prologue)."""
+        db = Database(
+            [
+                Relation("R", ("x", "y"), []),  # kills the depth-0 frontier
+                Relation("S", ("y", "z"), [(i, i) for i in range(50)]),
+                Relation("T", ("z", "x"), [(i, i) for i in range(50)]),
+            ]
+        )
+        out, _ = generic_join(triangle, db)
+        assert len(out) == 0
+        # Depth 0 (x) probes only the R/T choose indexes on the empty
+        # prefix; S — and every deeper or verify index — is never touched.
+        assert db["S"]._indexes == {}
+        assert set(db["R"]._indexes) == {()}
+        assert set(db["T"]._indexes) == {()}
+
     def test_fd_aware_binds_determined_variable(self):
         # y = f(x): fd-aware never enumerates y.
         from repro.fds.udf import UDF

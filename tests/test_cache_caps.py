@@ -1,0 +1,129 @@
+"""LRU caps on the kernel's memo caches (ROADMAP "heavy traffic" item).
+
+Every capped cache memoizes a *pure* function, so eviction may cost a
+recomputation but must never change observable behavior.  These property
+tests force heavy eviction (caps shrunk to a handful of entries) and
+assert the answers stay identical to fresh computation.
+"""
+
+import random
+
+import pytest
+
+import repro.engine.relation as relation_mod
+import repro.lp.solver as solver_mod
+from repro.engine.relation import Relation
+from repro.lp.solver import solve_lp
+
+
+# ----------------------------------------------------------------------
+# Relation projection cache
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+def test_projection_cache_eviction_preserves_semantics(seed, monkeypatch):
+    monkeypatch.setattr(relation_mod, "PROJECTION_CACHE_MAX", 3)
+    rng = random.Random(seed)
+    schema = tuple("abcdef")
+    rel = Relation(
+        "R",
+        schema,
+        {tuple(rng.randrange(4) for _ in schema) for _ in range(50)},
+    )
+    # Far more distinct projections than the cap; revisit each twice in a
+    # shuffled order so hits, misses and evictions interleave.
+    requests = []
+    for width in (1, 2, 3, 4):
+        for start in range(len(schema) - width + 1):
+            requests.append(schema[start:start + width])
+    requests = requests * 2
+    rng.shuffle(requests)
+    for attrs in requests:
+        cached = rel.project(attrs)
+        fresh = Relation("F", schema, rel.tuples).project(attrs)
+        assert cached.schema == fresh.schema == attrs
+        assert set(cached.tuples) == set(fresh.tuples)
+    assert len(rel._projections) <= 3
+
+
+def test_projection_cache_lru_recency():
+    """Re-projecting refreshes recency: the most recently used entry
+    survives an eviction burst."""
+    import repro.engine.relation as rm
+
+    old = rm.PROJECTION_CACHE_MAX
+    rm.PROJECTION_CACHE_MAX = 2
+    try:
+        rel = Relation("R", ("a", "b", "c"), [(1, 2, 3), (4, 5, 6)])
+        first = rel.project(("a",))
+        rel.project(("b",))
+        assert rel.project(("a",)) is first  # hit refreshes recency
+        rel.project(("c",))                  # evicts ("b",), not ("a",)
+        assert rel.project(("a",)) is first
+    finally:
+        rm.PROJECTION_CACHE_MAX = old
+
+
+# ----------------------------------------------------------------------
+# Schema interning registry
+# ----------------------------------------------------------------------
+def test_schema_registry_eviction_preserves_semantics(monkeypatch):
+    monkeypatch.setattr(relation_mod, "SCHEMA_REGISTRY_MAX", 4)
+    # Dropping the whole registry is safe by construction (interning is a
+    # sharing optimization); start empty so eviction pressure is real.
+    relation_mod._SCHEMA_REGISTRY.clear()
+    relations = []
+    # Construct far more distinct schemas than the cap.
+    for i in range(20):
+        schema = (f"x{i}", f"y{i}")
+        relations.append(Relation(f"R{i}", schema, [(1, 2), (3, 4)]))
+    assert len(relation_mod._SCHEMA_REGISTRY) <= 4
+    # Relations built before their schema was evicted keep working, and
+    # rebuilding an evicted schema yields an equivalent relation.
+    for i, rel in enumerate(relations):
+        assert rel.positions((f"y{i}", f"x{i}")) == (1, 0)
+        assert rel.varset == frozenset((f"x{i}", f"y{i}"))
+        rebuilt = Relation(f"S{i}", rel.schema, rel.tuples)
+        assert rebuilt.schema == rel.schema
+        assert set(rebuilt.tuples) == set(rel.tuples)
+        assert rebuilt.degree({f"x{i}": 1}) == rel.degree({f"x{i}": 1})
+
+
+# ----------------------------------------------------------------------
+# solve_lp byte-memo
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(3))
+def test_solve_lp_eviction_preserves_solutions(seed, monkeypatch):
+    """Under a tiny cap, re-solving an evicted program must reproduce the
+    exact solution it produced the first time (LP solving is pure and the
+    HiGHS pipeline is deterministic)."""
+    monkeypatch.setattr(solver_mod, "_SOLVE_CACHE_MAX", 2)
+    # Dropping the memo is safe by construction (it caches a pure
+    # function); start empty so eviction pressure is real.
+    solver_mod._SOLVE_CACHE.clear()
+    rng = random.Random(seed)
+    programs = []
+    for _ in range(8):
+        n = rng.randint(2, 4)
+        costs = [rng.randint(1, 5) for _ in range(n)]
+        a_ub = [[-1.0 if j == i else 0.0 for j in range(n)] for i in range(n)]
+        b_ub = [-float(rng.randint(1, 4)) for _ in range(n)]
+        programs.append((costs, a_ub, b_ub))
+    first_pass = [
+        solve_lp(costs, a_ub=a, b_ub=b) for costs, a, b in programs
+    ]
+    assert len(solver_mod._SOLVE_CACHE) <= 2
+    # Everything early has been evicted; re-solving must agree bit-for-bit.
+    for (costs, a, b), before in zip(programs, first_pass):
+        again = solve_lp(costs, a_ub=a, b_ub=b)
+        assert again.objective == before.objective
+        assert list(again.x) == list(before.x)
+        assert again.x_rational == before.x_rational
+        assert list(again.duals_ub) == list(before.duals_ub)
+
+
+def test_solve_lp_cache_hit_returns_same_object(monkeypatch):
+    monkeypatch.setattr(solver_mod, "_SOLVE_CACHE_MAX", 8)
+    solver_mod._SOLVE_CACHE.clear()
+    a = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+    b = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+    assert a is b

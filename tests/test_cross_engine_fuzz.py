@@ -1,115 +1,44 @@
 """Cross-engine fuzzing: every engine must agree on every workload.
 
 Random queries with guarded simple-key fds (so every strategy applies)
-plus the paper's fixed workloads, evaluated by up to six independent
-implementations: binary plans, generic join, LFTJ, the Chain Algorithm,
-SMA (when a good proof exists), CSMA, and the closure trick.
+plus the paper's fixed workloads, evaluated by every registered engine:
+binary plans, generic join, LFTJ on both expansion substrates, the Chain
+Algorithm, SMA (when a good proof exists), CSMA, and the closure trick.
+The instance generators, engine registry and agreement assertions live in
+``tests/differential.py``; this file just drives them.
 """
-
-import random
 
 import pytest
 
-from repro.core.chain_algorithm import chain_algorithm
-from repro.core.csma import csma
-from repro.core.simple_keys import all_guarded_simple_keys, closure_trick_join
-from repro.core.sma import SMAError, submodularity_algorithm
+from differential import (
+    MANDATORY_ENGINES,
+    assert_engines_agree,
+    assert_leapfrog_substrate_equivalence,
+    random_simple_key_workload,
+)
 from repro.datagen.worstcase import (
     fig4_instance,
     grid_instance_example_5_5,
     m3_modular_instance,
     skew_instance_example_5_8,
 )
-from repro.engine.binary_join import binary_join_plan
-from repro.engine.database import Database
-from repro.engine.generic_join import generic_join
-from repro.engine.leapfrog import leapfrog_triejoin
-from repro.engine.relation import Relation
-from repro.fds.fd import FD, FDSet
-from repro.lattice.builders import lattice_from_query
-from repro.lattice.chains import best_chain_bound
-from repro.query.query import Atom, Query
 
 
-def random_simple_key_workload(seed: int):
-    """A random 3-4 atom cyclic query where one relation gets a random
-    simple key, realized as a functional instance."""
-    rng = random.Random(seed)
-    n_atoms = rng.choice([3, 4])
-    variables = list("wxyz")[:n_atoms]
-    atoms = [
-        Atom(f"R{k}", (variables[k], variables[(k + 1) % n_atoms]))
-        for k in range(n_atoms)
-    ]
-    key_atom = rng.randrange(n_atoms)
-    key_var, dep_var = atoms[key_atom].attrs
-    fds = FDSet([FD(key_var, dep_var)], variables)
-    query = Query(atoms, fds)
-
-    domain = rng.randint(4, 10)
-    size = rng.randint(10, 60)
-    relations = []
-    for k, atom in enumerate(atoms):
-        if k == key_atom:
-            shift = rng.randrange(domain)
-            tuples = {(v, (v * 3 + shift) % domain) for v in range(domain)}
-        else:
-            tuples = {
-                (rng.randrange(domain), rng.randrange(domain))
-                for _ in range(size)
-            }
-        relations.append(Relation(atom.name, atom.attrs, tuples))
-    return query, Database(relations, fds=fds)
-
-
-def all_engine_outputs(query, db):
-    """Run every applicable engine; return {name: tuple-set} aligned to a
-    canonical schema."""
-    schema = tuple(sorted(query.variables))
-    outputs = {}
-
-    out, _ = binary_join_plan(query, db)
-    outputs["binary"] = set(out.project(schema).tuples)
-
-    lattice, inputs = lattice_from_query(query)
-    logs = {k: db.log_sizes()[k] for k in inputs}
-
-    value, chain, _ = best_chain_bound(lattice, inputs, logs)
-    if chain is not None and value != float("inf"):
-        out, _ = chain_algorithm(query, db, lattice, inputs, chain)
-        outputs["chain"] = set(out.project(schema).tuples)
-
-    try:
-        out, _ = submodularity_algorithm(query, db, lattice, inputs)
-        outputs["sma"] = set(out.project(schema).tuples)
-    except SMAError:
-        pass
-
-    result = csma(query, db, lattice, inputs)
-    outputs["csma"] = set(result.relation.project(schema).tuples)
-
-    if all_guarded_simple_keys(query):
-        out, _ = closure_trick_join(query, db)
-        outputs["closure-trick"] = set(out.project(schema).tuples)
-
-    # Oblivious engines need every variable in an atom.
-    in_atoms = set().union(*(a.varset for a in query.atoms))
-    if in_atoms >= set(query.variables):
-        out, _ = generic_join(query, db, fd_aware=True)
-        outputs["generic"] = set(out.project(schema).tuples)
-        out, _ = leapfrog_triejoin(query, db)
-        outputs["lftj"] = set(out.project(schema).tuples)
-    return outputs
+def test_mandatory_engine_registry():
+    """The batched-kernel engines stay registered as mandatory: leapfrog on
+    the positional kernel, its reference-substrate twin, and the batched
+    generic join, alongside the binary baseline and CSMA."""
+    assert set(MANDATORY_ENGINES) >= {
+        "binary", "csma", "generic", "lftj", "lftj-reference-expansion"
+    }
 
 
 @pytest.mark.parametrize("seed", range(12))
 def test_random_simple_key_workloads(seed):
     query, db = random_simple_key_workload(seed)
-    outputs = all_engine_outputs(query, db)
+    outputs = assert_engines_agree(query, db, context=f"on seed {seed}")
     assert len(outputs) >= 4
-    reference = outputs.pop("binary")
-    for name, result in outputs.items():
-        assert result == reference, f"{name} disagrees on seed {seed}"
+    assert_leapfrog_substrate_equivalence(query, db)
 
 
 @pytest.mark.parametrize(
@@ -124,7 +53,5 @@ def test_random_simple_key_workloads(seed):
 )
 def test_paper_workloads(maker):
     query, db = maker()
-    outputs = all_engine_outputs(query, db)
-    reference = outputs.pop("binary")
-    for name, result in outputs.items():
-        assert result == reference, f"{name} disagrees"
+    assert_engines_agree(query, db)
+    assert_leapfrog_substrate_equivalence(query, db)

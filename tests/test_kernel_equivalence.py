@@ -1,21 +1,24 @@
 """Differential property tests: compiled kernel ≡ naive reference path.
 
 The positional execution kernel (compiled expansion plans, functional
-guard lookups, index-inheriting relations) must be *observationally
-identical* to the retained naive path in ``repro.engine.reference``:
-identical output relations and identical ``tuples_touched``, over
-randomized lattice/FD instances from ``repro.datagen``.
+guard lookups, index-inheriting relations, the batched frontier backend)
+must be *observationally identical* to the retained naive path in
+``repro.engine.reference``: identical output relations and identical
+``tuples_touched``, over randomized lattice/FD instances from
+``repro.datagen``.  The instance generators and assertion machinery live
+in ``tests/differential.py`` (shared with the cross-engine fuzz suite).
 """
 
 import random
 
 import pytest
 
-from repro.datagen.from_lattice import (
-    database_from_world,
-    query_from_lattice,
-    worst_case_database,
+from differential import (
+    all_instances,
+    assert_batch_backend_equivalence,
+    assert_leapfrog_substrate_equivalence,
 )
+from repro.datagen.from_lattice import worst_case_database
 from repro.engine.database import Database
 from repro.engine.ops import WorkCounter, natural_join
 from repro.engine.reference import (
@@ -26,64 +29,9 @@ from repro.engine.reference import (
 )
 from repro.engine.relation import Relation
 from repro.fds.fd import FD, FDSet
-from repro.lattice.builders import fig4_lattice, fig9_lattice
-from repro.query.query import Atom, Query
+from repro.lattice.builders import fig9_lattice
 
 SEEDS = range(8)
-
-
-def random_world_instance(seed: int):
-    """A random world over a paper lattice → query + runnable database.
-
-    The world is sampled uniformly, so input projections may or may not
-    satisfy the declared fds — exercising both the functional and the
-    multi-image guard paths.
-    """
-    rng = random.Random(seed)
-    lattice_maker = [fig4_lattice, fig9_lattice][seed % 2]
-    lat, inputs = lattice_maker()
-    query, var_to_ji = query_from_lattice(lat, inputs)
-    variables = sorted(var_to_ji)
-    domain = rng.randint(2, 4)
-    n_tuples = rng.randint(5, 40)
-    world = {
-        tuple(rng.randrange(domain) for _ in variables)
-        for _ in range(n_tuples)
-    }
-    return query, database_from_world(query, variables, sorted(world))
-
-
-def random_guarded_instance(seed: int):
-    """A random cyclic query where one relation guards a simple key."""
-    rng = random.Random(seed + 1000)
-    n_atoms = rng.choice([3, 4])
-    variables = list("wxyz")[:n_atoms]
-    atoms = [
-        Atom(f"R{k}", (variables[k], variables[(k + 1) % n_atoms]))
-        for k in range(n_atoms)
-    ]
-    key_atom = rng.randrange(n_atoms)
-    key_var, dep_var = atoms[key_atom].attrs
-    fds = FDSet([FD(key_var, dep_var)], variables)
-    query = Query(atoms, fds)
-    domain = rng.randint(3, 8)
-    relations = []
-    for k, atom in enumerate(atoms):
-        if k == key_atom:
-            shift = rng.randrange(domain)
-            tuples = {(v, (v * 3 + shift) % domain) for v in range(domain)}
-        else:
-            tuples = {
-                (rng.randrange(domain), rng.randrange(domain))
-                for _ in range(rng.randint(5, 30))
-            }
-        relations.append(Relation(atom.name, atom.attrs, tuples))
-    return query, Database(relations, fds=fds)
-
-
-def all_instances(seed: int):
-    yield random_world_instance(seed)
-    yield random_guarded_instance(seed)
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +192,53 @@ def test_udf_consistency_equivalence(seed):
         for _ in range(20):
             row = {v: rng.randrange(4) for v in variables}
             assert db.udf_consistent(row) == reference_udf_consistent(db, row)
+
+
+# ----------------------------------------------------------------------
+# Batched frontier backend and the leapfrog substrate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_backend_equivalence(seed):
+    """Row-loop, columnwise and numpy batch paths ≡ per-tuple reference
+    (aligned outputs and bit-identical tuples_touched)."""
+    rng = random.Random(seed + 4096)
+    for query, db in all_instances(seed):
+        assert_batch_backend_equivalence(db, rng)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_leapfrog_substrate_equivalence(seed):
+    """Kernel-ported LFTJ ≡ LFTJ on the naive reference substrate."""
+    for query, db in all_instances(seed):
+        assert_leapfrog_substrate_equivalence(query, db)
+
+
+def test_batched_backend_mixed_types_falls_back():
+    """A column mixing ints and strings must take the pure-python
+    columnwise path and still match the per-tuple executor."""
+    guard = Relation(
+        "G", ("x", "y"), [(1, 10), ("a", 20), (2, 30), ("b", 40)]
+    )
+    db = Database(
+        [Relation("R", ("x",), [(1,), ("a",), (2,)]), guard],
+        fds=FDSet([FD("x", "y")]),
+    )
+    plan = db.expansion_plan(("x",))
+    rows = [(1,), ("a",), (99,), ("b",), (2,)] * 40
+    import repro.engine.expansion_plan as ep
+
+    saved = (ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS)
+    try:
+        ep.COLUMN_MIN_ROWS = 1
+        ep.NUMPY_MIN_ROWS = 1  # requested, but the type gate must refuse
+        c_batch = WorkCounter()
+        batch = plan.execute_batch(rows, c_batch)
+    finally:
+        ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = saved
+    c_tuple = WorkCounter()
+    per_tuple = [plan.execute(t, c_tuple) for t in rows]
+    assert batch == per_tuple
+    assert c_batch.tuples_touched == c_tuple.tuples_touched
 
 
 # ----------------------------------------------------------------------
