@@ -12,6 +12,12 @@ For a query with cardinalities this module computes, all in log2:
 
 On a normal lattice glvv == normal == coatomic; chain >= glvv always,
 with equality on distributive lattices (Cor. 5.15).
+
+Every bound here is the value of a small LP routed through
+:func:`repro.lp.solver.solve_lp`, which dispatches to the exact rational
+backend below the size cutoff (``REPRO_LP_BACKEND`` overrides); when the
+exact backend participates, the reported float is ``float()`` of a
+certificate-verified rational optimum rather than raw solver output.
 """
 
 from __future__ import annotations
@@ -99,6 +105,8 @@ def normal_bound_log2(
         a_ub.append(row)
         b_ub.append(float(log_sizes[name]))
     solution = solve_lp(costs, a_ub, b_ub)
+    if solution.certificate is not None:
+        return -float(solution.certificate.objective)
     return -solution.objective
 
 

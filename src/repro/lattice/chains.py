@@ -236,13 +236,31 @@ def best_chain_bound(
     Searches all chains (maximal and, per Ex. 5.10, non-maximal) that are
     good for the inputs; the paper's lattices are small enough for
     exhaustive search.  Returns (log2 bound, best chain, cover weights).
+
+    This is the bound hierarchy's hottest loop (one edge-cover LP per good
+    chain, E16 sweeps it per instance): distinct chains routinely induce
+    the *same* chain hypergraph, so the cover solve is memoized on the
+    hypergraph's step/edge signature — and the LPs themselves are small
+    enough that ``solve_lp`` routes them to the exact rational backend,
+    never touching scipy.
     """
     best = (float("inf"), None, {})
+    solved: dict[tuple, tuple[float, dict[str, Fraction]]] = {}
     source = all_chains(lattice) if include_non_maximal else all_maximal_chains(lattice)
     for chain in source:
         if not is_good_chain(chain, inputs.values()):
             continue
-        value, weights = chain_bound(chain, inputs, log_sizes)
+        signature = (
+            len(chain),
+            tuple(
+                (name, tuple(chain.covered_steps(r)))
+                for name, r in inputs.items()
+            ),
+        )
+        cached = solved.get(signature)
+        if cached is None:
+            cached = solved[signature] = chain_bound(chain, inputs, log_sizes)
+        value, weights = cached
         if value < best[0]:
             best = (value, chain, weights)
     return best

@@ -90,35 +90,43 @@ def output_inequality_holds(
     intersected with the box h <= 1; the inequality holds iff the optimum
     is 0 (the cone is scale-invariant, so a positive optimum in the box
     certifies failure).
+
+    Solved on the exact rational backend with the *exact* weights — a
+    float roundtrip of e.g. ``Fraction(1, 3)`` perturbs the cone optimum
+    by ~1e-16, which a float tolerance must then paper over (and which a
+    tolerance can conflate with a genuinely failing inequality).  The
+    decision is exact; ``tolerance`` is kept for API compatibility but
+    unused.
     """
-    from repro.lp.solver import solve_lp
+    from repro.lp.exact import solve_exact_lp
 
     n = lattice.n
-    costs = [0.0] * n
-    costs[lattice.top] -= 1.0  # minimize -(h(1̂) - Σ w_j h(R_j))
+    zero = Fraction(0)
+    costs = [zero] * n
+    costs[lattice.top] -= 1  # minimize -(h(1̂) - Σ w_j h(R_j))
     for name, w in weights.items():
-        costs[inputs[name]] += float(w)
-    a_ub: list[list[float]] = []
-    b_ub: list[float] = []
+        costs[inputs[name]] += Fraction(w)
+    a_ub: list[list[int]] = []
+    b_ub: list[int] = []
     for i, j in lattice.incomparable_pairs:
-        row = [0.0] * n
-        row[lattice.meet(i, j)] += 1.0
-        row[lattice.join(i, j)] += 1.0
-        row[i] -= 1.0
-        row[j] -= 1.0
+        row = [0] * n
+        row[lattice.meet(i, j)] += 1
+        row[lattice.join(i, j)] += 1
+        row[i] -= 1
+        row[j] -= 1
         a_ub.append(row)
-        b_ub.append(0.0)
+        b_ub.append(0)
     # Box to keep the cone LP bounded.
     for i in range(n):
-        row = [0.0] * n
-        row[i] = 1.0
+        row = [0] * n
+        row[i] = 1
         a_ub.append(row)
-        b_ub.append(1.0)
+        b_ub.append(1)
     # Pin h(0̂) = 0.
-    eq_row = [0.0] * n
-    eq_row[lattice.bottom] = 1.0
-    solution = solve_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0.0])
-    return -solution.objective <= tolerance
+    eq_row = [0] * n
+    eq_row[lattice.bottom] = 1
+    certificate = solve_exact_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0])
+    return -certificate.objective <= 0
 
 
 def is_normal_lattice(

@@ -1,12 +1,41 @@
-"""Linear-programming substrate: LP solver wrapper, LLP (Sec. 3.3), CLLP (Sec. 5.3.1)."""
+"""Linear-programming substrate: exact rational kernel + optional scipy
+backend behind one front door (``solve_lp``), LLP (Sec. 3.3), CLLP
+(Sec. 5.3.1)."""
 
-from repro.lp.solver import LPSolution, solve_lp
+from repro.lp.exact import (
+    ExactCertificate,
+    ExactLP,
+    LPError,
+    LPInfeasibleError,
+    LPUnboundedError,
+    enumerate_vertices,
+    minimize_by_enumeration,
+    solve_exact_lp,
+)
+from repro.lp.solver import (
+    HAVE_SCIPY,
+    LPBackendMismatchError,
+    LPSolution,
+    lp_backend,
+    solve_lp,
+)
 from repro.lp.llp import LatticeLinearProgram, LLPSolution, OutputInequality
 from repro.lp.cllp import ConditionalLLP, CLLPSolution, DegreeConstraint
 
 __all__ = [
+    "ExactCertificate",
+    "ExactLP",
+    "LPError",
+    "LPInfeasibleError",
+    "LPUnboundedError",
+    "LPBackendMismatchError",
     "LPSolution",
+    "HAVE_SCIPY",
+    "lp_backend",
     "solve_lp",
+    "solve_exact_lp",
+    "enumerate_vertices",
+    "minimize_by_enumeration",
     "LatticeLinearProgram",
     "LLPSolution",
     "OutputInequality",

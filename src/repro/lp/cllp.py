@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.lattice.lattice import Lattice
 from repro.lattice.polymatroid import LatticeFunction
-from repro.lp.solver import solve_lp
+from repro.lp.exact import ExactCertificate
+from repro.lp.solver import lp_backend, solve_lp
 
 
 def lattice_lp_cache(lattice: Lattice) -> dict:
@@ -33,6 +34,19 @@ def lattice_lp_cache(lattice: Lattice) -> dict:
         cache = {}
         lattice._lp_memo = cache
     return cache
+
+
+def _solution_cache_key(*parts) -> tuple:
+    """Memo key for a cached LP *solution* (not a matrix skeleton).
+
+    Solutions depend on which backend produced them (degenerate programs
+    have solver-specific optimal vertices), and FD-lattices are interned
+    across instances, so an in-process ``REPRO_LP_BACKEND`` switch — the
+    differential tests do exactly that — must not be served a stale
+    other-backend solution.  Skeleton keys stay backend-free: the matrix
+    data is backend-independent.
+    """
+    return (*parts, lp_backend())
 
 
 @dataclass(frozen=True)
@@ -114,6 +128,10 @@ class CLLPSolution:
     objective: float
     h: LatticeFunction
     dual: DualCLLP
+    #: Exact optimality certificate of the primal solve, present whenever
+    #: the exact backend participated (REPRO_LP_BACKEND=exact/both, or a
+    #: program under the auto cutoff).
+    certificate: ExactCertificate | None = None
 
 
 class ConditionalLLP:
@@ -208,15 +226,21 @@ class ConditionalLLP:
             cache[key] = skeleton
         return skeleton
 
-    def solve_primal(self) -> tuple[float, LatticeFunction]:
-        lat = self.lattice
+    def _solve_primal_lp(self):
+        """The raw primal LPSolution (carries the exact certificate when
+        the exact backend participated)."""
         bounds = self.bounds_by_pair()
         degree_pairs = tuple(bounds)
         a_ub, b_template, costs, a_eq = self._primal_skeleton(degree_pairs)
         b_ub = b_template.copy()
         b_ub[: len(degree_pairs)] = [bounds[p] for p in degree_pairs]
-        solution = solve_lp(costs, a_ub, b_ub, a_eq=a_eq, b_eq=[0.0])
-        return -solution.objective, LatticeFunction(lat, solution.x_rational)
+        return solve_lp(costs, a_ub, b_ub, a_eq=a_eq, b_eq=[0.0])
+
+    def solve_primal(self) -> tuple[float, LatticeFunction]:
+        solution = self._solve_primal_lp()
+        return -solution.objective, LatticeFunction(
+            self.lattice, solution.x_rational
+        )
 
     def _dual_skeleton(self, degree_pairs: tuple[tuple[int, int], ...]):
         """Dual constraint matrix, cached per (lattice, pairs) — only the
@@ -311,11 +335,18 @@ class ConditionalLLP:
         immutable by all consumers.
         """
         cache = lattice_lp_cache(self.lattice)
-        key = ("cllp-solve", tuple(sorted(self.bounds_by_pair().items())))
+        key = _solution_cache_key(
+            "cllp-solve", tuple(sorted(self.bounds_by_pair().items()))
+        )
         cached = cache.get(key)
         if cached is None:
-            objective, h_raw = self.solve_primal()
+            primal = self._solve_primal_lp()
             dual = self.solve_dual()
-            cached = CLLPSolution(objective=objective, h=h_raw, dual=dual)
+            cached = CLLPSolution(
+                objective=-primal.objective,
+                h=LatticeFunction(self.lattice, primal.x_rational),
+                dual=dual,
+                certificate=primal.certificate,
+            )
             cache[key] = cached
         return cached

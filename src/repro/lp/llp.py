@@ -16,7 +16,8 @@ from typing import Mapping, Sequence
 
 from repro.lattice.lattice import Lattice
 from repro.lattice.polymatroid import LatticeFunction
-from repro.lp.cllp import lattice_lp_cache
+from repro.lp.cllp import _solution_cache_key, lattice_lp_cache
+from repro.lp.exact import ExactCertificate
 from repro.lp.solver import solve_lp
 from repro.util.rational import rationalize
 
@@ -79,6 +80,9 @@ class LLPSolution:
     h: LatticeFunction            # optimal polymatroid (Lovász-monotonized)
     h_raw: LatticeFunction        # raw optimal submodular function
     inequality: OutputInequality  # dual certificate (w*, s*)
+    #: Exact optimality certificate of the primal solve, when the exact
+    #: backend participated.
+    certificate: ExactCertificate | None = None
 
     @property
     def glvv_log2(self) -> float:
@@ -131,8 +135,12 @@ class LatticeLinearProgram:
         Memoized per lattice on the canonical (name, element, log-size)
         multiset — the planner's repeated bound queries hit the cache.
         """
+        objective, h_raw, _ = self._solve_primal_full()
+        return objective, h_raw
+
+    def _solve_primal_full(self) -> tuple[float, LatticeFunction, "ExactCertificate | None"]:
         cache = lattice_lp_cache(self.lattice)
-        key = ("llp-primal", self._memo_key)
+        key = _solution_cache_key("llp-primal", self._memo_key)
         cached = cache.get(key)
         if cached is not None:
             return cached
@@ -149,7 +157,7 @@ class LatticeLinearProgram:
         eq_row[lat.bottom] = 1.0
         solution = solve_lp(costs, a_ub, b_ub, a_eq=[eq_row], b_eq=[0.0])
         h_raw = LatticeFunction(lat, solution.x_rational)
-        result = (-solution.objective, h_raw)
+        result = (-solution.objective, h_raw, solution.certificate)
         cache[key] = result
         return result
 
@@ -216,14 +224,18 @@ class LatticeLinearProgram:
         object is shared across the planner, SMA setup and the generators.
         """
         cache = lattice_lp_cache(self.lattice)
-        key = ("llp-solve", self._memo_key)
+        key = _solution_cache_key("llp-solve", self._memo_key)
         cached = cache.get(key)
         if cached is None:
-            objective, h_raw = self.solve_primal()
+            objective, h_raw, certificate = self._solve_primal_full()
             inequality = self.solve_dual()
             h = h_raw.lovasz_monotonization()
             cached = LLPSolution(
-                objective=objective, h=h, h_raw=h_raw, inequality=inequality
+                objective=objective,
+                h=h,
+                h_raw=h_raw,
+                inequality=inequality,
+                certificate=certificate,
             )
             cache[key] = cached
         return cached

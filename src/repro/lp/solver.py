@@ -1,54 +1,184 @@
-"""Thin wrapper over scipy's HiGHS LP solver with rational post-processing.
+"""Backend-dispatching LP front door: exact rational kernel + optional scipy.
 
 All programs in this package are minimizations of ``c @ x`` subject to
-``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and ``x >= 0``.  The wrapper adds:
+``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and ``x >= 0``.  ``solve_lp``
+routes each program to one of two backends:
 
-* deterministic handling of empty constraint blocks,
-* dual values (constraint marginals) surfaced with consistent signs,
-* rationalization of the solution vector (the polytopes here have
-  data-independent rational vertices, footnote 10 of the paper),
-* a bounded memo of solved programs keyed on the exact problem bytes —
-  LP solving is a pure function, and the same LLP/CLLP instances recur
-  across benchmark sweeps, planner calls and CSMA restarts.
+* **exact** (:mod:`repro.lp.exact`) — Fraction simplex returning a primal
+  vertex, a dual vector and an :class:`~repro.lp.exact.ExactCertificate`
+  verified in exact arithmetic.  The default for small programs (the chain
+  bounds' fractional edge covers, vertex packings, …), so the chain
+  algorithm's hot loop never touches scipy.
+* **scipy** (HiGHS) — floating point with rational post-processing, used
+  above the size cutoff when scipy is importable.  scipy is an *optional*
+  dependency: without it every program solves exactly.
+
+``REPRO_LP_BACKEND`` selects the policy:
+
+* ``auto`` (default) — exact when ``n_vars <= EXACT_MAX_VARS`` and
+  ``rows <= EXACT_MAX_ROWS`` (env ``REPRO_LP_EXACT_MAX_VARS`` /
+  ``REPRO_LP_EXACT_MAX_ROWS``) or when scipy is missing; scipy otherwise.
+* ``exact`` / ``scipy`` — force one backend for every program.
+* ``both`` — solve with *both* backends and raise
+  :class:`LPBackendMismatchError` unless the objectives agree; the
+  returned solution keeps the scipy-shaped primal (bit-compatible with a
+  plain scipy run) and carries the exact certificate.  CI runs the E16
+  smoke in this mode.
+
+Whatever the backend, the wrapper adds deterministic handling of empty
+constraint blocks, dual values with consistent signs (a binding ``<=`` row
+has a non-negative ``duals_ub`` weight — pinned by
+``tests/test_lp_exact.py``), a rational solution vector, and a bounded
+memo of solved programs keyed on the exact problem bytes *and* the
+resolved backend — LP solving is a pure function, and the same LLP/CLLP
+instances recur across benchmark sweeps, planner calls and CSMA restarts.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
 import numpy as np
-from scipy.optimize import linprog
 
+from repro.lp.exact import (
+    ExactCertificate,
+    LPError,
+    solve_exact_lp,
+)
 from repro.util.rational import rationalize
 
+try:  # scipy is an optional extra (setup.py [scipy]); the exact backend
+    from scipy.optimize import linprog as _linprog  # covers its absence.
 
-class LPError(RuntimeError):
-    """Raised when an LP is infeasible/unbounded or the solver fails."""
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
+    _linprog = None
+    HAVE_SCIPY = False
 
 
-#: Solved-program memo (problem bytes → LPSolution).  LP solving is pure,
-#: so returning the cached (immutable-by-convention) solution is safe; the
-#: size cap bounds memory on long sweeps with many distinct instances.
+class LPBackendMismatchError(LPError):
+    """``REPRO_LP_BACKEND=both`` found the two backends disagreeing."""
+
+
+#: Size cutoff for the auto policy: programs at most this large solve on
+#: the exact backend.  Tuned so every fractional edge cover / vertex
+#: packing the chain search emits stays exact while the big lattice LPs
+#: (whose optimal-vertex choice the CSMA/SMA trajectories were recorded
+#: on) keep their scipy-selected vertices.
+EXACT_MAX_VARS = int(os.environ.get("REPRO_LP_EXACT_MAX_VARS", "8"))
+EXACT_MAX_ROWS = int(os.environ.get("REPRO_LP_EXACT_MAX_ROWS", "24"))
+
+#: Absolute/relative tolerance for the ``both`` agreement assertion.
+BOTH_OBJECTIVE_TOL = 1e-7
+
+_BACKENDS = ("auto", "exact", "scipy", "both")
+
+
+def lp_backend() -> str:
+    """The configured backend policy (env ``REPRO_LP_BACKEND``)."""
+    value = os.environ.get("REPRO_LP_BACKEND", "auto").strip().lower() or "auto"
+    if value not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_LP_BACKEND must be one of {_BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+def _resolve_backend(n_vars: int, n_rows: int) -> str:
+    """Collapse the policy to the backend(s) this program actually uses."""
+    policy = lp_backend()
+    if policy == "auto":
+        if not HAVE_SCIPY:
+            return "exact"
+        if n_vars <= EXACT_MAX_VARS and n_rows <= EXACT_MAX_ROWS:
+            return "exact"
+        return "scipy"
+    if policy in ("scipy", "both") and not HAVE_SCIPY:
+        raise LPError(
+            f"REPRO_LP_BACKEND={policy} requires scipy, which is not "
+            "installed (install the [scipy] extra)"
+        )
+    return policy
+
+
+#: Solved-program memo (problem bytes + backend → LPSolution).  LP solving
+#: is pure, so returning the cached (immutable-by-convention) solution is
+#: safe; the size cap bounds memory on long sweeps with many distinct
+#: instances.
 _SOLVE_CACHE: "OrderedDict[tuple, LPSolution]" = OrderedDict()
 _SOLVE_CACHE_MAX = 512
 
 
 @dataclass
 class LPSolution:
-    """Solution of a minimization LP."""
+    """Solution of a minimization LP.
+
+    ``certificate`` is present whenever the exact backend participated in
+    the solve: it carries the exact primal/dual pair and the verified
+    optimality proof.  ``backend`` records which backend produced ``x``.
+    """
 
     objective: float
     x: np.ndarray
     duals_ub: np.ndarray
     duals_eq: np.ndarray
     x_rational: list[Fraction]
+    certificate: ExactCertificate | None = None
+    backend: str = "scipy"
 
     @property
     def objective_rational(self) -> Fraction:
+        if self.certificate is not None:
+            return self.certificate.objective
         return rationalize(self.objective)
+
+
+def _solve_scipy(costs: np.ndarray, kwargs: dict, max_denominator: int):
+    result = _linprog(
+        costs, bounds=[(0, None)] * costs.shape[0], method="highs", **kwargs
+    )
+    if not result.success:
+        raise LPError(f"LP failed: {result.message}")
+    duals_ub = np.zeros(0)
+    duals_eq = np.zeros(0)
+    if "A_ub" in kwargs and result.ineqlin is not None:
+        # scipy returns non-positive marginals for <= rows of a minimization;
+        # negate so a binding constraint has a non-negative dual weight.
+        duals_ub = -np.asarray(result.ineqlin.marginals, dtype=float)
+    if "A_eq" in kwargs and result.eqlin is not None:
+        duals_eq = -np.asarray(result.eqlin.marginals, dtype=float)
+    x_rational = [rationalize(v, max_denominator) for v in result.x]
+    return LPSolution(
+        objective=float(result.fun),
+        x=np.asarray(result.x, dtype=float),
+        duals_ub=duals_ub,
+        duals_eq=duals_eq,
+        x_rational=x_rational,
+        backend="scipy",
+    )
+
+
+def _solve_exact(costs: np.ndarray, kwargs: dict) -> LPSolution:
+    certificate = solve_exact_lp(
+        costs.tolist(),
+        a_ub=kwargs["A_ub"].tolist() if "A_ub" in kwargs else None,
+        b_ub=kwargs["b_ub"].tolist() if "b_ub" in kwargs else None,
+        a_eq=kwargs["A_eq"].tolist() if "A_eq" in kwargs else None,
+        b_eq=kwargs["b_eq"].tolist() if "b_eq" in kwargs else None,
+    )
+    return LPSolution(
+        objective=float(certificate.objective),
+        x=np.array([float(v) for v in certificate.x], dtype=float),
+        duals_ub=np.array([float(v) for v in certificate.y_ub], dtype=float),
+        duals_eq=np.array([float(v) for v in certificate.y_eq], dtype=float),
+        x_rational=list(certificate.x),
+        certificate=certificate,
+        backend="exact",
+    )
 
 
 def solve_lp(
@@ -69,6 +199,10 @@ def solve_lp(
     if a_eq is not None and len(a_eq) > 0:
         kwargs["A_eq"] = np.ascontiguousarray(a_eq, dtype=float)
         kwargs["b_eq"] = np.ascontiguousarray(b_eq, dtype=float)
+    n_rows = (0 if "A_ub" not in kwargs else kwargs["A_ub"].shape[0]) + (
+        0 if "A_eq" not in kwargs else kwargs["A_eq"].shape[0]
+    )
+    backend = _resolve_backend(n, n_rows)
     cache_key = (
         costs.tobytes(),
         kwargs["A_ub"].tobytes() if "A_ub" in kwargs else None,
@@ -77,30 +211,31 @@ def solve_lp(
         kwargs["b_eq"].tobytes() if "b_eq" in kwargs else None,
         kwargs["A_ub"].shape if "A_ub" in kwargs else None,
         max_denominator,
+        backend,
     )
     cached = _SOLVE_CACHE.get(cache_key)
     if cached is not None:
         _SOLVE_CACHE.move_to_end(cache_key)
         return cached
-    result = linprog(costs, bounds=[(0, None)] * n, method="highs", **kwargs)
-    if not result.success:
-        raise LPError(f"LP failed: {result.message}")
-    duals_ub = np.zeros(0)
-    duals_eq = np.zeros(0)
-    if "A_ub" in kwargs and result.ineqlin is not None:
-        # scipy returns non-positive marginals for <= rows of a minimization;
-        # negate so a binding constraint has a non-negative dual weight.
-        duals_ub = -np.asarray(result.ineqlin.marginals, dtype=float)
-    if "A_eq" in kwargs and result.eqlin is not None:
-        duals_eq = -np.asarray(result.eqlin.marginals, dtype=float)
-    x_rational = [rationalize(v, max_denominator) for v in result.x]
-    solution = LPSolution(
-        objective=float(result.fun),
-        x=np.asarray(result.x, dtype=float),
-        duals_ub=duals_ub,
-        duals_eq=duals_eq,
-        x_rational=x_rational,
-    )
+
+    if backend == "exact":
+        solution = _solve_exact(costs, kwargs)
+    elif backend == "scipy":
+        solution = _solve_scipy(costs, kwargs, max_denominator)
+    else:  # both: scipy-shaped solution, exact certificate, agreement check
+        exact = _solve_exact(costs, kwargs)
+        solution = _solve_scipy(costs, kwargs, max_denominator)
+        gap = abs(float(exact.certificate.objective) - solution.objective)
+        scale = max(1.0, abs(solution.objective))
+        if gap > BOTH_OBJECTIVE_TOL * scale:
+            raise LPBackendMismatchError(
+                f"exact/scipy objectives disagree: "
+                f"{float(exact.certificate.objective)!r} (exact, verified) "
+                f"vs {solution.objective!r} (scipy), gap {gap:g}"
+            )
+        solution.certificate = exact.certificate
+        solution.backend = "both"
+
     _SOLVE_CACHE[cache_key] = solution
     if len(_SOLVE_CACHE) > _SOLVE_CACHE_MAX:
         _SOLVE_CACHE.popitem(last=False)

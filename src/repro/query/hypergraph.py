@@ -10,8 +10,6 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Hashable, Iterable, Mapping, Sequence
 
-from repro.util.rational import enumerate_polytope_vertices
-
 
 class Hypergraph:
     """A finite hypergraph with hashable vertices and named edges."""
@@ -62,7 +60,14 @@ class Hypergraph:
 
     def edge_cover_vertices(self, max_dimension: int = 12) -> list[dict[str, Fraction]]:
         """Enumerate all vertices of the fractional edge cover polytope
-        exactly (used by the normality test, Sec. 4.3)."""
+        exactly (used by the normality test, Sec. 4.3).
+
+        Routed through the pruned enumerator of :mod:`repro.lp.exact`;
+        ``tests/test_lp_exact.py`` keeps it differentially pinned to the
+        flat reference enumerator in :mod:`repro.util.rational`.
+        """
+        from repro.lp.exact import enumerate_vertices  # local: avoid cycle
+
         if self.isolated_vertices():
             return []
         n = len(self.edge_names)
@@ -92,7 +97,7 @@ class Hypergraph:
             row[i] = 1
             a_ub.append(row)
             b_ub.append(1)
-        points = enumerate_polytope_vertices(a_ub, b_ub, max_dimension=max_dimension)
+        points = enumerate_vertices(a_ub, b_ub, max_dimension=max_dimension)
         return [dict(zip(self.edge_names, point)) for point in points]
 
     def fractional_edge_cover_number(
@@ -131,9 +136,14 @@ class Hypergraph:
             b_ub.append(-1.0)
         solution = solve_lp(costs, a_ub, b_ub)
         weights = dict(zip(self.edge_names, solution.x_rational))
-        if not self.is_fractional_edge_cover(weights):
-            # Nudge: rationalization can round a tight constraint the wrong
-            # way; scale up minimally to restore feasibility.
+        if solution.backend != "exact" and not self.is_fractional_edge_cover(
+            weights
+        ):
+            # Nudge (scipy-shaped primal, including `both` mode, whose
+            # x_rational is still the rationalized scipy vertex):
+            # rationalization can round a tight constraint the wrong way;
+            # scale up minimally to restore feasibility.  An exact-backed
+            # primal is a certified cover vertex — feasibility cannot fail.
             slack = min(
                 sum(w for name, w in weights.items() if v in self.edges[name])
                 for v in self.vertices

@@ -25,7 +25,9 @@ Test files import from here; this module itself is not collected (no
 
 from __future__ import annotations
 
+import os
 import random
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.core.chain_algorithm import chain_algorithm
@@ -43,7 +45,22 @@ from repro.engine.reference import reference_expand_tuple
 from repro.fds.fd import FD, FDSet
 from repro.lattice.builders import fig4_lattice, fig9_lattice, lattice_from_query
 from repro.lattice.chains import best_chain_bound
+from repro.lp.cllp import ConditionalLLP
 from repro.query.query import Atom, Query
+
+
+@contextmanager
+def lp_backend_forced(backend: str):
+    """Temporarily force ``REPRO_LP_BACKEND`` for a differential run."""
+    saved = os.environ.get("REPRO_LP_BACKEND")
+    os.environ["REPRO_LP_BACKEND"] = backend
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_LP_BACKEND", None)
+        else:
+            os.environ["REPRO_LP_BACKEND"] = saved
 
 # ----------------------------------------------------------------------
 # Randomized instance generators
@@ -203,6 +220,18 @@ def _run_lftj_reference(query, db, schema):
     return set(out.project(schema).tuples)
 
 
+def _run_chain_exact_lp(query, db, schema):
+    """The chain engine with every LP solved on the exact rational backend."""
+    with lp_backend_forced("exact"):
+        return _run_chain(query, db, schema)
+
+
+def _run_csma_exact_lp(query, db, schema):
+    """CSMA with CLLP primal/dual solved on the exact rational backend."""
+    with lp_backend_forced("exact"):
+        return _run_csma(query, db, schema)
+
+
 #: name → runner(query, db, schema) -> set | None (None = not applicable).
 ENGINES: dict[str, Callable] = {
     "binary": _run_binary,
@@ -213,14 +242,18 @@ ENGINES: dict[str, Callable] = {
     "generic": _run_generic,
     "lftj": _run_lftj,
     "lftj-reference-expansion": _run_lftj_reference,
+    "chain-exact-lp": _run_chain_exact_lp,
+    "csma-exact-lp": _run_csma_exact_lp,
 }
 
 #: Engines that must be applicable (and agree) on every instance the
 #: generators in this module produce.  The kernel-ported leapfrog and its
 #: reference-substrate twin are mandatory: their agreement *is* the
-#: differential test of the port.
+#: differential test of the port.  ``csma-exact-lp`` is mandatory too:
+#: every fuzz instance must evaluate correctly with *no* floating-point
+#: LP in the loop (scipy demoted to an optional cross-check).
 MANDATORY_ENGINES = ("binary", "csma", "generic", "lftj",
-                     "lftj-reference-expansion")
+                     "lftj-reference-expansion", "csma-exact-lp")
 
 
 def run_all_engines(query, db) -> dict[str, set]:
@@ -313,6 +346,89 @@ def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
 def _run_variant(plan, rows):
     counter = WorkCounter()
     return counter, plan.execute_batch(rows, counter)
+
+
+def lp_engine_work_profile(query, db) -> dict[str, int | None]:
+    """``tuples_touched`` of the LP-driven engines (chain, SMA, CSMA) under
+    the *currently configured* LP backend; ``None`` marks inapplicability."""
+    lattice, inputs = lattice_from_query(query)
+    logs = {k: db.log_sizes()[k] for k in inputs}
+    profile: dict[str, int | None] = {}
+    value, chain, _ = best_chain_bound(lattice, inputs, logs)
+    if chain is None or value == float("inf"):
+        profile["chain"] = None
+    else:
+        _, stats = chain_algorithm(query, db, lattice, inputs, chain)
+        profile["chain"] = stats.tuples_touched
+    try:
+        _, stats = submodularity_algorithm(query, db, lattice, inputs)
+        profile["sma"] = stats.tuples_touched
+    except SMAError:
+        profile["sma"] = None
+    result = csma(query, db, lattice, inputs)
+    profile["csma"] = result.stats.tuples_touched
+    return profile
+
+
+def assert_lp_backend_equivalence(query, db) -> None:
+    """The exact-LP swap is safe: work-neutral where pinnable, certified
+    result/objective-neutral everywhere.
+
+    Three runs of the LP-driven engines (chain, SMA, CSMA) — under the
+    shipped ``auto`` policy, under forced ``exact`` and under forced
+    ``scipy`` — must satisfy:
+
+    * **auto ≡ scipy, bit-identical work** for all three engines: the
+      shipped routing (exact backend below the size cutoff) cannot perturb
+      any engine trajectory.
+    * **exact ≡ scipy, bit-identical work** for chain and SMA: the chain
+      bound depends only on (exactly recomputed) cover objectives, and the
+      LLP optima on this corpus are unique, so both backends must land on
+      the same vertex.  A drift here means a backend returned a
+      sub-optimal or mis-rationalized solution.
+    * **exact vs scipy CSMA: identical outputs and identical CLLP
+      optimum** (the budget driving Lemma 5.36 restarts).  The branch
+      *trajectory* legitimately follows whichever optimal dual certificate
+      the backend returned — the CLLP dual has degenerate faces (zero-cost
+      s/m variables), so vertex-level agreement across independent solvers
+      is not a sound contract; both certificates are verified exact
+      instead (see PERFORMANCE.md, "Exact rational LP backend").
+
+    Requires scipy (skipped by callers on exact-only interpreters).
+    """
+    with lp_backend_forced("scipy"):
+        scipy_profile = lp_engine_work_profile(query, db)
+    with lp_backend_forced("auto"):
+        auto_profile = lp_engine_work_profile(query, db)
+    with lp_backend_forced("exact"):
+        exact_profile = lp_engine_work_profile(query, db)
+    assert auto_profile == scipy_profile, (
+        f"auto-vs-scipy LP routing changed engine work: "
+        f"{auto_profile} != {scipy_profile}"
+    )
+    for engine in ("chain", "sma"):
+        assert exact_profile[engine] == scipy_profile[engine], (
+            f"{engine}: exact backend diverged from scipy "
+            f"({exact_profile[engine]} != {scipy_profile[engine]})"
+        )
+    # CSMA: outputs must agree (covered again by assert_engines_agree) and
+    # the CLLP optimum — the restart budget — must be backend-independent.
+    lattice, inputs = lattice_from_query(query)
+    logs = {k: db.log_sizes()[k] for k in inputs}
+    program = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+    with lp_backend_forced("scipy"):
+        scipy_solution = program.solve()
+    with lp_backend_forced("exact"):
+        exact_solution = program.solve()
+    assert exact_solution.certificate is not None
+    assert exact_solution.certificate.verify()
+    assert abs(exact_solution.objective - scipy_solution.objective) <= 1e-7, (
+        "CLLP optimum differs across LP backends"
+    )
+    schema = tuple(sorted(query.variables))
+    with lp_backend_forced("scipy"):
+        scipy_csma = _run_csma(query, db, schema)
+    assert _run_csma_exact_lp(query, db, schema) == scipy_csma
 
 
 def assert_leapfrog_substrate_equivalence(query, db) -> None:

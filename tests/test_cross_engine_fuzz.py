@@ -14,7 +14,13 @@ from differential import (
     MANDATORY_ENGINES,
     assert_engines_agree,
     assert_leapfrog_substrate_equivalence,
+    assert_lp_backend_equivalence,
     random_simple_key_workload,
+)
+from repro.lp.solver import HAVE_SCIPY
+
+requires_scipy = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="backend-differential run needs the scipy extra"
 )
 from repro.datagen.worstcase import (
     fig4_instance,
@@ -26,10 +32,12 @@ from repro.datagen.worstcase import (
 
 def test_mandatory_engine_registry():
     """The batched-kernel engines stay registered as mandatory: leapfrog on
-    the positional kernel, its reference-substrate twin, and the batched
-    generic join, alongside the binary baseline and CSMA."""
+    the positional kernel, its reference-substrate twin, the batched
+    generic join, and CSMA on the exact-only LP stack, alongside the
+    binary baseline and scipy-backed CSMA."""
     assert set(MANDATORY_ENGINES) >= {
-        "binary", "csma", "generic", "lftj", "lftj-reference-expansion"
+        "binary", "csma", "generic", "lftj", "lftj-reference-expansion",
+        "csma-exact-lp",
     }
 
 
@@ -39,6 +47,19 @@ def test_random_simple_key_workloads(seed):
     outputs = assert_engines_agree(query, db, context=f"on seed {seed}")
     assert len(outputs) >= 4
     assert_leapfrog_substrate_equivalence(query, db)
+
+
+@requires_scipy
+@pytest.mark.parametrize("seed", range(12))
+def test_lp_backend_work_equivalence(seed):
+    """Satellite of the exact-LP PR: the same workloads, evaluated with
+    the LP layer pinned to each backend — the shipped auto routing must be
+    bit-identical in work to scipy across chain/SMA/CSMA, and the forced
+    exact stack must match scipy wherever the optimum pins the trajectory
+    (everywhere but CSMA's degenerate dual choice, which is certified
+    instead)."""
+    query, db = random_simple_key_workload(seed)
+    assert_lp_backend_equivalence(query, db)
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,510 @@
+"""The exact rational LP kernel, differentially verified against scipy.
+
+Four contracts (PR 3 satellites):
+
+1. **Differential property suite** — randomized CLLP/LLP/edge-cover
+   instances over many seeds: the exact objective equals the scipy
+   objective (to float tolerance), exact certificates always verify, and
+   ``Hypergraph.edge_cover_vertices`` (now routed through the pruned
+   enumerator in ``repro.lp.exact``) matches the flat reference
+   enumerator in ``repro.util.rational`` vertex-for-vertex.
+2. **Dual-sign regression** — the sign of ``<=``-row marginals is pinned
+   on a hand-solved 2x2 LP for *both* backends, so a scipy upgrade
+   cannot silently flip the chain-bound duals
+   (cf. ``repro/lp/solver.py``'s negation of HiGHS marginals).
+3. **Backend knob** — ``REPRO_LP_BACKEND={exact,scipy,both,auto}``
+   routing, the ``both`` agreement mode, and backend-keyed memos.
+4. **Importability split** — ``repro.lp`` imports and solves with scipy
+   blocked (the exact backend is the floor; scipy is an optional extra).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import textwrap
+from dataclasses import replace
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from differential import lp_backend_forced
+from repro.lattice.builders import (
+    boolean_algebra,
+    fig1_lattice,
+    fig4_lattice,
+    fig5_lattice,
+    fig7_lattice,
+    fig8_lattice,
+    fig9_lattice,
+    m3,
+    n5,
+)
+from repro.lp.cllp import ConditionalLLP, DegreeConstraint
+from repro.lp.exact import (
+    LPInfeasibleError,
+    LPUnboundedError,
+    cross_check_vertices,
+    enumerate_vertices,
+    minimize_by_enumeration,
+    solve_exact_lp,
+)
+from repro.lp.llp import LatticeLinearProgram
+from repro.lp.solver import (
+    HAVE_SCIPY,
+    LPError,
+    lp_backend,
+    solve_lp,
+)
+from repro.query.hypergraph import Hypergraph
+
+import repro.lp.solver as solver_mod
+
+requires_scipy = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="differential comparison needs the scipy extra"
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# The exact kernel on its own: simplex vs vertex enumeration
+# ----------------------------------------------------------------------
+
+def _random_program(rng: random.Random):
+    n = rng.randint(1, 4)
+    m = rng.randint(1, 5)
+    a_ub = [[rng.randint(-3, 3) for _ in range(n)] for _ in range(m)]
+    b_ub = [rng.randint(-2, 5) for _ in range(m)]
+    costs = [rng.randint(0, 5) for _ in range(n)]  # c >= 0: bounded below
+    return costs, a_ub, b_ub
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_simplex_matches_vertex_enumeration(seed):
+    """Two independent exact engines, one optimum: the simplex value must
+    equal the brute-force minimum over enumerated vertices."""
+    rng = random.Random(seed)
+    costs, a_ub, b_ub = _random_program(rng)
+    try:
+        certificate = solve_exact_lp(costs, a_ub, b_ub)
+    except LPInfeasibleError:
+        assert enumerate_vertices(a_ub, b_ub) == []
+        return
+    assert certificate.verify()
+    value, _ = minimize_by_enumeration(costs, a_ub, b_ub)
+    assert value == certificate.objective
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_vertex_enumerator_matches_flat_reference(seed):
+    """The pruned DFS enumerator == the flat combinations scan."""
+    rng = random.Random(1000 + seed)
+    n = rng.randint(1, 4)
+    m = rng.randint(1, 5)
+    a_ub = [[rng.randint(-2, 2) for _ in range(n)] for _ in range(m)]
+    b_ub = [rng.randint(-1, 4) for _ in range(m)]
+    assert sorted(enumerate_vertices(a_ub, b_ub)) == sorted(
+        cross_check_vertices(a_ub, b_ub)
+    )
+
+
+def test_unbounded_and_infeasible_are_classified():
+    with pytest.raises(LPUnboundedError):
+        solve_exact_lp([-1.0], a_ub=[[0.0]], b_ub=[1.0])
+    with pytest.raises(LPInfeasibleError):
+        solve_exact_lp([1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0])
+    # No constraints at all: x = 0 for c >= 0, unbounded otherwise.
+    assert solve_exact_lp([2.0, 3.0]).objective == 0
+    with pytest.raises(LPUnboundedError):
+        solve_exact_lp([2.0, -3.0])
+
+
+def test_certificate_rejects_tampering():
+    certificate = solve_exact_lp(
+        [3.0, 5.0], a_ub=[[-1.0, -1.0], [1.0, -1.0]], b_ub=[-2.0, 0.0]
+    )
+    assert certificate.verify()
+    worse = replace(certificate, x=(Fraction(2), Fraction(2)))
+    assert not worse.verify()  # feasible but not optimal: gap opens
+    infeasible = replace(certificate, x=(Fraction(0), Fraction(0)))
+    assert not infeasible.verify()
+    bad_dual = replace(certificate, y_ub=(Fraction(-1), certificate.y_ub[1]))
+    assert not bad_dual.verify()
+
+
+def test_degenerate_program_terminates():
+    """A fully degenerate cube corner (many ties) must not cycle."""
+    n = 6
+    a_ub = [[1.0 if j == i else 0.0 for j in range(n)] for i in range(n)]
+    a_ub += [[-1.0] * n]
+    b_ub = [1.0] * n + [0.0]
+    certificate = solve_exact_lp([1.0] * n, a_ub, b_ub)
+    assert certificate.objective == 0
+    assert certificate.verify()
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: the dual-marginal sign convention, pinned by hand
+# ----------------------------------------------------------------------
+
+def _hand_solved_backends():
+    backends = ["exact"]
+    if HAVE_SCIPY:
+        backends += ["scipy", "both"]
+    return backends
+
+
+@pytest.mark.parametrize("backend", _hand_solved_backends())
+def test_dual_sign_convention_hand_solved_2x2(backend):
+    """min 3x + 5y  s.t.  x + y >= 2,  x <= y,  x,y >= 0.
+
+    Unique optimum x = y = 1 (objective 8) with both rows binding; solving
+    ``c = A_ub^T lambda`` by hand gives raw ``<=``-marginals
+    ``lambda = (-4, -1)``, so the package convention (negated marginals,
+    binding rows weigh non-negatively) must report ``duals_ub == [4, 1]``.
+    A scipy upgrade that flips HiGHS marginal signs — or an exact-backend
+    regression — lands here before it can flip the chain-bound duals
+    (cf. repro/lp/solver.py).
+    """
+    with lp_backend_forced(backend):
+        solution = solve_lp(
+            [3.0, 5.0], a_ub=[[-1.0, -1.0], [1.0, -1.0]], b_ub=[-2.0, 0.0]
+        )
+    assert solution.objective == pytest.approx(8.0, abs=1e-9)
+    assert list(solution.x) == pytest.approx([1.0, 1.0], abs=1e-9)
+    assert list(solution.duals_ub) == pytest.approx([4.0, 1.0], abs=1e-9)
+    if backend != "scipy":
+        certificate = solution.certificate
+        assert certificate is not None and certificate.verify()
+        assert certificate.y_ub == (Fraction(4), Fraction(1))
+        assert certificate.objective == 8
+
+
+@pytest.mark.parametrize("backend", _hand_solved_backends())
+def test_dual_sign_convention_equality_row(backend):
+    """min x + y  s.t.  x + 2y == 4,  x >= 1/2: pins the ``==``-row sign
+    (duals_eq is the negated HiGHS marginal) alongside the ``<=`` row."""
+    with lp_backend_forced(backend):
+        solution = solve_lp(
+            [1.0, 1.0],
+            a_ub=[[-1.0, 0.0]],
+            b_ub=[-0.5],
+            a_eq=[[1.0, 2.0]],
+            b_eq=[4.0],
+        )
+    assert solution.objective == pytest.approx(2.25, abs=1e-9)
+    assert list(solution.duals_eq) == pytest.approx([-0.5], abs=1e-9)
+    assert list(solution.duals_ub) == pytest.approx([0.5], abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: randomized CLLP / LLP / edge-cover differentials
+# ----------------------------------------------------------------------
+
+_SMALL_LATTICES = {
+    "b3": boolean_algebra("xyz"),
+    "m3": m3(),
+    "n5": n5(),
+    "fig5": fig5_lattice()[0],
+}
+
+
+def _random_llp(lattice_key: str, rng: random.Random):
+    if lattice_key == "fig5":
+        lattice, inputs = fig5_lattice()
+    elif lattice_key == "b3":
+        lattice = _SMALL_LATTICES["b3"]
+        inputs = {
+            "R": lattice.index(frozenset("xy")),
+            "S": lattice.index(frozenset("yz")),
+            "T": lattice.index(frozenset("xz")),
+        }
+    else:
+        lattice = _SMALL_LATTICES[lattice_key]
+        inputs = {f"R{a}": a for a in lattice.coatoms}
+    import math
+
+    logs = {name: math.log2(rng.randint(2, 512)) for name in inputs}
+    return lattice, inputs, logs
+
+
+@requires_scipy
+@pytest.mark.parametrize("lattice_key", sorted(_SMALL_LATTICES))
+@pytest.mark.parametrize("seed", range(6))
+def test_llp_exact_matches_scipy(lattice_key, seed):
+    lattice, inputs, logs = _random_llp(lattice_key, random.Random(seed))
+    with lp_backend_forced("scipy"):
+        scipy_value, _ = LatticeLinearProgram(lattice, inputs, logs).solve_primal()
+    with lp_backend_forced("exact"):
+        program = LatticeLinearProgram(lattice, inputs, logs)
+        exact_value, _ = program.solve_primal()
+        solution = program.solve()
+    assert exact_value == pytest.approx(scipy_value, abs=1e-7)
+    assert solution.certificate is not None and solution.certificate.verify()
+    # The dual certificate (output inequality) re-verifies exactly.
+    assert solution.inequality.verify_certificate()
+    assert solution.inequality.verify_on(solution.h_raw)
+
+
+@requires_scipy
+@pytest.mark.parametrize("lattice_key", sorted(_SMALL_LATTICES))
+@pytest.mark.parametrize("seed", range(4))
+def test_cllp_exact_matches_scipy(lattice_key, seed):
+    rng = random.Random(100 + seed)
+    lattice, inputs, logs = _random_llp(lattice_key, rng)
+    program = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+    # Sprinkle random genuine degree constraints (X < Y).
+    pairs = [
+        (x, y)
+        for x in range(lattice.n)
+        for y in range(lattice.n)
+        if lattice.lt(x, y)
+    ]
+    for x, y in rng.sample(pairs, k=min(2, len(pairs))):
+        program = program.with_constraint(
+            DegreeConstraint(x, y, rng.randint(0, 6))
+        )
+    with lp_backend_forced("scipy"):
+        scipy_value, _ = program.solve_primal()
+        scipy_dual = program.solve_dual()
+    with lp_backend_forced("exact"):
+        exact_value, _ = program.solve_primal()
+        exact_dual = program.solve_dual()
+        solution = program.solve()
+    assert exact_value == pytest.approx(scipy_value, abs=1e-7)
+    assert solution.certificate is not None and solution.certificate.verify()
+    # Both duals are exactly feasible and objective-equivalent.
+    bounds = program.bounds_by_pair()
+    assert exact_dual.is_feasible() and scipy_dual.is_feasible()
+    assert float(exact_dual.objective(bounds)) == pytest.approx(
+        float(scipy_dual.objective(bounds)), abs=1e-6
+    )
+
+
+def _random_hypergraph(rng: random.Random) -> Hypergraph:
+    n_vertices = rng.randint(2, 5)
+    vertices = list(range(n_vertices))
+    n_edges = rng.randint(2, 5)
+    edges = {}
+    for k in range(n_edges):
+        size = rng.randint(1, n_vertices)
+        edges[f"e{k}"] = rng.sample(vertices, size)
+    return Hypergraph(vertices, edges)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_edge_cover_vertices_match_reference_enumerator(seed):
+    """``edge_cover_vertices`` (pruned enumerator) == the flat reference
+    scan on the identical constraint system, vertex set for vertex set."""
+    graph = _random_hypergraph(random.Random(seed))
+    got = {
+        tuple(point[name] for name in graph.edge_names)
+        for point in graph.edge_cover_vertices()
+    }
+    if graph.isolated_vertices():
+        assert got == set()
+        return
+    n = len(graph.edge_names)
+    a_ub = [
+        [-1 if v in graph.edges[name] else 0 for name in graph.edge_names]
+        for v in graph.vertices
+    ]
+    b_ub = [-1] * len(graph.vertices)
+    for i in range(n):
+        row = [0] * n
+        row[i] = 1
+        a_ub.append(row)
+        b_ub.append(1)
+    expected = set(cross_check_vertices(a_ub, b_ub))
+    assert got == expected
+    # Every enumerated point is genuinely a fractional edge cover.
+    for point in graph.edge_cover_vertices():
+        assert graph.is_fractional_edge_cover(point)
+
+
+@requires_scipy
+@pytest.mark.parametrize("seed", range(20))
+def test_edge_cover_number_exact_matches_scipy(seed):
+    graph = _random_hypergraph(random.Random(500 + seed))
+    if graph.isolated_vertices():
+        return
+    import math
+
+    logs = {
+        name: math.log2(random.Random(seed * 31 + k).randint(2, 128))
+        for k, name in enumerate(graph.edge_names)
+    }
+    with lp_backend_forced("scipy"):
+        scipy_value, scipy_weights = graph.fractional_edge_cover_number(logs)
+    with lp_backend_forced("exact"):
+        exact_value, exact_weights = graph.fractional_edge_cover_number(logs)
+    assert float(exact_value) == pytest.approx(float(scipy_value), abs=1e-7)
+    assert graph.is_fractional_edge_cover(exact_weights)
+    assert graph.is_fractional_edge_cover(scipy_weights)
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [fig1_lattice, fig4_lattice, fig5_lattice, fig7_lattice, fig8_lattice,
+     fig9_lattice],
+    ids=["fig1", "fig4", "fig5", "fig7", "fig8", "fig9"],
+)
+def test_paper_lattice_lps_solve_exactly_with_certificates(maker):
+    """Acceptance: every LLP/CLLP the paper-example lattices emit solves
+    on the exact backend with a verified optimality certificate."""
+    lattice, inputs = maker()
+    logs = {name: 10.0 for name in inputs}
+    with lp_backend_forced("exact"):
+        llp = LatticeLinearProgram(lattice, inputs, logs).solve()
+        assert llp.certificate is not None and llp.certificate.verify()
+        assert llp.inequality.verify_certificate()
+        cllp = ConditionalLLP.from_cardinalities(lattice, inputs, logs).solve()
+        assert cllp.certificate is not None and cllp.certificate.verify()
+        assert cllp.dual.is_feasible()
+        assert cllp.objective == pytest.approx(llp.objective, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Satellite 3 support: the backend knob and its memos
+# ----------------------------------------------------------------------
+
+def test_backend_knob_validation():
+    with lp_backend_forced("nonsense"):
+        with pytest.raises(ValueError):
+            lp_backend()
+        with pytest.raises(ValueError):
+            solve_lp([1.0], a_ub=[[1.0]], b_ub=[1.0])
+
+
+def test_auto_routes_by_size(monkeypatch):
+    solver_mod._SOLVE_CACHE.clear()
+    with lp_backend_forced("auto"):
+        small = solve_lp([1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+        assert small.backend == "exact"
+        assert small.certificate is not None
+        if HAVE_SCIPY:
+            monkeypatch.setattr(solver_mod, "EXACT_MAX_VARS", 0)
+            big = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+            assert big.backend == "scipy"
+            assert big.certificate is None
+
+
+@requires_scipy
+def test_both_mode_cross_checks_and_keeps_scipy_shape():
+    solver_mod._SOLVE_CACHE.clear()
+    with lp_backend_forced("scipy"):
+        scipy_solution = solve_lp([2.0, 3.0], a_ub=[[-1.0, -2.0]], b_ub=[-6.0])
+    with lp_backend_forced("both"):
+        both = solve_lp([2.0, 3.0], a_ub=[[-1.0, -2.0]], b_ub=[-6.0])
+    assert both.backend == "both"
+    assert both.certificate is not None and both.certificate.verify()
+    # The primal is byte-compatible with a plain scipy run (trajectory
+    # preservation), the certificate rides along as the exact cross-check.
+    assert list(both.x) == list(scipy_solution.x)
+    assert both.objective == scipy_solution.objective
+    assert both.objective_rational == both.certificate.objective
+
+
+def test_solve_cache_is_backend_keyed():
+    solver_mod._SOLVE_CACHE.clear()
+    program = ([1.0, 1.0], [[-1.0, -1.0]], [-1.0])
+    with lp_backend_forced("exact"):
+        first = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
+        again = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
+    assert again is first  # memo hit within one backend
+    if HAVE_SCIPY:
+        with lp_backend_forced("scipy"):
+            scipy_solution = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
+        assert scipy_solution is not first
+        assert scipy_solution.backend == "scipy"
+        assert first.backend == "exact"
+
+
+@requires_scipy
+def test_lattice_memo_is_backend_keyed():
+    """An in-process backend switch must not be served the other
+    backend's cached LLP/CLLP solution (FD-lattices are interned)."""
+    lattice, inputs = fig5_lattice()
+    logs = {name: 4.0 for name in inputs}
+    with lp_backend_forced("scipy"):
+        scipy_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
+    with lp_backend_forced("exact"):
+        exact_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
+    assert exact_solution is not scipy_solution
+    assert exact_solution.certificate is not None
+    assert scipy_solution.certificate is None
+    assert exact_solution.objective == pytest.approx(
+        scipy_solution.objective, abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite 4: the importability split (scipy is optional)
+# ----------------------------------------------------------------------
+
+_NO_SCIPY_PROBE = textwrap.dedent(
+    """
+    import sys
+    assert "scipy" not in sys.modules
+    import repro.lp.solver as solver
+    assert not solver.HAVE_SCIPY, "scipy import should have been blocked"
+    # The full front door works on the exact backend alone.
+    solution = solver.solve_lp(
+        [3.0, 5.0], a_ub=[[-1.0, -1.0], [1.0, -1.0]], b_ub=[-2.0, 0.0]
+    )
+    assert solution.backend == "exact"
+    assert solution.certificate is not None and solution.certificate.verify()
+    assert solution.objective == 8.0
+    assert [float(v) for v in solution.duals_ub] == [4.0, 1.0]
+    # Forcing a scipy-dependent mode is a clear error, not a crash.
+    import os
+    for mode in ("scipy", "both"):
+        os.environ["REPRO_LP_BACKEND"] = mode
+        try:
+            solver.solve_lp([1.0], a_ub=[[-1.0]], b_ub=[-1.0])
+        except solver.LPError as exc:
+            assert "scipy" in str(exc)
+        else:
+            raise AssertionError(f"{mode} mode should require scipy")
+    # The lattice programs run end to end without scipy.
+    os.environ["REPRO_LP_BACKEND"] = "auto"
+    from repro.lattice.builders import fig5_lattice
+    from repro.lp.llp import LatticeLinearProgram
+    lattice, inputs = fig5_lattice()
+    llp = LatticeLinearProgram(lattice, inputs, {n: 3.0 for n in inputs}).solve()
+    assert llp.certificate is not None and llp.certificate.verify()
+    print("NO-SCIPY-OK")
+    """
+)
+
+
+def test_importability_split_without_scipy(tmp_path):
+    """``repro.lp`` must import, solve and certify with scipy blocked —
+    the exact backend is the dependency floor (setup.py's [scipy] extra
+    is genuinely optional)."""
+    blocker = tmp_path / "scipy.py"
+    blocker.write_text('raise ImportError("scipy blocked for this test")\n')
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{tmp_path}:{REPO_ROOT / 'src'}"
+    env.pop("REPRO_LP_BACKEND", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _NO_SCIPY_PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "NO-SCIPY-OK" in proc.stdout
+
+
+def test_have_scipy_reflects_this_interpreter():
+    try:
+        import scipy  # noqa: F401
+
+        assert HAVE_SCIPY
+    except ImportError:  # pragma: no cover - no-scipy CI job
+        assert not HAVE_SCIPY
