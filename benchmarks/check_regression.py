@@ -14,9 +14,16 @@ root.  Policy (mirrors PERFORMANCE.md):
 * **fail** when a workload's ``tuples_touched`` changed for an engine the
   kernel contract covers — the counted work is bit-identical by design,
   so any drift means the kernel changed semantics, not just speed;
-* **warn** (never fail) when the sweep wall-clock regressed beyond
-  ``WALL_CLOCK_SLACK`` — timing noise on shared CI runners is not a
-  correctness signal, but the trajectory should be visible in the log.
+* **fail** when an E17 large-frontier workload's ``tuples_touched``
+  drifts (compared over the workloads present in both files, so a
+  ``--quick`` smoke sweep is gated against the committed full sweep's
+  smoke sizes);
+* **warn** (never fail) when the E16 sweep wall-clock or an E17
+  workload's encoded wall-clock regressed beyond ``WALL_CLOCK_SLACK``,
+  or when a full-size E17 workload's recorded speedup fell below the
+  baseline's ``min_speedup_required`` — timing noise on shared CI
+  runners is not a correctness signal, but the trajectory should be
+  visible in the log.
 """
 
 from __future__ import annotations
@@ -92,7 +99,61 @@ def compare(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
             f"{fresh_wall}s (> {WALL_CLOCK_SLACK}x; timing only — not "
             "failing the gate)"
         )
+
+    _compare_e17(
+        baseline.get("e17", {}), fresh.get("e17", {}), failures, warnings
+    )
     return failures, warnings
+
+
+def _compare_e17(
+    base_e17: dict, fresh_e17: dict, failures: list[str], warnings: list[str]
+) -> None:
+    """The large-frontier gate: counts fail, timings warn.
+
+    Workloads are compared over the intersection of the two files — a
+    smoke sweep legitimately lacks the full-size entries — but a baseline
+    with an ``e17`` section and a fresh sweep sharing *none* of its
+    workloads is a failure (the suite silently vanished).
+    """
+    base_workloads = base_e17.get("workloads", {})
+    fresh_workloads = fresh_e17.get("workloads", {})
+    if not base_workloads:
+        return
+    common = set(base_workloads) & set(fresh_workloads)
+    if not common:
+        failures.append("no common E17 workloads between baseline and fresh")
+        return
+    for name in sorted(common):
+        base_row = base_workloads[name]
+        fresh_row = fresh_workloads[name]
+        if fresh_row.get("tuples_touched") != base_row.get("tuples_touched"):
+            failures.append(
+                f"E17 tuples_touched drift at {name}: baseline "
+                f"{base_row.get('tuples_touched')} vs fresh "
+                f"{fresh_row.get('tuples_touched')}"
+            )
+        base_enc = base_row.get("wall_encoded_s")
+        fresh_enc = fresh_row.get("wall_encoded_s")
+        if base_enc and fresh_enc and fresh_enc > base_enc * WALL_CLOCK_SLACK:
+            warnings.append(
+                f"E17 encoded wall-clock regressed at {name}: baseline "
+                f"{base_enc}s vs fresh {fresh_enc}s"
+            )
+    min_speedup = base_e17.get("min_speedup_required")
+    if min_speedup and fresh_e17.get("level") == "full":
+        for name in sorted(common):
+            speedup = fresh_workloads[name].get("speedup")
+            base_speedup = base_workloads[name].get("speedup")
+            if (
+                speedup is not None
+                and base_speedup is not None
+                and base_speedup >= min_speedup > speedup
+            ):
+                warnings.append(
+                    f"E17 speedup at {name} fell below the gated floor: "
+                    f"{speedup}x < {min_speedup}x (baseline {base_speedup}x)"
+                )
 
 
 def main(argv: list[str]) -> int:

@@ -19,7 +19,12 @@ generations honestly:
 * ``e16`` — the flagship scaling sweep: per-workload ``tuples_touched``
   (the machine-independent work measure, which the positional kernel must
   keep bit-identical across refactors) plus measured growth exponents and
-  the sweep wall-clock (which refactors should shrink).
+  the sweep wall-clock (which refactors should shrink);
+* ``e17`` — the large-frontier suite (``bench_e17_large_frontier``):
+  per-workload ``tuples_touched`` (bit-identical across the encoded and
+  decoded planes, asserted in-run), both planes' wall-clocks, the
+  encoded-plane speedup, and peak RSS.  ``--quick`` runs the smoke sizes
+  only; the full ≥1M-row sweep runs otherwise.
 
 See PERFORMANCE.md for how to read tuples_touched vs wall-clock.
 """
@@ -150,7 +155,8 @@ def main() -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="skip the per-file pytest runs; emit only the E16 metrics",
+        help="skip the per-file pytest runs; emit the E16 metrics and the "
+        "E17 smoke sizes only",
     )
     args = parser.parse_args()
 
@@ -168,6 +174,12 @@ def main() -> int:
         f"  wall {payload['e16']['wall_clock_s']}s, exponents "
         f"{payload['e16']['exponents']}"
     )
+    from bench_e17_large_frontier import peak_rss_kb, run_sweep as run_e17_sweep
+
+    level = "smoke" if args.quick else "full"
+    print(f"e17 sweep ({level}):")
+    payload["e17"] = run_e17_sweep(level=level)
+    payload["peak_rss_kb"] = peak_rss_kb()
 
     out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{args.tag}.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -48,11 +48,12 @@ class _CoverInfo:
     # Extension: projection attrs not yet in the frontier.
     extra_attrs: tuple[str, ...]
     extra_key: object
-    # Verification: candidate → full projection-schema key; membership
-    # index built lazily on first verify (single-cover steps never need it).
+    # Verification: candidate → full projection-schema key; the
+    # membership set is built lazily on first verify (single-cover steps
+    # never need it).
     cand_key: object
     cand_extra_key: object
-    full_index: dict | None = None
+    members: set | None = None
     # Compiled expansion (prefix ++ extra → C_i), lazily built.
     plan: object = None
     reorder: object = None
@@ -77,11 +78,16 @@ def chain_algorithm(
         raise ValueError(f"chain {chain!r} is not good for the inputs")
     counter = WorkCounter()
     stats = ChainAlgorithmStats()
+    encoded = db.encoded
 
     # Step 1: expand inputs to their closures (line 1 of Algorithm 1).
+    # ``expand_runtime`` keeps the result on the active plane: with a
+    # codec the whole climb — degree argmins, candidate expansion, the
+    # footnote-8 verification — runs on dictionary codes, and only the
+    # terminal output decodes.
     expanded: dict[str, Relation] = {}
     for name in inputs:
-        expanded[name] = db.expand_relation(db[name], counter=counter)
+        expanded[name] = db.expand_runtime(name, counter=counter)
         if frozenset(expanded[name].schema) != lattice.label(inputs[name]):
             raise ValueError(
                 f"input {name} expands to {expanded[name].schema}, "
@@ -149,30 +155,70 @@ def chain_algorithm(
 
         def ensure_plan(info: _CoverInfo):
             if info.plan is None:
-                info.plan = db.expansion_plan(prev_attrs + info.extra_attrs, ci)
+                info.plan = db.expansion_plan(
+                    prev_attrs + info.extra_attrs, ci, encoded=encoded
+                )
                 info.reorder = tuple_getter(info.plan.positions(ci_sorted))
             return info.plan
 
         # Stage 1 — per-tuple cover choice (the argmin is data-dependent,
         # so the degree probes stay per tuple), accumulating each tuple's
         # matches into the chosen cover's frontier batch.
+        # Stage-1 counter charges (one per degree probe, one per emitted
+        # match) accumulate locally and post once per step — the total is
+        # bit-identical to the per-probe ``add`` calls.
+        # The chosen cover's extension columns extract once per distinct
+        # key (`extras` memo per cover — same core as
+        # ``ops.memoized_join_rows``; hot keys repeat on skewed data);
+        # rows concatenate via C-level ``tuple.__add__``.
         batches: list[list[tuple]] = [[] for _ in infos]
-        for t in frontier:
-            # Pick j* = argmin |t ⋈ Π_{R_j ∧ C_i}(R_j)| by degree lookup.
-            best_idx = 0
-            best_count: int | None = None
-            for j, info in enumerate(infos):
-                count = len(info.index.get(info.key(t), ()))
-                counter.add()
-                if best_count is None or count < best_count:
-                    best_idx, best_count = j, count
-            best = infos[best_idx]
-            matches = best.index.get(best.key(t), ())
-            if not matches:
-                continue
-            counter.add(len(matches))
-            extra_key = best.extra_key
-            batches[best_idx].extend(t + extra_key(m) for m in matches)
+        extras_memos: list[dict] = [{} for _ in infos]
+        touched = 0
+        if len(infos) == 1:
+            # Single cover: the argmin is trivial — probe, extend.
+            (info,) = infos
+            index, info_key, extra_key = info.index, info.key, info.extra_key
+            batch = batches[0]
+            memo = extras_memos[0]
+            for t in frontier:
+                key = info_key(t)
+                matches = index.get(key)
+                touched += 1
+                if not matches:
+                    continue
+                touched += len(matches)
+                extras = memo.get(key)
+                if extras is None:
+                    extras = memo[key] = [extra_key(m) for m in matches]
+                batch.extend(map(t.__add__, extras))
+        else:
+            keys: list = [None] * len(infos)
+            n_infos = len(infos)
+            for t in frontier:
+                # Pick j* = argmin |t ⋈ Π_{R_j ∧ C_i}(R_j)| by degree
+                # lookup.
+                best_idx = 0
+                best_count: int | None = None
+                for j, info in enumerate(infos):
+                    keys[j] = key = info.key(t)
+                    count = len(info.index.get(key, ()))
+                    if best_count is None or count < best_count:
+                        best_idx, best_count = j, count
+                touched += n_infos
+                if not best_count:
+                    continue
+                best = infos[best_idx]
+                touched += best_count
+                key = keys[best_idx]
+                memo = extras_memos[best_idx]
+                extras = memo.get(key)
+                if extras is None:
+                    extra_key = best.extra_key
+                    extras = memo[key] = [
+                        extra_key(m) for m in best.index[key]
+                    ]
+                batches[best_idx].extend(map(t.__add__, extras))
+        counter.add(touched)
 
         # Stage 2 — each batch goes through its cover's compiled plan in
         # one call (goodness guarantees the closure is C_i); the prefix of
@@ -201,14 +247,12 @@ def chain_algorithm(
                 if info is chosen or not survivors:
                     continue
                 counter.add(len(survivors))
-                full_index = info.full_index
-                if full_index is None:
-                    full_index = info.full_index = info.proj.index_on(
-                        info.proj.schema
-                    )
+                members = info.members
+                if members is None:
+                    members = info.members = info.proj.tuple_set()
                 cand_key = info.cand_key
                 passed = [
-                    (c, p) for c, p in survivors if cand_key(c) in full_index
+                    (c, p) for c, p in survivors if cand_key(c) in members
                 ]
                 if not passed:
                     survivors = passed
@@ -231,12 +275,14 @@ def chain_algorithm(
         stats.per_step_sizes.append(len(frontier))
 
     schema = tuple(sorted(lattice.label(chain.elements[k])))
-    consistent = db.udf_filter(schema)
-    out = Relation(
-        "Q",
-        schema,
-        frontier if consistent is None else filter(consistent, frontier),
-        distinct=True,
+    consistent = db.udf_filter(schema, encoded=encoded)
+    rows = (
+        frontier
+        if consistent is None
+        else [t for t in frontier if consistent(t)]
     )
+    if encoded:
+        rows = db.decode_tuples(schema, rows)
+    out = Relation("Q", schema, rows, distinct=True)
     stats.tuples_touched = counter.tuples_touched
     return out, stats

@@ -34,7 +34,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
-from repro.engine.ops import WorkCounter
+from repro.engine.ops import WorkCounter, memoized_join_rows
 from repro.engine.relation import Relation
 from repro.lattice.lattice import Lattice
 from repro.lp.cllp import CLLPSolution, ConditionalLLP, DegreeConstraint, DualCLLP
@@ -241,9 +241,12 @@ def csma(
     stats = CSMAStats()
     log_sizes = db.log_sizes()
 
-    # Expanded inputs (closed schemas) serve as the initial guards.
+    # Expanded inputs (closed schemas) serve as the initial guards, on the
+    # active plane: with a codec every CD bucketing, CC/SM join and budget
+    # measurement below runs on dictionary codes, and ``final_filter`` is
+    # the decode boundary.
     expanded: dict[str, Relation] = {
-        name: db.expand_relation(db[name], counter=counter) for name in inputs
+        name: db.expand_runtime(name, counter=counter) for name in inputs
     }
     base_constraints: list[DegreeConstraint] = [
         DegreeConstraint(lattice.bottom, r, log_sizes[name], guard=name)
@@ -264,8 +267,8 @@ def csma(
             raise CSMAError(
                 f"degree constraint {dc} must name a guard relation"
             )
-        guard_rel = expanded.get(dc.guard) or db.expand_relation(
-            db[dc.guard], counter=counter
+        guard_rel = expanded.get(dc.guard) or db.expand_runtime(
+            dc.guard, counter=counter
         )
         root.degree_guards[dc.pair] = guard_rel
 
@@ -329,9 +332,12 @@ def csma(
     top_attrs = tuple(sorted(lattice.label(lattice.top)))
     seen: dict[tuple, None] = {}
     for rel in outputs:
-        for t in rel.project(top_attrs).tuples:
-            seen.setdefault(t, None)
-    result = db.final_filter(top_attrs, seen, inputs, counter=counter)
+        # C-level union: dict.fromkeys preserves first-insertion order,
+        # exactly like the per-tuple setdefault loop.
+        seen.update(dict.fromkeys(rel.project(top_attrs).tuples))
+    result = db.final_filter(
+        top_attrs, seen, inputs, counter=counter, encoded=db.encoded
+    )
     stats.tuples_touched = counter.tuples_touched
     return CSMAResult(Relation("Q", top_attrs, result), stats)
 
@@ -355,11 +361,13 @@ def _execute_cd(
     index = table.index_on(x_attrs)
     buckets: dict[int, list[tuple]] = {}
     bucket_indexes: dict[int, dict[tuple, list[tuple]]] = {}
+    touched = 0
     for key, bucket in index.items():
-        counter.add(len(bucket))
+        touched += len(bucket)
         level = max(0, int(math.log2(len(bucket))))
         buckets.setdefault(level, []).extend(bucket)
         bucket_indexes.setdefault(level, {})[key] = bucket
+    counter.add(touched)
     children: list[_Branch] = []
     for level, tuples in sorted(buckets.items()):
         child = branch.clone()
@@ -417,32 +425,37 @@ def _execute_join_rule(
     if len(left) * max(1, max_deg) > budget:
         return False
     target_attrs = lattice.label(target)
-    guard_index = guard.index_on(shared)
-    left_positions = left.positions(shared)
     guard_extra = tuple(a for a in guard.schema if a not in left.varset)
-    extra_positions = guard.positions(guard_extra)
     out_schema = tuple(sorted(target_attrs))
-    left_key = tuple_getter(left_positions)
-    extra_key = tuple_getter(extra_positions)
-    # Collect the whole (left ⋈ guard) frontier, then push it through the
-    # compiled plan in one batch; an empty join (like the naive path)
-    # never compiles anything.
-    rows: list[tuple] = []
-    for t in left.tuples:
-        matches = guard_index.get(left_key(t), ()) if shared else guard.tuples
-        if not matches:
-            continue
-        counter.add(len(matches))
-        rows.extend(t + extra_key(match) for match in matches)
-    out_tuples: list[tuple] = []
-    if rows:
-        plan = db.expansion_plan(left.schema + guard_extra, target_attrs)
-        out_key = tuple_getter(plan.positions(out_schema))
-        out_tuples = [
-            out_key(expanded)
-            for expanded in plan.execute_batch(rows, counter)
-            if expanded is not None
-        ]
+    extra_key = tuple_getter(guard.positions(guard_extra))
+    # Collect the whole (left ⋈ guard) frontier (per-key memoized extras,
+    # C-level row concat — see ``memoized_join_rows``), then push it
+    # through the compiled plan in one batch; an empty join (like the
+    # naive path) never compiles anything.
+    if shared:
+        rows, touched = memoized_join_rows(
+            left.tuples,
+            left.positions(shared),
+            guard.index_on(shared),
+            extra_key,
+        )
+    else:
+        rows, touched = [], 0
+        if len(guard):
+            extras = [extra_key(match) for match in guard.tuples]
+            for t in left.tuples:
+                touched += len(extras)
+                rows.extend(map(t.__add__, extras))
+    # One post per join: the total equals the per-tuple match charges.
+    counter.add(touched)
+    out_tuples = db.expand_rows(
+        rows,
+        left.schema + guard_extra,
+        target_attrs,
+        out_schema,
+        counter=counter,
+        encoded=db.encoded,
+    )
     # (left tuple, guard image) → output is injective, so no re-dedup.
     branch.tables[target] = Relation(
         f"T({lattice.label(target)})", out_schema, out_tuples, distinct=True
@@ -471,12 +484,15 @@ def _fallback_join(
     out_schema = tuple(sorted(target))
     rows = []
     if len(current):
-        plan = db.expansion_plan(current.schema, target)
+        plan = db.expansion_plan(current.schema, target, encoded=db.encoded)
         out_key = tuple_getter(plan.positions(out_schema))
         rows = [
             out_key(expanded)
             for expanded in plan.execute_batch_columns(
-                current.columns(), len(current), counter
+                current.columns(),
+                len(current),
+                counter,
+                all_int=current.columns_all_int(),
             )
             if expanded is not None
         ]

@@ -22,7 +22,7 @@ from typing import Mapping
 from repro.core.proofs import SMProof, find_good_sm_proof
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
-from repro.engine.ops import WorkCounter
+from repro.engine.ops import WorkCounter, memoized_join_rows
 from repro.engine.relation import Relation
 from repro.lattice.lattice import Lattice
 from repro.lattice.polymatroid import LatticeFunction
@@ -78,11 +78,15 @@ def submodularity_algorithm(
             )
     counter = WorkCounter()
     stats = SMAStats(budget_log2=float(h_star.values[lattice.top]))
+    encoded = db.encoded
 
-    # Initial temporary tables: one expanded copy of R_j per multiset item.
+    # Initial temporary tables: one expanded copy of R_j per multiset item
+    # (on the active plane — with a codec every SM-join, light/heavy split
+    # and projection below runs on dictionary codes; ``final_filter`` is
+    # the decode boundary).
     tables: dict[int, Relation] = {}
     for item, name in proof.initial.items():
-        expanded = db.expand_relation(db[name], counter=counter)
+        expanded = db.expand_runtime(name, counter=counter)
         tables[item] = expanded
         _assert_budget(expanded, h_star, inputs[name], lattice, slack_bits)
 
@@ -123,38 +127,32 @@ def submodularity_algorithm(
         )
 
         # T(X∨Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺ (line 9), executed on the
-        # compiled expansion plan for the concatenated (X ++ Y-extra) layout.
+        # compiled expansion plan for the concatenated (X ++ Y-extra)
+        # layout.  The join frontier materializes through the shared
+        # per-key memoized core (``memoized_join_rows`` — the ``keep``
+        # filter is the light-hitter test); counter charges are the
+        # pre-filter match counts, as in the naive loop.
         xy_attrs = lattice.label(xy)
         y_extra = tuple(a for a in t_y.schema if a not in t_x.varset)
         y_lookup_attrs = tuple(a for a in t_y.schema if a in t_x.varset)
-        y_join_index = t_y.index_on(y_lookup_attrs)
-        x_key = tuple_getter(t_x.positions(y_lookup_attrs))
         z_key_of = tuple_getter(z_positions_y)
-        extra_key = tuple_getter(t_y.positions(y_extra))
         out_schema = tuple(sorted(xy_attrs))
-        # Collect the light part of the (T(X) ⋈ T(Y)) frontier, then push
-        # it through the compiled plan in one batch (an empty join never
-        # compiles anything, as in the naive path).
-        rows: list[tuple] = []
-        for t in t_x.tuples:
-            matches = y_join_index.get(x_key(t), ())
-            if not matches:
-                continue
-            counter.add(len(matches))
-            rows.extend(
-                t + extra_key(match)
-                for match in matches
-                if z_key_of(match) in lite_keys
-            )
-        out_tuples: list[tuple] = []
-        if rows:
-            plan = db.expansion_plan(t_x.schema + y_extra, xy_attrs)
-            out_key = tuple_getter(plan.positions(out_schema))
-            out_tuples = [
-                out_key(expanded_row)
-                for expanded_row in plan.execute_batch(rows, counter)
-                if expanded_row is not None
-            ]
+        rows, touched = memoized_join_rows(
+            t_x.tuples,
+            t_x.positions(y_lookup_attrs),
+            t_y.index_on(y_lookup_attrs),
+            tuple_getter(t_y.positions(y_extra)),
+            keep=lambda match: z_key_of(match) in lite_keys,
+        )
+        counter.add(touched)
+        out_tuples = db.expand_rows(
+            rows,
+            t_x.schema + y_extra,
+            xy_attrs,
+            out_schema,
+            counter=counter,
+            encoded=encoded,
+        )
         tables[join_item] = Relation(
             f"T({join_item})", out_schema, out_tuples, distinct=True
         )
@@ -172,7 +170,9 @@ def submodularity_algorithm(
         aligned = rel.project(top_attrs)
         for t in aligned.tuples:
             candidates.setdefault(t, None)
-    result = db.final_filter(top_attrs, candidates, inputs, counter=counter)
+    result = db.final_filter(
+        top_attrs, candidates, inputs, counter=counter, encoded=encoded
+    )
     stats.tuples_touched = counter.tuples_touched
     return Relation("Q", top_attrs, result), stats
 

@@ -1,4 +1,5 @@
-"""Instance generators: product, quasi-product, and adversarial workloads."""
+"""Instance generators: product, quasi-product, adversarial, and
+large-frontier workloads."""
 
 from repro.datagen.product import product_database, random_database
 from repro.datagen.worstcase import (
@@ -8,6 +9,14 @@ from repro.datagen.worstcase import (
     fig4_instance,
     fig9_instance,
     colored_degree_triangle,
+)
+from repro.datagen.large import (
+    composite,
+    large_chain_workload,
+    large_csma_workload,
+    large_cyclic_key_workload,
+    large_generic_workload,
+    large_lftj_workload,
 )
 
 __all__ = [
@@ -19,4 +28,10 @@ __all__ = [
     "fig4_instance",
     "fig9_instance",
     "colored_degree_triangle",
+    "composite",
+    "large_chain_workload",
+    "large_csma_workload",
+    "large_cyclic_key_workload",
+    "large_generic_workload",
+    "large_lftj_workload",
 ]

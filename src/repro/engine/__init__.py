@@ -2,6 +2,7 @@
 
 from repro.engine.relation import Relation
 from repro.engine.database import Database
+from repro.engine.dictionary import Codec, Dictionary
 from repro.engine.expansion_plan import ExpansionPlan, RelationExpansionPlan
 from repro.engine.ops import natural_join, semijoin, project, select_eq, union_all
 from repro.engine.generic_join import generic_join, GenericJoinStats
@@ -16,6 +17,8 @@ from repro.engine.statistics import (
 __all__ = [
     "Relation",
     "Database",
+    "Codec",
+    "Dictionary",
     "ExpansionPlan",
     "RelationExpansionPlan",
     "natural_join",

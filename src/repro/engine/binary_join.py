@@ -42,6 +42,7 @@ def binary_join_plan(
     """
     stats = BinaryJoinStats()
     counter = WorkCounter()
+    encoded = db.encoded
     atom_names = (
         list(order)
         if order is not None
@@ -49,10 +50,12 @@ def binary_join_plan(
             (atom.name for atom in query.atoms), key=lambda n: len(db[n])
         )
     )
-    current = db[atom_names[0]]
+    # The whole plan runs on the active plane (encoded twins when the
+    # database carries a codec); only the terminal relation decodes.
+    current = db.runtime(atom_names[0])
     stats.intermediate_sizes.append(len(current))
     for name in atom_names[1:]:
-        current = natural_join(current, db[name], counter=counter)
+        current = natural_join(current, db.runtime(name), counter=counter)
         stats.intermediate_sizes.append(len(current))
     if apply_fd_filters and set(current.schema) != set(query.variables):
         # Fill UDF-determined variables and drop inconsistent tuples: the
@@ -61,31 +64,40 @@ def binary_join_plan(
         filled = []
         target = frozenset(query.variables)
         if len(current):
-            plan = db.expansion_plan(current.schema, target)
+            plan = db.expansion_plan(current.schema, target, encoded=encoded)
             from repro.engine.expansion_plan import tuple_getter
 
             out_key = tuple_getter(plan.positions(query.variables))
-            consistent = db.udf_filter(plan.out_schema)
+            consistent = db.udf_filter(plan.out_schema, encoded=encoded)
             counter.add(len(current))
             filled = [
                 out_key(expanded)
                 for expanded in plan.execute_batch_columns(
-                    current.columns(), len(current), counter
+                    current.columns(),
+                    len(current),
+                    counter,
+                    all_int=current.columns_all_int(),
                 )
                 if expanded is not None
                 and (consistent is None or consistent(expanded))
             ]
+        if encoded:
+            filled = db.decode_tuples(query.variables, filled)
         current = Relation("Q", query.variables, filled)
     elif apply_fd_filters:
         # Check every fd that has a UDF witness (predicates u = f(x, z)).
-        consistent = db.udf_filter(current.schema)
+        consistent = db.udf_filter(current.schema, encoded=encoded)
         counter.add(len(current))
         if consistent is None:
             kept = list(current.tuples)
         else:
             kept = [t for t in current.tuples if consistent(t)]
+        if encoded:
+            kept = db.decode_tuples(current.schema, kept)
         current = Relation(
             "Q", current.schema, kept, distinct=True
         ).project(query.variables, name="Q")
+    elif encoded:
+        current = db.codec.decode_relation(current, name=current.name)
     stats.tuples_touched = counter.tuples_touched
     return current, stats

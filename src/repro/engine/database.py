@@ -17,15 +17,19 @@ differentially tested for identical outputs *and* identical work counts.
 from __future__ import annotations
 
 import math
+import os
 from typing import Iterable, Mapping, Sequence
 
+from repro.engine.dictionary import Codec
 from repro.engine.expansion_plan import (
     GUARD,
+    GUARD_DENSE,
     UDF as UDF_STEP,
     ExpansionPlan,
     RelationExpansionPlan,
     build_guard_lookup,
     build_multi_guard_lookup,
+    densify_lookup,
     tuple_getter,
 )
 from repro.engine.ops import WorkCounter
@@ -38,8 +42,27 @@ class ExpansionError(RuntimeError):
     """An fd could not be applied: no guard relation and no UDF."""
 
 
+#: Dictionary encoding is the default data plane; ``REPRO_ENCODE=0``
+#: reverts every new Database to the decoded (PR3) kernel.
+_ENCODE_DEFAULT = os.environ.get("REPRO_ENCODE", "").strip().lower() not in (
+    "0", "false", "no", "off"
+)
+
+
 class Database:
-    """Relations + FDs + UDFs + declared degree bounds for one query run."""
+    """Relations + FDs + UDFs + declared degree bounds for one query run.
+
+    When ``encode`` is on (the default), the database owns a
+    :class:`~repro.engine.dictionary.Codec` and every stored relation gets
+    a dictionary-encoded twin at :meth:`add` time.  The engines execute on
+    the encoded plane — :meth:`runtime` relations, ``encoded=True`` plans
+    and filters — and decode only at the final result boundary
+    (:meth:`final_filter` / their terminal output relation).  The public
+    per-tuple/per-relation APIs (:meth:`expand_tuple`,
+    :meth:`expand_relation`) keep decoded-value semantics either way:
+    with a codec they encode on entry and decode on exit, charging the
+    work counter bit-identically (encoding is a bijection).
+    """
 
     def __init__(
         self,
@@ -47,15 +70,23 @@ class Database:
         fds: FDSet | None = None,
         udfs: Iterable[UDF] = (),
         degree_bounds: Mapping[tuple[VarSet, str], int] | None = None,
+        encode: bool | None = None,
     ):
         self.relations: dict[str, Relation] = {}
+        self.codec: Codec | None = (
+            Codec()
+            if (encode if encode is not None else _ENCODE_DEFAULT)
+            else None
+        )
+        self._runtime: dict[str, Relation] = {}
         # Compiled-kernel caches.  Keys incorporate len(fds)/len(udfs) so
         # post-hoc fd/udf registration cannot serve stale plans; adding a
         # relation clears everything (it may become a better guard).
         self._tuple_plans: dict[tuple, ExpansionPlan] = {}
         self._relation_plans: dict[tuple, RelationExpansionPlan] = {}
         self._guard_lookups: dict[tuple, dict] = {}
-        # Keyed on (schema, #udfs) — the salt covers post-hoc registration.
+        # Keyed on (schema, #udfs, plane) — the salt covers post-hoc
+        # registration.
         self._udf_filters: dict[tuple, tuple] = {}
         for rel in relations:
             self.add(rel)
@@ -75,6 +106,13 @@ class Database:
         if relation.name in self.relations:
             raise ValueError(f"duplicate relation {relation.name!r}")
         self.relations[relation.name] = relation
+        if self.codec is not None:
+            # Encode at construction time; interning only appends, so the
+            # codes of previously-added relations are untouched (their
+            # twins, indexes and guard tables stay valid — only the plan
+            # caches below are invalidated, because the new relation may
+            # become a better guard).
+            self._runtime[relation.name] = self.codec.encode_relation(relation)
         self._invalidate_plans()
 
     def _invalidate_plans(self) -> None:
@@ -82,6 +120,22 @@ class Database:
         self._relation_plans.clear()
         self._guard_lookups.clear()
         self._udf_filters.clear()
+
+    @property
+    def encoded(self) -> bool:
+        """Is the dictionary-encoded plane active for this database?"""
+        return self.codec is not None
+
+    def runtime(self, name: str) -> Relation:
+        """The stored relation on the active execution plane: the encoded
+        twin when a codec is installed, the raw relation otherwise."""
+        if self.codec is None:
+            return self.relations[name]
+        return self._runtime[name]
+
+    def decode_tuples(self, schema: Sequence[str], rows) -> list[tuple]:
+        """Decode plane → value tuples (the engines' result boundary)."""
+        return self.codec.decode_tuples(tuple(schema), rows)
 
     def __getitem__(self, name: str) -> Relation:
         return self.relations[name]
@@ -131,20 +185,43 @@ class Database:
         key_attrs: tuple[str, ...],
         value_attrs: tuple[str, ...],
         multi: bool,
+        encoded: bool,
     ) -> dict:
-        key = (guard.name, key_attrs, value_attrs, multi)
+        key = (guard.name, key_attrs, value_attrs, multi, encoded)
         cached = self._guard_lookups.get(key)
         if cached is None:
             build = build_multi_guard_lookup if multi else build_guard_lookup
-            cached = build(guard, key_attrs, value_attrs)
+            source = self.runtime(guard.name) if encoded else guard
+            cached = build(source, key_attrs, value_attrs)
             self._guard_lookups[key] = cached
         return cached
+
+    def _encoded_udf_fn(self, udf: UDF):
+        """``udf.fn`` lifted to the encoded plane: decode the argument
+        codes lazily (a list index per argument — only paid when the
+        genuinely opaque predicate actually runs), apply, intern the
+        result into the output attribute's dictionary."""
+        fn = udf.fn
+        out_encode = self.codec.dictionary(udf.output).encode
+        tables = tuple(self.codec.dictionary(a).values for a in udf.inputs)
+        if not tables:
+            return lambda: out_encode(fn())
+        if len(tables) == 1:
+            (t0,) = tables
+            return lambda a: out_encode(fn(t0[a]))
+        if len(tables) == 2:
+            t0, t1 = tables
+            return lambda a, b: out_encode(fn(t0[a], t1[b]))
+        return lambda *codes: out_encode(
+            fn(*(t[c] for t, c in zip(tables, codes)))
+        )
 
     def _compile_steps(
         self,
         source_schema: tuple[str, ...],
         goal: VarSet,
         relation_mode: bool,
+        encoded: bool = False,
     ) -> tuple[tuple[tuple, ...], tuple[str, ...]]:
         """The symbolic replay shared by tuple and relation plans.
 
@@ -196,11 +273,26 @@ class Database:
                         )
                         new_attrs = tuple(sorted(missing))
                     lookup = self._guard_lookup(
-                        guard, key_attrs, new_attrs, multi=relation_mode
+                        guard,
+                        key_attrs,
+                        new_attrs,
+                        multi=relation_mode,
+                        encoded=encoded,
                     )
-                    steps.append(
-                        (GUARD, tuple(pos[a] for a in key_attrs), lookup)
-                    )
+                    step = (GUARD, tuple(pos[a] for a in key_attrs), lookup)
+                    if (
+                        encoded
+                        and not relation_mode
+                        and len(key_attrs) == 1
+                    ):
+                        # Single-attribute key over a dense code domain:
+                        # the functional lookup flattens to a list index.
+                        table = densify_lookup(
+                            lookup, len(self.codec.dictionary(key_attrs[0]))
+                        )
+                        if table is not None:
+                            step = (GUARD_DENSE, step[1], table)
+                    steps.append(step)
                     for a in new_attrs:
                         pos[a] = len(layout)
                         layout.append(a)
@@ -216,7 +308,8 @@ class Database:
                             (
                                 UDF_STEP,
                                 tuple(pos[a] for a in udf.inputs),
-                                udf.fn,
+                                self._encoded_udf_fn(udf) if encoded
+                                else udf.fn,
                             )
                         )
                         pos[attr] = len(layout)
@@ -235,12 +328,23 @@ class Database:
         return tuple(steps), tuple(layout)
 
     def expansion_plan(
-        self, source_schema: Sequence[str], target: VarSet | None = None
+        self,
+        source_schema: Sequence[str],
+        target: VarSet | None = None,
+        encoded: bool = False,
     ) -> ExpansionPlan:
         """Compile (and cache) the per-tuple expansion plan for a schema,
-        towards ``target`` (default: the closure of the source schema)."""
+        towards ``target`` (default: the closure of the source schema).
+
+        ``encoded=True`` compiles for the dictionary-encoded plane (code
+        inputs, code-keyed guard lookups / dense tables, lazily-decoding
+        UDF steps); the default stays on decoded values, as the public
+        callers and the pinning tests expect.
+        """
         source_schema = tuple(source_schema)
-        key = (source_schema, target, self._plan_salt())
+        if encoded and self.codec is None:
+            raise ValueError("encoded plan requested on a codec-less database")
+        key = (source_schema, target, encoded, self._plan_salt())
         cached = self._tuple_plans.get(key)
         if cached is not None:
             return cached
@@ -250,13 +354,15 @@ class Database:
             else self.fds.closure(frozenset(source_schema))
         )
         steps, layout = self._compile_steps(
-            source_schema, goal, relation_mode=False
+            source_schema, goal, relation_mode=False, encoded=encoded
         )
-        plan = ExpansionPlan(source_schema, layout, steps)
+        plan = ExpansionPlan(source_schema, layout, steps, encoded=encoded)
         self._tuple_plans[key] = plan
         return plan
 
-    def relation_plan(self, source_schema: Sequence[str]) -> RelationExpansionPlan:
+    def relation_plan(
+        self, source_schema: Sequence[str], encoded: bool = False
+    ) -> RelationExpansionPlan:
         """Compile (and cache) the whole-relation expansion plan ``R → R⁺``.
 
         Guard steps replicate the join with ``Π_{X∪Y}(guard)``: the key is
@@ -264,17 +370,59 @@ class Database:
         fd-violating keys contribute one row per distinct image.
         """
         source_schema = tuple(source_schema)
-        key = (source_schema, self._plan_salt())
+        if encoded and self.codec is None:
+            raise ValueError("encoded plan requested on a codec-less database")
+        key = (source_schema, encoded, self._plan_salt())
         cached = self._relation_plans.get(key)
         if cached is not None:
             return cached
         goal = self.fds.closure(frozenset(source_schema))
         steps, layout = self._compile_steps(
-            source_schema, goal, relation_mode=True
+            source_schema, goal, relation_mode=True, encoded=encoded
         )
-        plan = RelationExpansionPlan(source_schema, layout, steps)
+        plan = RelationExpansionPlan(
+            source_schema, layout, steps, encoded=encoded
+        )
         self._relation_plans[key] = plan
         return plan
+
+    def expand_rows(
+        self,
+        rows: list[tuple],
+        source_schema: Sequence[str],
+        target: VarSet,
+        out_schema: Sequence[str],
+        counter: WorkCounter | None = None,
+        encoded: bool = False,
+    ) -> list[tuple]:
+        """Joined rows → expanded-and-reordered output tuples.
+
+        The shared epilogue of SMA's SM-join and CSMA's join rules: push
+        ``rows`` (laid out over ``source_schema``) through the compiled
+        expansion plan toward ``target``, drop dangling rows, and reorder
+        each survivor onto ``out_schema``.  A step-less plan (already
+        closed schema) short-circuits to a C-level reorder — or a
+        pass-through when the reorder is the identity.
+        """
+        if not rows:
+            return []
+        source_schema = tuple(source_schema)
+        out_schema = tuple(out_schema)
+        plan = self.expansion_plan(source_schema, target, encoded=encoded)
+        out_positions = plan.positions(out_schema)
+        if not plan.steps:
+            if (
+                len(out_schema) == len(plan.out_schema)
+                and out_positions == tuple(range(len(out_schema)))
+            ):
+                return rows
+            return list(map(tuple_getter(out_positions), rows))
+        out_key = tuple_getter(out_positions)
+        return [
+            out_key(expanded)
+            for expanded in plan.execute_batch(rows, counter)
+            if expanded is not None
+        ]
 
     # ------------------------------------------------------------------
     # The expansion procedure (Sec. 2)
@@ -291,13 +439,35 @@ class Database:
         grow; tuples with no guard partner are dangling and dropped);
         unguarded fds evaluate their UDF per tuple.
         """
-        plan = self.relation_plan(relation.schema)
+        plan = self.relation_plan(relation.schema, encoded=self.encoded)
         if not plan.steps:
             return relation
-        tuples = plan.execute_all(relation.tuples, counter)
+        source = relation.tuples
+        if self.codec is not None:
+            source = self.codec.encode_relation(relation).tuples
+        tuples = plan.execute_all(source, counter)
+        if self.codec is not None:
+            tuples = self.codec.decode_tuples(plan.out_schema, tuples)
         # Guard steps map each distinct tuple to distinct images and UDF
         # steps are injective, so the output is distinct by provenance.
         return Relation(relation.name, plan.out_schema, tuples, distinct=True)
+
+    def expand_runtime(
+        self, name: str, counter: WorkCounter | None = None
+    ) -> Relation:
+        """R⁺ of a *stored* relation on the active plane (no decode).
+
+        The engines' entry point: with a codec the result stays encoded —
+        its tuples feed indexes, guard probes and plan batches directly,
+        and only each engine's terminal output decodes.  Work counts are
+        bit-identical to :meth:`expand_relation` (encoding is a bijection).
+        """
+        rel = self.runtime(name)
+        plan = self.relation_plan(rel.schema, encoded=self.encoded)
+        if not plan.steps:
+            return rel
+        tuples = plan.execute_all(rel.tuples, counter)
+        return Relation(rel.name, plan.out_schema, tuples, distinct=True)
 
     def expand_tuple(
         self,
@@ -313,10 +483,15 @@ class Database:
         Pure: the caller's ``binding`` is never mutated.
         """
         schema = tuple(binding)
-        plan = self.expansion_plan(schema, target)
-        out = plan.execute(tuple(binding.values()), counter)
+        plan = self.expansion_plan(schema, target, encoded=self.encoded)
+        row = tuple(binding.values())
+        if self.codec is not None:
+            row = self.codec.encode_row(schema, row)
+        out = plan.execute(row, counter)
         if out is None:
             return None
+        if self.codec is not None:
+            out = self.codec.decode_row(plan.out_schema, out)
         return dict(zip(plan.out_schema, out))
 
     # ------------------------------------------------------------------
@@ -341,18 +516,21 @@ class Database:
                 )
         return checks
 
-    def udf_filter(self, schema: Sequence[str]):
+    def udf_filter(self, schema: Sequence[str], encoded: bool = False):
         """Compiled positional predicate ``t -> bool`` for UDF consistency.
 
         Returns ``None`` when no UDF is fully covered by ``schema`` (so
         callers can skip the filter entirely); otherwise a closure testing
         every covered UDF in registration order with unrolled argument
-        extraction.
+        extraction.  With ``encoded=True`` the generated clauses decode
+        each cell through its attribute's dictionary (a list index) before
+        applying the opaque predicate — values are compared, never codes.
         """
-        key = (tuple(schema), len(self.udfs))
+        schema = tuple(schema)
+        key = (schema, len(self.udfs), encoded)
         cached = self._udf_filters.get(key)
         if cached is None:
-            checks = self._udf_check_triples(key[0])
+            checks = self._udf_check_triples(schema)
             if not checks:
                 cached = (None,)
             else:
@@ -362,8 +540,26 @@ class Database:
                 clauses = []
                 for i, (fn, input_positions, output_position) in enumerate(checks):
                     namespace[f"fn{i}"] = fn
-                    args = ", ".join(f"t[{p}]" for p in input_positions)
-                    clauses.append(f"fn{i}({args}) == t[{output_position}]")
+                    if encoded:
+                        for k, p in enumerate(input_positions):
+                            namespace[f"d{i}_{k}"] = self.codec.dictionary(
+                                schema[p]
+                            ).values
+                        namespace[f"o{i}"] = self.codec.dictionary(
+                            schema[output_position]
+                        ).values
+                        args = ", ".join(
+                            f"d{i}_{k}[t[{p}]]"
+                            for k, p in enumerate(input_positions)
+                        )
+                        clauses.append(
+                            f"fn{i}({args}) == o{i}[t[{output_position}]]"
+                        )
+                    else:
+                        args = ", ".join(f"t[{p}]" for p in input_positions)
+                        clauses.append(
+                            f"fn{i}({args}) == t[{output_position}]"
+                        )
                 source = (
                     "def consistent(t):\n    return " + " and ".join(clauses)
                 )
@@ -378,6 +574,7 @@ class Database:
         candidates: Iterable[tuple],
         input_names: Iterable[str],
         counter: WorkCounter | None = None,
+        encoded: bool = False,
     ) -> list[tuple]:
         """Exact final filter: keep candidate tuples (over ``top_attrs``)
         present in every named input relation and UDF-consistent.
@@ -386,29 +583,48 @@ class Database:
         epilogue: membership via each input's full-schema hash index, UDF
         consistency via the compiled checks.  One work-counter touch per
         candidate, as in the naive row-dict filter.
+
+        ``encoded=True`` is the engines' decode boundary: candidates are
+        code tuples, membership probes hit the encoded twins' indexes, and
+        the surviving tuples are decoded back to values on return.
         """
         membership_checks = []
         for name in input_names:
-            rel = self.relations[name]
+            rel = self.runtime(name) if encoded else self.relations[name]
             membership_checks.append(
                 (
-                    rel.index_on(rel.schema),
+                    rel.tuple_set(),
                     tuple_getter(top_attrs.index(a) for a in rel.schema),
                 )
             )
-        consistent = self.udf_filter(top_attrs)
+        consistent = self.udf_filter(top_attrs, encoded=encoded)
         candidates = list(candidates)
         if counter is not None:
             counter.add(len(candidates))
-        result: list[tuple] = []
-        for t in candidates:
-            ok = True
-            for index, key in membership_checks:
-                if key(t) not in index:
-                    ok = False
-                    break
-            if ok and (consistent is None or consistent(t)):
-                result.append(t)
+        # Flatten the membership conjunction into one generated listcomp:
+        # per candidate it costs the key extractions (C itemgetters) and
+        # set probes, no per-check loop frames.  Semantically identical to
+        # the short-circuiting check loop.
+        namespace: dict[str, object] = {}
+        clauses = []
+        for i, (members, key_of) in enumerate(membership_checks):
+            namespace[f"m{i}"], namespace[f"k{i}"] = members, key_of
+            clauses.append(f"k{i}(t) in m{i}")
+        if consistent is not None:
+            namespace["consistent"] = consistent
+            clauses.append("consistent(t)")
+        if clauses:
+            source = (
+                "def keep(ts):\n    return [t for t in ts if "
+                + " and ".join(clauses)
+                + "]"
+            )
+            exec(source, namespace)
+            result = namespace["keep"](candidates)
+        else:
+            result = candidates
+        if encoded:
+            return self.codec.decode_tuples(top_attrs, result)
         return result
 
     def udf_consistent(self, row: Mapping[str, object]) -> bool:

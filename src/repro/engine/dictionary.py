@@ -1,0 +1,173 @@
+"""Dictionary encoding for the columnar data plane.
+
+Every attribute value that flows through the execution kernel is interned
+into a dense non-negative integer *code*, one :class:`Dictionary` per
+attribute domain.  The paper's algorithms never interpret values — they
+hash them (guard probes, index lookups), compare them for equality (joins,
+verification) and order them (trie levels) — so executing on codes is an
+*isomorphic* run: result sets map bijectively and every ``tuples_touched``
+count is bit-identical, while the hot inner operation ("probe a functional
+guard map with a key built from attribute values") degrades from hashing
+arbitrary Python objects to hashing small ints — or, when the key is a
+single attribute over a dense domain, to a flat ``list`` index.
+
+A :class:`Codec` is the per-:class:`~repro.engine.database.Database`
+registry of dictionaries.  It piggybacks on the schema-interning idea of
+:mod:`repro.engine.relation`: attributes are identified by name, so two
+relations sharing an attribute automatically share its dictionary — which
+is exactly what joins require (codes compare equal iff the values do).
+
+Contracts the rest of the engine relies on:
+
+* **Codes are stable.** ``encode`` only appends; adding relations to a
+  database (or interning UDF outputs mid-run) never renumbers existing
+  codes, so cached encoded twins, plans and guard tables stay valid.
+* **Encoding is injective per attribute.** ``decode(encode(v)) == v`` for
+  every interned value (``==``-equal values of different types — ``1`` vs
+  ``1.0`` — share a code and decode to the first-seen representative,
+  matching Python's own dict/set semantics that the raw plane uses too).
+* **The decode boundary is explicit.** Only
+  ``Database.final_filter(..., encoded=True)`` and the engines' terminal
+  ``Relation("Q", ...)`` constructions decode; everything in between runs
+  on codes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.engine.relation import Relation
+
+
+class Dictionary:
+    """An append-only value ↔ dense-code interning table for one domain.
+
+    ``values`` is the decode table (``values[code]`` is the interned
+    value); consumers may capture the list object itself — it grows in
+    place and codes never move.
+    """
+
+    __slots__ = ("values", "_codes")
+
+    def __init__(self) -> None:
+        self.values: list = []
+        self._codes: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def encode(self, value) -> int:
+        """The code of ``value``, interning it on first sight."""
+        codes = self._codes
+        try:
+            return codes[value]
+        except KeyError:
+            code = len(self.values)
+            codes[value] = code
+            self.values.append(value)
+            return code
+
+    def code_of(self, value) -> int | None:
+        """The code of ``value`` without interning (``None`` when unseen)."""
+        return self._codes.get(value)
+
+    def decode(self, code: int):
+        return self.values[code]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Dictionary({len(self.values)} values)"
+
+
+class Codec:
+    """Per-database registry of attribute dictionaries.
+
+    Encoded twins of relations are cached on the relation object itself
+    (keyed by codec identity), so a relation shared between databases, or
+    re-added after a plan invalidation, is encoded exactly once per codec.
+    """
+
+    __slots__ = ("dictionaries",)
+
+    def __init__(self) -> None:
+        self.dictionaries: dict[str, Dictionary] = {}
+
+    def dictionary(self, attr: str) -> Dictionary:
+        d = self.dictionaries.get(attr)
+        if d is None:
+            d = self.dictionaries[attr] = Dictionary()
+        return d
+
+    # -- rows ----------------------------------------------------------
+    def encode_row(self, schema: Sequence[str], row: Sequence) -> tuple:
+        return tuple(
+            self.dictionary(a).encode(v) for a, v in zip(schema, row)
+        )
+
+    def decode_row(self, schema: Sequence[str], row: Sequence) -> tuple:
+        dicts = self.dictionaries
+        return tuple(dicts[a].values[c] for a, c in zip(schema, row))
+
+    def encode_tuples(
+        self, schema: Sequence[str], rows: Iterable[Sequence]
+    ) -> list[tuple]:
+        encoders = [self.dictionary(a).encode for a in schema]
+        return [
+            tuple(e(v) for e, v in zip(encoders, row)) for row in rows
+        ]
+
+    def decode_tuples(
+        self, schema: Sequence[str], rows: Iterable[Sequence]
+    ) -> list[tuple]:
+        tables = [self.dictionary(a).values for a in schema]
+        # Unrolled small widths: result decoding is on the hot boundary
+        # for large outputs, and the generic per-cell genexpr costs ~3x.
+        if len(tables) == 2:
+            t0, t1 = tables
+            return [(t0[a], t1[b]) for a, b in rows]
+        if len(tables) == 3:
+            t0, t1, t2 = tables
+            return [(t0[a], t1[b], t2[c]) for a, b, c in rows]
+        if len(tables) == 4:
+            t0, t1, t2, t3 = tables
+            return [(t0[a], t1[b], t2[c], t3[d]) for a, b, c, d in rows]
+        return [
+            tuple(tbl[c] for tbl, c in zip(tables, row)) for row in rows
+        ]
+
+    # -- relations -----------------------------------------------------
+    def encode_relation(self, relation: Relation) -> Relation:
+        """The encoded twin of ``relation`` (cached on the relation).
+
+        The twin stores encoded tuples *and* its encoded columns (the
+        column-store view is a by-product of the column-wise encode, so
+        :meth:`Relation.columns` on the twin is free), with the all-int
+        column verdict pre-seeded — the numpy guard gate never has to
+        scan an encoded column.
+        """
+        cached = relation.encoded_twin(self)
+        if cached is not None:
+            return cached
+        schema = relation.schema
+        if schema:
+            encoded_columns = tuple(
+                tuple(map(self.dictionary(a).encode, column))
+                for a, column in zip(schema, relation.columns())
+            )
+            rows = list(zip(*encoded_columns)) if relation.tuples else []
+        else:
+            encoded_columns = ()
+            rows = list(relation.tuples)
+        # Encoding is injective per attribute, hence injective on tuples:
+        # the twin inherits distinctness.
+        twin = Relation(relation.name, schema, rows, distinct=True)
+        twin.seed_columns(encoded_columns, all_int=True)
+        relation.cache_encoded_twin(self, twin)
+        return twin
+
+    def decode_relation(self, relation: Relation, name: str | None = None) -> Relation:
+        return Relation(
+            name or relation.name,
+            relation.schema,
+            self.decode_tuples(relation.schema, relation.tuples),
+            distinct=True,
+        )

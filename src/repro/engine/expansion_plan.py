@@ -15,10 +15,16 @@ a flat list of positional steps executed directly on raw tuples.
   maps a key tuple to the new attribute values (precomputed from the guard
   relation, with the fd's "all images agree" consistency verified at build
   time — Sec. 2's guard invariant);
-* a *UDF step* is ``(callable, input positions)`` for unguarded fds.
+* a *dense guard step* (dictionary-encoded plans only) replaces the hash
+  probe with a flat ``list`` index: the key is a single attribute whose
+  code domain is dense, so ``table[code]`` *is* the functional lookup;
+* a *UDF step* is ``(callable, input positions)`` for unguarded fds (on
+  the encoded plane the callable decodes its arguments lazily, applies the
+  opaque predicate, and interns the result — see
+  ``Database._encoded_udf_fn``).
 
 Plans are cached on the :class:`~repro.engine.database.Database` (compiled
-at most once per source schema / target pair) and shared by every
+at most once per source schema / target / plane), and shared by every
 algorithm in ``repro.core``.  Work counters are incremented exactly as in
 the reference path (``repro.engine.reference``): one touch per guarded fd
 application (hit or miss) and one per UDF evaluation — the *measured work
@@ -38,6 +44,7 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 
 GUARD = 0
 UDF = 1
+GUARD_DENSE = 2
 
 
 def _env_int(name: str, default: int) -> int:
@@ -52,11 +59,14 @@ def _env_int(name: str, default: int) -> int:
 #: functional-map application pulls ahead (~1.1-1.2x on guard chains).
 COLUMN_MIN_ROWS = _env_int("REPRO_BATCH_COLUMN_MIN", 32768)
 #: Alive-row count at which a single-attribute integer guard step
-#: deduplicates lookups through numpy (``np.unique`` + gather).  Dict
-#: probes on small int keys are cheaper than the sort, so this is an
-#: opt-in for workloads with fat keys / expensive hashes; lower it via the
-#: environment to engage.
+#: deduplicates lookups through numpy (``np.unique`` + gather) on the
+#: *raw* plane.  Dict probes on small int keys are cheaper than the sort,
+#: so this is an opt-in for workloads with fat keys / expensive hashes.
 NUMPY_MIN_ROWS = _env_int("REPRO_BATCH_NUMPY_MIN", 1 << 20)
+#: The same threshold for dictionary-encoded plans, where keys are ints by
+#: construction (no per-cell gate) — the unique-key path engages by
+#: default on large encoded frontiers.
+NUMPY_MIN_ROWS_ENCODED = _env_int("REPRO_BATCH_NUMPY_MIN_ENCODED", 1 << 16)
 #: The unique-key path engages only when keys repeat at least this often on
 #: average — otherwise the O(m log m) sort buys nothing over m dict probes.
 _DEDUP_PAYOFF = 4
@@ -98,6 +108,23 @@ def fused_udf(fn: Callable, positions: Sequence[int]) -> Callable[[tuple], objec
 INCONSISTENT = object()
 
 
+def densify_lookup(lookup: dict, domain_size: int, slack: int = 8) -> list | None:
+    """A flat decode table for a single-int-key functional lookup.
+
+    Returns ``table`` with ``table[code] = image`` (``None`` for keys not
+    in the guard) when the attribute's code domain is dense enough that
+    the table stays within ``slack``× the number of keys (never below a
+    small floor, so tiny guards always densify); ``None`` when the domain
+    is too sparse for a table to pay off.
+    """
+    if domain_size > max(1024, slack * len(lookup)):
+        return None
+    table: list = [None] * domain_size
+    for (code,), image in lookup.items():
+        table[code] = image
+    return table
+
+
 class ExpansionPlan:
     """A compiled expansion ``source schema → closure/target`` (Sec. 2).
 
@@ -105,12 +132,19 @@ class ExpansionPlan:
 
     * ``(GUARD, key_positions, lookup)`` — probe the functional lookup with
       the positionally-extracted key; append the image values.
+    * ``(GUARD_DENSE, (position,), table)`` — encoded plans only: index a
+      flat list with the single key code (out-of-range codes — values
+      interned after the plan compiled — are misses, like any unseen key).
     * ``(UDF, input_positions, fn)`` — append ``fn(*inputs)``.
 
     ``out_schema`` is the source schema followed by the appended attributes
-    in application order.  ``execute`` is *generated code*: the step list
-    is flattened into one Python function at construction, so per-tuple
-    execution pays a single call frame plus the UDF calls themselves.
+    in application order.  ``encoded`` marks plans compiled for the
+    dictionary-encoded plane: inputs are code tuples, and every column is
+    statically known to be ints (the numpy guard gate never scans).
+
+    ``execute`` is *generated code*: the step list is flattened into one
+    Python function at construction, so per-tuple execution pays a single
+    call frame plus the UDF calls themselves.
 
     ``execute_batch`` runs the plan over a whole frontier at once: small
     batches go through a generated loop (the row-loop fallback, one call
@@ -123,8 +157,8 @@ class ExpansionPlan:
     """
 
     __slots__ = (
-        "source_schema", "out_schema", "steps", "_positions", "execute",
-        "_execute_batch_rows",
+        "source_schema", "out_schema", "steps", "encoded", "_positions",
+        "execute", "_execute_batch_rows",
     )
 
     def __init__(
@@ -132,10 +166,12 @@ class ExpansionPlan:
         source_schema: tuple[str, ...],
         out_schema: tuple[str, ...],
         steps: tuple[tuple, ...],
+        encoded: bool = False,
     ):
         self.source_schema = source_schema
         self.out_schema = out_schema
         self.steps = steps
+        self.encoded = encoded
         self._positions = {a: i for i, a in enumerate(out_schema)}
         self.execute = self._compile()
         self._execute_batch_rows = self._compile_batch()
@@ -163,6 +199,14 @@ class ExpansionPlan:
                 namespace[f"lookup{i}"] = payload
                 key = f"({cells},)" if len(positions) == 1 else f"({cells})"
                 lines.append(f"    v = lookup{i}.get({key})")
+                lines.append("    if v is None or v is INCONSISTENT: return None")
+                lines.append("    t = t + v")
+            elif tag == GUARD_DENSE:
+                namespace[f"table{i}"] = payload
+                lines.append(f"    c = t[{positions[0]}]")
+                lines.append(
+                    f"    v = table{i}[c] if c < {len(payload)} else None"
+                )
                 lines.append("    if v is None or v is INCONSISTENT: return None")
                 lines.append("    t = t + v")
             else:
@@ -195,13 +239,20 @@ class ExpansionPlan:
                 namespace[f"lookup{i}"] = payload
                 key = f"({cells},)" if len(positions) == 1 else f"({cells})"
                 lines.append(f"        v = lookup{i}.get({key})")
-                lines.append("        if v is None or v is INCONSISTENT:")
-                lines.append("            append(None)")
-                lines.append("            continue")
-                lines.append("        t = t + v")
+            elif tag == GUARD_DENSE:
+                namespace[f"table{i}"] = payload
+                lines.append(f"        c = t[{positions[0]}]")
+                lines.append(
+                    f"        v = table{i}[c] if c < {len(payload)} else None"
+                )
             else:
                 namespace[f"fn{i}"] = payload
                 lines.append(f"        t = t + (fn{i}({cells}),)")
+                continue
+            lines.append("        if v is None or v is INCONSISTENT:")
+            lines.append("            append(None)")
+            lines.append("            continue")
+            lines.append("        t = t + v")
         lines.append("        append(t)")
         lines.append("    if counter is not None and touched:")
         lines.append("        counter.add(touched)")
@@ -218,10 +269,16 @@ class ExpansionPlan:
         """
         if not isinstance(tuples, (list, tuple)):
             tuples = list(tuples)
+        if not self.steps:
+            # Nothing to apply: the aligned output IS the input (a plan
+            # over an already-closed schema).  One C-level copy, no
+            # generated loop, no counter charges — as the step-less
+            # row-loop would (zero touches).
+            return list(tuples)
         n = len(tuples)
         if n == 0:
             return []
-        if n < COLUMN_MIN_ROWS or not self.steps:
+        if n < COLUMN_MIN_ROWS:
             return self._execute_batch_rows(tuples, counter)
         # Column extraction via itemgetter maps: C-level per column, and
         # much cheaper than a zip(*rows) star-unpack on large frontiers.
@@ -231,27 +288,56 @@ class ExpansionPlan:
         ]
         return self._execute_columns(cols, n, counter)
 
-    def execute_batch_columns(self, columns, n: int, counter=None) -> list:
+    def execute_batch_columns(
+        self, columns, n: int, counter=None, all_int=None
+    ) -> list:
         """Batch entry point for callers that already hold a column-store
-        (:meth:`repro.engine.relation.Relation.columns`)."""
+        (:meth:`repro.engine.relation.Relation.columns`).
+
+        ``all_int`` is the caller's memoized per-column verdict
+        (:meth:`repro.engine.relation.Relation.columns_all_int`) so the
+        numpy guard gate never re-scans a cached column.
+        """
         if n == 0:
             return []
         if n < COLUMN_MIN_ROWS or not self.steps:
             rows = list(zip(*columns)) if columns else [()] * n
             return self._execute_batch_rows(rows, counter)
-        return self._execute_columns(list(columns), n, counter)
+        return self._execute_columns(list(columns), n, counter, all_int)
 
-    def _execute_columns(self, cols: list, n: int, counter=None) -> list:
+    def _execute_columns(
+        self, cols: list, n: int, counter=None, all_int=None
+    ) -> list:
         """Columnwise plan execution over ``cols`` (one sequence per source
         attribute, ``n`` rows).
 
         Guard steps apply their functional map down the key column with
-        ``map(lookup.get, zip(...))`` (C-level iteration); misses compress
-        the store so dead rows never reach a UDF.  Large integer-keyed
-        steps deduplicate probes through numpy (one dict probe per distinct
-        key).  Work accounting: each step charges the rows alive when it
-        runs — summed over rows, exactly the per-tuple prefix counts.
+        ``map(lookup.get, zip(...))`` (C-level iteration); dense guard
+        steps index their flat table directly; misses compress the store
+        so dead rows never reach a UDF.  Large integer-keyed steps
+        deduplicate probes through numpy (one dict probe per distinct
+        key); the per-column "all ints" verdict is memoized in
+        ``int_known`` (statically ``True`` on encoded plans) rather than
+        re-scanned per call.  Work accounting: each step charges the rows
+        alive when it runs — summed over rows, exactly the per-tuple
+        prefix counts.
         """
+        # Per-column int verdict: True/False known, None = not yet checked.
+        if self.encoded:
+            int_known: list = [True] * len(cols)
+        elif all_int is not None:
+            int_known = list(all_int[: len(cols)])
+        else:
+            int_known = [None] * len(cols)
+
+        def col_is_int(j: int) -> bool:
+            verdict = int_known[j]
+            if verdict is None:
+                verdict = int_known[j] = all(
+                    type(v) is int for v in cols[j]
+                )
+            return verdict
+
         touched = 0
         alive: list[int] | None = None  # None = all n input rows alive
         m = n
@@ -259,8 +345,10 @@ class ExpansionPlan:
             if m == 0:
                 break
             touched += m
-            if tag == GUARD:
-                images = self._guard_images(cols, positions, payload, m)
+            if tag != UDF:
+                images = self._guard_images(
+                    cols, positions, payload, m, tag, col_is_int
+                )
                 miss = False
                 for v in images:
                     if v is None or v is INCONSISTENT:
@@ -280,11 +368,16 @@ class ExpansionPlan:
                         break
                 for j in range(len(images[0])):
                     cols.append(list(map(itemgetter(j), images)))
+                    # Guard images on the encoded plane are code tuples;
+                    # raw-plane image columns are checked lazily if a
+                    # later step keys on them.
+                    int_known.append(True if self.encoded else None)
             else:
                 if positions:
                     cols.append(list(map(payload, *(cols[p] for p in positions))))
                 else:
                     cols.append([payload() for _ in range(m)])
+                int_known.append(True if self.encoded else None)
         if counter is not None and touched:
             counter.add(touched)
         out: list = [None] * n
@@ -296,15 +389,25 @@ class ExpansionPlan:
                 out[i] = row
         return out
 
-    @staticmethod
-    def _guard_images(cols, positions, lookup, m: int) -> list:
+    def _guard_images(
+        self, cols, positions, payload, m: int, tag, col_is_int
+    ) -> list:
         """The guard's functional map applied down the key column(s)."""
+        if tag == GUARD_DENSE:
+            table = payload
+            size = len(table)
+            col = cols[positions[0]]
+            return [table[c] if c < size else None for c in col]
+        lookup = payload
         if len(positions) == 1:
             col = cols[positions[0]]
+            threshold = (
+                NUMPY_MIN_ROWS_ENCODED if self.encoded else NUMPY_MIN_ROWS
+            )
             if (
                 _np is not None
-                and m >= NUMPY_MIN_ROWS
-                and all(type(v) is int for v in col)
+                and m >= threshold
+                and col_is_int(positions[0])
             ):
                 try:
                     arr = _np.fromiter(col, dtype=_np.int64, count=m)
@@ -323,24 +426,27 @@ class ExpansionPlan:
 class RelationExpansionPlan:
     """A compiled whole-relation expansion ``R → R⁺`` (Sec. 2).
 
-    Same step vocabulary as :class:`ExpansionPlan`, but guard steps carry a
-    *multi-image* lookup (key → tuple of distinct images) replicating the
-    set semantics of joining with ``Π_{X∪Y}(guard)``: dangling tuples are
-    dropped and an fd-violating guard key contributes one output row per
-    distinct image, exactly as the reference join does.
+    Same step vocabulary as :class:`ExpansionPlan` (minus the dense-table
+    specialization), but guard steps carry a *multi-image* lookup (key →
+    tuple of distinct images) replicating the set semantics of joining
+    with ``Π_{X∪Y}(guard)``: dangling tuples are dropped and an
+    fd-violating guard key contributes one output row per distinct image,
+    exactly as the reference join does.
     """
 
-    __slots__ = ("source_schema", "out_schema", "steps", "_compiled")
+    __slots__ = ("source_schema", "out_schema", "steps", "encoded", "_compiled")
 
     def __init__(
         self,
         source_schema: tuple[str, ...],
         out_schema: tuple[str, ...],
         steps: tuple[tuple, ...],
+        encoded: bool = False,
     ):
         self.source_schema = source_schema
         self.out_schema = out_schema
         self.steps = steps
+        self.encoded = encoded
         self._compiled = tuple(
             (tag, tuple_getter(positions) if tag == GUARD
              else fused_udf(payload, positions), payload)
@@ -383,7 +489,25 @@ def build_guard_lookup(
     disagree on the image map to :data:`INCONSISTENT` (the per-tuple
     expansion then treats them as dangling).  O(|guard|) once, O(1) per
     probed tuple thereafter.
+
+    When the guard already holds its columnar view (encoded twins always
+    do), the lookup builds in one C pass — ``dict(zip(keys, images))`` —
+    and the build is done if every key was unique (a unique-keyed guard
+    is trivially consistent).  Duplicate keys fall back to the
+    bucket-checking build.
     """
+    columns = guard.cached_columns()
+    if columns is not None and guard.tuples:
+        key_positions = guard.positions(key_attrs)
+        value_positions = guard.positions(value_attrs)
+        lookup = dict(
+            zip(
+                zip(*(columns[p] for p in key_positions)),
+                zip(*(columns[p] for p in value_positions)),
+            )
+        )
+        if len(lookup) == len(guard.tuples):
+            return lookup
     index = guard.index_on(key_attrs)
     value_positions = guard.positions(value_attrs)
     lookup: dict[tuple, object] = {}

@@ -58,7 +58,10 @@ def generic_join(
     if set(order) != set(query.variables):
         raise ValueError("order must be a permutation of the query variables")
     stats = GenericJoinStats(per_depth=[0] * len(order))
-    relations = {atom.name: db[atom.name] for atom in query.atoms}
+    encoded = db.encoded
+    # Prefixes, candidate probes and verification all run on the active
+    # plane (encoded twins when the database carries a codec).
+    relations = {atom.name: db.runtime(atom.name) for atom in query.atoms}
 
     # Per-depth compiled access paths.  ``choose``: key positions in the
     # prefix + candidate-value position per atom containing the variable,
@@ -97,12 +100,22 @@ def generic_join(
                 for a in rel.schema
                 if (a in bound_set or a == var) and a in atom.varset
             )
+            # Verification is membership-only: probe the relation's
+            # C-built key set (bare values for single-attribute keys — no
+            # 1-tuple allocation per probe), deferred to first use.
             verify_atoms.append(
                 [
                     rel,
                     vattrs,
-                    tuple_getter(extended_attrs.index(a) for a in vattrs),
-                    None,  # index, built on first probe
+                    (
+                        extended_attrs.index(vattrs[0])
+                        if len(vattrs) == 1
+                        else tuple_getter(
+                            extended_attrs.index(a) for a in vattrs
+                        )
+                    ),
+                    len(vattrs) == 1,
+                    None,  # key set, built on first probe
                 ]
             )
         choose_paths.append(choose_atoms)
@@ -112,15 +125,18 @@ def generic_join(
         )
         plans.append(None)  # expansion plans compile lazily per depth
 
-    consistent = db.udf_filter(order)
+    consistent = db.udf_filter(order, encoded=encoded)
 
     def verify_binding(candidate: tuple, depth: int) -> bool:
         """Check the new value against every atom fully bound so far."""
         for path in verify_paths[depth]:
-            index = path[3]
-            if index is None:
-                index = path[3] = path[0].index_on(path[1])
-            if path[2](candidate) not in index:
+            keys = path[4]
+            if keys is None:
+                keys = path[4] = path[0].key_set(path[1])
+            if path[3]:
+                if candidate[path[2]] not in keys:
+                    return False
+            elif path[2](candidate) not in keys:
                 return False
         return True
 
@@ -137,7 +153,9 @@ def generic_join(
             plan = plans[depth]
             if plan is None:
                 plan = plans[depth] = db.expansion_plan(
-                    order[:depth], frozenset(order[:depth]) | {var}
+                    order[:depth],
+                    frozenset(order[:depth]) | {var},
+                    encoded=encoded,
                 )
             n = len(frontier)
             stats.per_depth[depth] += n
@@ -161,6 +179,9 @@ def generic_join(
             )
         next_frontier: list[tuple] = []
         append = next_frontier.append
+        # Per-depth counter charges accumulate locally and post once —
+        # the total is bit-identical to the per-prefix ``add`` calls.
+        touched = 0
         for prefix in frontier:
             # Choose the atom with the fewest matching extensions.
             best = None
@@ -175,10 +196,7 @@ def generic_join(
             matches = best[4].get(best[2](prefix), ())
             if not matches:
                 continue
-            stats.tuples_touched += len(matches)
-            stats.per_depth[depth] += len(matches)
-            if counter is not None:
-                counter.add(len(matches))
+            touched += len(matches)
             var_position = best[3]
             seen: set = set()
             for t in matches:
@@ -189,12 +207,18 @@ def generic_join(
                 candidate = prefix + (value,)
                 if verify_binding(candidate, depth):
                     append(candidate)
+        stats.tuples_touched += touched
+        stats.per_depth[depth] += touched
+        if counter is not None and touched:
+            counter.add(touched)
         frontier = next_frontier
 
     if consistent is None:
         results = frontier
     else:
         results = [t for t in frontier if consistent(t)]
+    if encoded:
+        results = db.decode_tuples(order, results)
     out = Relation("Q", order, results)
     stats.intermediate_peak = len(out)
     return out, stats

@@ -33,15 +33,25 @@ from repro.query.query import Query
 
 
 class TrieIndex:
-    """A sorted nested-dict trie over a relation in a fixed attribute order."""
+    """A sorted nested-dict trie over a relation in a fixed attribute order.
 
-    def __init__(self, relation: Relation, order: Sequence[str]):
+    ``int_keys=True`` (the dictionary-encoded plane) declares every level
+    key a plain int: levels sort and seek on the codes directly, skipping
+    the heterogeneous ``_sort_key`` wrapper — no per-comparison tuple
+    allocation, and ``seek`` bisects the key list itself.
+    """
+
+    def __init__(
+        self, relation: Relation, order: Sequence[str], int_keys: bool = False
+    ):
         order = tuple(a for a in order if a in relation.varset)
         if set(order) != set(relation.schema):
             raise ValueError(
                 f"trie order {order} must cover schema {relation.schema}"
             )
         self.order = order
+        self.int_keys = int_keys
+        self.key_fn = _identity if int_keys else _sort_key
         positions = relation.positions(order)
         root: dict = {}
         for t in relation.tuples:
@@ -53,11 +63,15 @@ class TrieIndex:
 
     def _sort(self, node: dict) -> dict:
         """Recursively replace dicts by (sorted keys, children) pairs."""
-        keys = sorted(node, key=_sort_key)
+        keys = sorted(node) if self.int_keys else sorted(node, key=_sort_key)
         return {
             "keys": keys,
             "children": {k: self._sort(node[k]) for k in keys},
         }
+
+
+def _identity(value):
+    return value
 
 
 def _sort_key(value):
@@ -113,9 +127,14 @@ class TrieIterator:
         """Advance to the least key >= target (galloping via bisect)."""
         parent = self.path[-2]
         keys = parent["keys"]
-        lo = bisect.bisect_left(
-            [_sort_key(k) for k in keys], _sort_key(target), self.positions[-1]
-        )
+        if self.index.int_keys:
+            lo = bisect.bisect_left(keys, target, self.positions[-1])
+        else:
+            lo = bisect.bisect_left(
+                [_sort_key(k) for k in keys],
+                _sort_key(target),
+                self.positions[-1],
+            )
         self.positions[-1] = lo
         if not self.at_end():
             self.path[-1] = parent["children"][keys[lo]]
@@ -125,12 +144,13 @@ def leapfrog_intersection(iterators: list[TrieIterator], emit) -> None:
     """The k-way leapfrog: emit every key present in all iterators."""
     if any(it.at_end() for it in iterators):
         return
-    iterators = sorted(iterators, key=lambda it: _sort_key(it.key()))
+    key_fn = iterators[0].index.key_fn
+    iterators = sorted(iterators, key=lambda it: key_fn(it.key()))
     p = 0
     while True:
         lowest = iterators[p]
         highest = iterators[p - 1]
-        if _sort_key(lowest.key()) == _sort_key(highest.key()):
+        if key_fn(lowest.key()) == key_fn(highest.key()):
             emit(lowest.key())
             lowest.next()
             if lowest.at_end():
@@ -174,10 +194,16 @@ def leapfrog_triejoin(
     use_reference = expansion == "reference"
     if use_reference:
         from repro.engine.reference import reference_expand_tuple
+    # The compiled-plan substrate rides the active data plane (encoded
+    # twins + int-keyed tries when the database carries a codec); the
+    # reference substrate stays on decoded values — it *is* the
+    # decoded-value specification the differential suite compares against.
+    encoded = db.encoded and not use_reference
     stats = LeapfrogStats()
     tries: dict[str, TrieIndex] = {}
     for atom in query.atoms:
-        tries[atom.name] = TrieIndex(db[atom.name], order)
+        source = db.runtime(atom.name) if encoded else db.relations[atom.name]
+        tries[atom.name] = TrieIndex(source, order, int_keys=encoded)
     # For each variable: atoms whose trie has a level for it, and the level.
     var_atoms: dict[str, list[str]] = {
         v: [
@@ -196,7 +222,7 @@ def leapfrog_triejoin(
         for depth, var in enumerate(order)
     ]
     plans: list = [None] * n_vars
-    consistent = db.udf_filter(order)
+    consistent = db.udf_filter(order, encoded=encoded)
     results: list[tuple] = []
 
     def bind_determined(depth: int, prefix: tuple):
@@ -213,7 +239,9 @@ def leapfrog_triejoin(
         plan = plans[depth]
         if plan is None:
             plan = plans[depth] = db.expansion_plan(
-                order[:depth], frozenset(order[:depth]) | {order[depth]}
+                order[:depth],
+                frozenset(order[:depth]) | {order[depth]},
+                encoded=encoded,
             )
         extended = plan.execute(prefix, counter)
         # The plan appends exactly {var}: extended IS prefix + (value,).
@@ -238,9 +266,10 @@ def leapfrog_triejoin(
             ok = True
             for name in names:
                 it = open_iters[name]
+                kf = it.index.key_fn
                 it.open()
                 it.seek(value)
-                if it.at_end() or _sort_key(it.key()) != _sort_key(value):
+                if it.at_end() or kf(it.key()) != kf(value):
                     it.up()
                     ok = False
                     break
@@ -281,4 +310,6 @@ def leapfrog_triejoin(
     }
     if all(len(db[atom.name]) for atom in query.atoms):
         descend(0, (), open_iters)
+    if encoded:
+        results = db.decode_tuples(order, results)
     return Relation("Q", order, results), stats

@@ -29,6 +29,50 @@ class WorkCounter:
         self.tuples_touched += amount
 
 
+def memoized_join_rows(
+    left_tuples,
+    left_positions: Sequence[int],
+    guard_index: dict,
+    extra_key,
+    keep=None,
+) -> tuple[list[tuple], int]:
+    """``(left ⋈ guard)`` row materialization with per-key extras memo.
+
+    The shared core of SMA's SM-join and CSMA's CC/SM joins: probe the
+    guard index with the left tuple's key (inlined 1-tuple build for the
+    common single-attribute key), extract the guard's extension columns
+    once per distinct key (``keep`` optionally filters matches, e.g.
+    SMA's light-hitter test), and concatenate rows via C-level
+    ``tuple.__add__``.
+
+    Returns ``(rows, touched)`` where ``touched`` counts every index
+    match *before* the ``keep`` filter — exactly the per-tuple charges of
+    the naive join loop, so callers post it to their counter in one add.
+    """
+    from repro.engine.expansion_plan import tuple_getter
+
+    rows: list[tuple] = []
+    touched = 0
+    extras_memo: dict[tuple, list[tuple]] = {}
+    single = left_positions[0] if len(left_positions) == 1 else None
+    left_key = tuple_getter(left_positions) if single is None else None
+    for t in left_tuples:
+        key = (t[single],) if single is not None else left_key(t)
+        matches = guard_index.get(key)
+        if not matches:
+            continue
+        touched += len(matches)
+        extras = extras_memo.get(key)
+        if extras is None:
+            extras = extras_memo[key] = [
+                extra_key(m)
+                for m in matches
+                if keep is None or keep(m)
+            ]
+        rows.extend(map(t.__add__, extras))
+    return rows, touched
+
+
 def project(relation: Relation, attrs: Sequence[str]) -> Relation:
     return relation.project(attrs)
 

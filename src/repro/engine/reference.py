@@ -8,6 +8,15 @@ differential property tests in ``tests/test_kernel_equivalence.py`` assert
 that kernel and reference produce identical output relations **and**
 identical ``tuples_touched`` on randomized instances.
 
+The reference runs on **decoded values only** — it probes the raw stored
+relations (``db.relations``), never the dictionary-encoded twins.  That is
+deliberate: the encoded kernel is differentially tested *against this
+module* (``tests/differential.py::assert_batch_backend_equivalence`` and
+the decoded-plane engine variants), so the spec must stay independent of
+the encoding it validates.  Encoding is a per-attribute bijection, so
+every count below is provably identical across planes: a guard probe hits
+iff the code probe hits, and emitted-row multisets map one-to-one.
+
 Counter accounting contract (shared by both paths):
 
 * guarded fd application on one tuple — 1 touch, hit or miss;

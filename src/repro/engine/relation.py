@@ -70,7 +70,8 @@ class Relation:
 
     __slots__ = (
         "name", "schema", "tuples", "_indexes", "_positions", "_varset",
-        "_projections", "_columns",
+        "_projections", "_columns", "_columns_all_int", "_twins",
+        "_tuple_set", "_key_sets",
     )
 
     def __init__(
@@ -111,6 +112,10 @@ class Relation:
         self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
         self._projections: "OrderedDict[tuple, Relation]" = OrderedDict()
         self._columns: tuple[tuple, ...] | None = None
+        self._columns_all_int: tuple[bool, ...] | None = None
+        self._twins: dict[int, tuple] | None = None
+        self._tuple_set: set | None = None
+        self._key_sets: dict[tuple, set] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -120,8 +125,45 @@ class Relation:
         return iter(self.tuples)
 
     def __contains__(self, t: tuple) -> bool:
-        index = self.index_on(self.schema)
-        return tuple(t) in index
+        return tuple(t) in self.tuple_set()
+
+    def tuple_set(self) -> set:
+        """The tuples as a cached set — the membership structure.
+
+        A full-schema hash index has singleton buckets; everything that
+        only asks "is this row present?" (final filters, the chain
+        algorithm's footnote-8 check, ``in``) probes this set instead:
+        construction is one C-level pass and probes skip the bucket
+        indirection.
+        """
+        if self._tuple_set is None:
+            self._tuple_set = set(self.tuples)
+        return self._tuple_set
+
+    def key_set(self, attrs: Sequence[str]) -> set:
+        """The distinct keys on ``attrs`` as a cached set (C-level build).
+
+        The membership-only counterpart of :meth:`index_on` — verification
+        probes ("does any tuple match this key?") need no buckets.  For a
+        single attribute the set holds *bare* values (probe with
+        ``t[pos]``, no 1-tuple allocation); for several it holds key
+        tuples in ``attrs`` order.
+        """
+        key = tuple(attrs)
+        if self._key_sets is None:
+            self._key_sets = {}
+        cached = self._key_sets.get(key)
+        if cached is not None:
+            return cached
+        from operator import itemgetter
+
+        positions = self.positions(key)
+        if len(positions) == 1:
+            keys = set(map(itemgetter(positions[0]), self.tuples))
+        else:
+            keys = set(map(itemgetter(*positions), self.tuples))
+        self._key_sets[key] = keys
+        return keys
 
     @property
     def varset(self) -> frozenset:
@@ -149,6 +191,60 @@ class Relation:
             )
         return self._columns
 
+    def cached_columns(self) -> tuple[tuple, ...] | None:
+        """The columnar view if already materialized, else ``None``.
+
+        For fast paths that profit from columns but should not pay the
+        transposition just to find out (encoded twins always have them).
+        """
+        return self._columns
+
+    def columns_all_int(self) -> tuple[bool, ...]:
+        """Per-column "every cell is an int" verdict, memoized on the
+        cached columnar view.
+
+        The batched guard backend consults this instead of re-scanning
+        ``type(v) is int`` per cell on every call; encoded twins are
+        seeded ``True`` without a scan (codes are ints by construction).
+        """
+        if self._columns_all_int is None:
+            self._columns_all_int = tuple(
+                all(type(v) is int for v in column)
+                for column in self.columns()
+            )
+        return self._columns_all_int
+
+    # ------------------------------------------------------------------
+    # The encoded twin hooks (see repro.engine.dictionary)
+    # ------------------------------------------------------------------
+    def seed_columns(
+        self, columns: tuple[tuple, ...], all_int: bool = False
+    ) -> None:
+        """Install a pre-built columnar view (and its all-int verdict).
+
+        Used by the dictionary encoder, whose column-wise encode produces
+        the column-store as a by-product.
+        """
+        self._columns = columns
+        if all_int:
+            self._columns_all_int = (True,) * len(self.schema)
+
+    def encoded_twin(self, codec) -> "Relation | None":
+        """The cached encoded twin for ``codec``, if one was built."""
+        if self._twins is None:
+            return None
+        entry = self._twins.get(id(codec))
+        return entry[1] if entry is not None else None
+
+    def cache_encoded_twin(self, codec, twin: "Relation") -> None:
+        """Cache ``twin`` keyed by codec identity (the codec object is
+        retained so the ``id`` key cannot be recycled)."""
+        if self._twins is None:
+            self._twins = {}
+        self._twins[id(codec)] = (codec, twin)
+        if len(self._twins) > 4:
+            self._twins.pop(next(iter(self._twins)))
+
     # ------------------------------------------------------------------
     # Indexing / degrees
     # ------------------------------------------------------------------
@@ -158,14 +254,64 @@ class Relation:
         cached = self._indexes.get(key)
         if cached is not None:
             return cached
-        from repro.engine.expansion_plan import tuple_getter
-
-        extract = tuple_getter(self.positions(key))
         index: dict[tuple, list[tuple]] = {}
         setdefault = index.setdefault
-        for t in self.tuples:
-            setdefault(extract(t), []).append(t)
+        if len(key) == 1:
+            (p,) = self.positions(key)
+            grouped = self._group_int_column(p)
+            if grouped is not None:
+                self._indexes[key] = grouped
+                return grouped
+            # Inline the 1-tuple key build: no per-row lambda frame.
+            for t in self.tuples:
+                setdefault((t[p],), []).append(t)
+        else:
+            from repro.engine.expansion_plan import tuple_getter
+
+            extract = tuple_getter(self.positions(key))
+            for t in self.tuples:
+                setdefault(extract(t), []).append(t)
         self._indexes[key] = index
+        return index
+
+    def _group_int_column(self, p: int) -> dict[tuple, list[tuple]] | None:
+        """Sort-based index build for a single all-int column via numpy.
+
+        A stable argsort groups equal codes contiguously; buckets are then
+        C-level list slices instead of per-row ``setdefault`` calls.  Only
+        engaged on large relations whose column is statically (or
+        memoized) all-int — dictionary-encoded twins always qualify.
+        Bucket-internal order stays insertion order (stable sort), like
+        the hash build.  Only relations that already hold their columnar
+        view qualify (encoded twins precompute it): forcing a transpose
+        just to index would cost more than the hash build saves.
+        """
+        if (
+            self._columns is None
+            or len(self.tuples) < 4096
+            or not self.columns_all_int()[p]
+        ):
+            return None
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - the image bakes numpy in
+            return None
+        col = self._columns[p]
+        try:
+            arr = np.fromiter(col, dtype=np.int64, count=len(col))
+        except OverflowError:
+            return None
+        order = np.argsort(arr, kind="stable")
+        sorted_codes = arr[order]
+        boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        tuples = self.tuples
+        ordered = [tuples[i] for i in order.tolist()]
+        index: dict[tuple, list[tuple]] = {}
+        start = 0
+        for end in boundaries.tolist():
+            index[(int(sorted_codes[start]),)] = ordered[start:end]
+            start = end
+        index[(int(sorted_codes[start]),)] = ordered[start:]
         return index
 
     def seed_index(

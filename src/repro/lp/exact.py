@@ -186,7 +186,7 @@ _DEGENERATE_PIVOT_SLACK = 64
 
 
 class _Tableau:
-    """Dense simplex tableau for the standard form ``M z = b, z >= 0``.
+    """Sparse-row simplex tableau for the standard form ``M z = b, z >= 0``.
 
     Columns: the n structural variables, one slack per ``<=`` row, then one
     artificial per row that needed one (rows are sign-normalized to
@@ -194,15 +194,26 @@ class _Tableau:
     barred from re-entering — because the dual vector is read off them:
     the artificial for row i is the i-th unit column, so ``c_B B^{-1} e_i``
     is one dot product against it.
+
+    Rows are stored as ``{column: Fraction}`` dicts of their *nonzeros*
+    (the right-hand sides live in the parallel ``rhs`` list), and every
+    operation — pivoting, pricing, ratio tests, dual extraction — walks
+    nonzeros only.  The lattice programs this solves are naturally sparse
+    (a CLLP row touches two or three lattice elements out of dozens), so
+    the dense formulation paid for a quadratic tableau of exact-Fraction
+    zeros; the sparse one cuts the big-lattice no-scipy solves without
+    moving a single pivot: entering/leaving choices iterate columns in the
+    same order as the dense code, so the pivot trajectory — and therefore
+    every certificate — is unchanged.
     """
 
     def __init__(self, program: ExactLP):
         n = program.n_vars
         ub_rows = [
-            (list(row), rhs, "ub") for row, rhs in zip(program.a_ub, program.b_ub)
+            (row, rhs, "ub") for row, rhs in zip(program.a_ub, program.b_ub)
         ]
         eq_rows = [
-            (list(row), rhs, "eq") for row, rhs in zip(program.a_eq, program.b_eq)
+            (row, rhs, "eq") for row, rhs in zip(program.a_eq, program.b_eq)
         ]
         all_rows = ub_rows + eq_rows
         m = len(all_rows)
@@ -212,17 +223,19 @@ class _Tableau:
         self.flip: list[int] = []
         # Column layout: x | slacks | artificials (allocated lazily).
         width = n + n_slack
-        rows: list[list[Fraction]] = []
+        rows: list[dict[int, Fraction]] = []
+        rhs_col: list[Fraction] = []
         basis: list[int] = []
         art_cols: list[int | None] = []
         needs_art: list[int] = []
         for i, (coeffs, rhs, kind) in enumerate(all_rows):
             sigma = -1 if rhs < 0 else 1
             self.flip.append(sigma)
-            row = [sigma * c for c in coeffs] + [Fraction(0)] * n_slack
+            row = {j: sigma * c for j, c in enumerate(coeffs) if c}
             if kind == "ub":
                 row[n + i] = Fraction(sigma)
-            rows.append(row + [sigma * rhs])
+            rows.append(row)
+            rhs_col.append(sigma * rhs)
             if kind == "ub" and sigma == 1:
                 basis.append(n + i)  # slack basis, no artificial needed
                 art_cols.append(None)
@@ -234,53 +247,66 @@ class _Tableau:
             col = width + k
             art_cols[i] = col
             basis[i] = col
-        n_art = len(needs_art)
-        for row in rows:
-            rhs = row.pop()
-            row.extend([Fraction(0)] * n_art)
-            row.append(rhs)
-        for i in needs_art:
-            rows[i][art_cols[i]] = Fraction(1)
+            rows[i][col] = Fraction(1)
         self.rows = rows
+        self.rhs = rhs_col
         self.basis = basis
         self.art_cols = art_cols
         self.n_real = width  # structural + slack columns
-        self.n_cols = width + n_art
+        self.n_cols = width + len(needs_art)
         self.alive = [True] * m  # redundant rows get retired after phase 1
 
     # -- pivoting ------------------------------------------------------
     def pivot(self, row: int, col: int) -> None:
         rows = self.rows
+        rhs = self.rhs
         pivot_row = rows[row]
         inv = 1 / pivot_row[col]
         if inv != 1:
-            rows[row] = pivot_row = [v * inv for v in pivot_row]
+            rows[row] = pivot_row = {j: v * inv for j, v in pivot_row.items()}
+            rhs[row] *= inv
+        pivot_rhs = rhs[row]
+        pivot_items = list(pivot_row.items())
         for i, other in enumerate(rows):
             if i == row or not self.alive[i]:
                 continue
-            factor = other[col]
+            factor = other.get(col)
             if factor:
-                rows[i] = [
-                    v - factor * p for v, p in zip(other, pivot_row)
-                ]
+                merged = dict(other)
+                for j, p in pivot_items:
+                    v = merged.get(j)
+                    v = -factor * p if v is None else v - factor * p
+                    if v:
+                        merged[j] = v
+                    else:
+                        merged.pop(j, None)
+                rows[i] = merged
+                rhs[i] -= factor * pivot_rhs
         self.basis[row] = col
 
     def _reduced_costs(self, costs: list[Fraction], allowed: range | list[int]):
-        """Yield (column, reduced cost) over non-basic allowed columns."""
-        rows = self.rows
-        active = [
-            (costs[self.basis[i]], rows[i])
-            for i in range(self.m)
-            if self.alive[i] and costs[self.basis[i]]
-        ]
+        """Yield (column, reduced cost) over non-basic allowed columns.
+
+        One sparse pass accumulates ``c_B B^{-1} A`` over the basic rows'
+        nonzeros; yielding then walks ``allowed`` in order, so entering
+        choices (Dantzig ties, Bland's first-negative) match the dense
+        formulation pivot for pivot.
+        """
+        pulled: dict[int, Fraction] = {}
+        for i in range(self.m):
+            if not self.alive[i]:
+                continue
+            cb = costs[self.basis[i]]
+            if cb:
+                for j, v in self.rows[i].items():
+                    acc = pulled.get(j)
+                    pulled[j] = cb * v if acc is None else acc + cb * v
         in_basis = set(self.basis[i] for i in range(self.m) if self.alive[i])
+        zero = Fraction(0)
         for j in allowed:
             if j in in_basis:
                 continue
-            r = costs[j] - sum(
-                (cb * row[j] for cb, row in active if row[j]), start=Fraction(0)
-            )
-            yield j, r
+            yield j, costs[j] - pulled.get(j, zero)
 
     def _ratio_leave(self, col: int) -> int | None:
         best_ratio: Fraction | None = None
@@ -288,9 +314,9 @@ class _Tableau:
         for i in range(self.m):
             if not self.alive[i]:
                 continue
-            a = self.rows[i][col]
-            if a > 0:
-                ratio = self.rows[i][-1] / a
+            a = self.rows[i].get(col)
+            if a is not None and a > 0:
+                ratio = self.rhs[i] / a
                 if (
                     best_ratio is None
                     or ratio < best_ratio
@@ -342,7 +368,7 @@ class _Tableau:
     def objective(self, costs: list[Fraction]) -> Fraction:
         return sum(
             (
-                costs[self.basis[i]] * self.rows[i][-1]
+                costs[self.basis[i]] * self.rhs[i]
                 for i in range(self.m)
                 if self.alive[i] and costs[self.basis[i]]
             ),
@@ -355,8 +381,10 @@ class _Tableau:
         for i in range(self.m):
             if not self.alive[i] or self.basis[i] < self.n_real:
                 continue
-            pivot_col = next(
-                (j for j in range(self.n_real) if self.rows[i][j]), None
+            # Lowest real column with a nonzero — the same column the
+            # dense left-to-right scan picked.
+            pivot_col = min(
+                (j for j in self.rows[i] if j < self.n_real), default=None
             )
             if pivot_col is None:
                 # Row is 0 = 0 over the real columns: redundant.
@@ -368,7 +396,7 @@ class _Tableau:
         x = [Fraction(0)] * self.n
         for i in range(self.m):
             if self.alive[i] and self.basis[i] < self.n:
-                x[self.basis[i]] = self.rows[i][-1]
+                x[self.basis[i]] = self.rhs[i]
         return x
 
     def duals(self, costs: list[Fraction]) -> list[Fraction]:
@@ -379,23 +407,23 @@ class _Tableau:
             for i in range(self.m)
             if self.alive[i] and costs[self.basis[i]]
         ]
+        zero = Fraction(0)
         y: list[Fraction] = []
         for i in range(self.m):
             col = self.art_cols[i]
             if not self.alive[i]:
-                y.append(Fraction(0))
-            elif col is None:
-                # Slack-basis row: B^{-1} e_i is the slack column (the
-                # slack's coefficient was +1, the row was never flipped).
-                slack = self.n + i
-                y.append(
-                    sum((c * row[slack] for c, row in cb if row[slack]),
-                        start=Fraction(0))
-                )
+                y.append(zero)
             else:
+                if col is None:
+                    # Slack-basis row: B^{-1} e_i is the slack column (the
+                    # slack's coefficient was +1, the row was never
+                    # flipped).
+                    col = self.n + i
                 y.append(
-                    sum((c * row[col] for c, row in cb if row[col]),
-                        start=Fraction(0))
+                    sum(
+                        (c * row[col] for c, row in cb if row.get(col)),
+                        start=zero,
+                    )
                 )
             y[-1] *= self.flip[i]
         return y

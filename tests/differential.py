@@ -19,6 +19,17 @@ and numpy paths) and the positional-kernel leapfrog port are registered as
 mandatory — a regression in either fails this harness, not just a
 downstream benchmark.
 
+Since the dictionary-encoded data plane became the default, the plain
+registry entries all exercise the *encoded* kernel.  The
+``*-decoded-plane`` variants re-run the key engines on a codec-less
+rebuild of the instance (the PR3 kernel) and are mandatory too:
+encoded-vs-decoded agreement — results *and* bit-identical
+``tuples_touched``, asserted by :func:`assert_plane_equivalence` — is the
+differential test of the encoding itself, with
+:func:`assert_batch_backend_equivalence` pinning both planes' batch
+backends against per-row ``reference_expand_tuple`` (the decoded-value
+specification).
+
 Test files import from here; this module itself is not collected (no
 ``test_`` prefix).
 """
@@ -232,6 +243,54 @@ def _run_csma_exact_lp(query, db, schema):
         return _run_csma(query, db, schema)
 
 
+#: Memo for decoded-plane rebuilds, keyed by source-db identity (the
+#: source is retained so the id cannot be recycled).  Several mandatory
+#: engines re-run each fuzz instance decoded; sharing one rebuild shares
+#: its plan/guard/index caches across them.
+_DECODED_TWINS: dict[int, tuple[Database, Database]] = {}
+_DECODED_TWINS_MAX = 16
+
+
+def decoded_plane_db(db: Database) -> Database:
+    """The same instance on the decoded (codec-less, PR3) kernel.
+
+    Shares the relation objects, fds, udfs and declared bounds; only the
+    execution plane differs.  Returns ``db`` itself when it already runs
+    decoded; memoized per source database.
+    """
+    if not db.encoded:
+        return db
+    cached = _DECODED_TWINS.get(id(db))
+    if cached is not None:
+        return cached[1]
+    twin = Database(
+        list(db.relations.values()),
+        fds=db.fds,
+        udfs=list(db.udfs),
+        degree_bounds=db.degree_bounds,
+        encode=False,
+    )
+    _DECODED_TWINS[id(db)] = (db, twin)
+    if len(_DECODED_TWINS) > _DECODED_TWINS_MAX:
+        _DECODED_TWINS.pop(next(iter(_DECODED_TWINS)))
+    return twin
+
+
+def _run_generic_decoded(query, db, schema):
+    if not _vars_all_in_atoms(query):
+        return None
+    out, _ = generic_join(query, decoded_plane_db(db), fd_aware=True)
+    return set(out.project(schema).tuples)
+
+
+def _run_csma_decoded(query, db, schema):
+    return _run_csma(query, decoded_plane_db(db), schema)
+
+
+def _run_lftj_decoded(query, db, schema):
+    return _run_lftj(query, decoded_plane_db(db), schema)
+
+
 #: name → runner(query, db, schema) -> set | None (None = not applicable).
 ENGINES: dict[str, Callable] = {
     "binary": _run_binary,
@@ -244,6 +303,9 @@ ENGINES: dict[str, Callable] = {
     "lftj-reference-expansion": _run_lftj_reference,
     "chain-exact-lp": _run_chain_exact_lp,
     "csma-exact-lp": _run_csma_exact_lp,
+    "generic-decoded-plane": _run_generic_decoded,
+    "csma-decoded-plane": _run_csma_decoded,
+    "lftj-decoded-plane": _run_lftj_decoded,
 }
 
 #: Engines that must be applicable (and agree) on every instance the
@@ -251,9 +313,14 @@ ENGINES: dict[str, Callable] = {
 #: reference-substrate twin are mandatory: their agreement *is* the
 #: differential test of the port.  ``csma-exact-lp`` is mandatory too:
 #: every fuzz instance must evaluate correctly with *no* floating-point
-#: LP in the loop (scipy demoted to an optional cross-check).
+#: LP in the loop (scipy demoted to an optional cross-check).  The
+#: ``*-decoded-plane`` twins are mandatory for the same reason the LFTJ
+#: reference substrate is: every instance must evaluate identically with
+#: the dictionary encoding switched off.
 MANDATORY_ENGINES = ("binary", "csma", "generic", "lftj",
-                     "lftj-reference-expansion", "csma-exact-lp")
+                     "lftj-reference-expansion", "csma-exact-lp",
+                     "generic-decoded-plane", "csma-decoded-plane",
+                     "lftj-decoded-plane")
 
 
 def run_all_engines(query, db) -> dict[str, set]:
@@ -299,13 +366,19 @@ def _reference_tuple_rows(db, schema, out_schema, rows, counter):
 
 
 def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
-    """The batched plan backend ≡ the naive per-tuple reference.
+    """The batched plan backend ≡ the naive per-tuple reference, on both
+    data planes.
 
     For every stored relation: build a frontier of stored + garbage rows,
     run it through (a) per-row ``reference_expand_tuple``, (b) the
     generated row-loop, (c) the columnwise backend, (d) the columnwise
     backend with the numpy unique-key path forced on — all four must
-    produce identical aligned outputs and identical work counts.
+    produce identical aligned outputs and identical work counts.  When the
+    database carries a codec, the same three batch variants run again on
+    the *encoded* plan (rows encoded on entry, outputs decoded for the
+    comparison): the encoded kernel must match ``reference_expand_tuple``
+    — the decoded-value specification — bit-identically on results and
+    ``tuples_touched``.
     """
     import repro.engine.expansion_plan as ep
 
@@ -324,7 +397,9 @@ def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
         )
 
         variants = {}
-        saved = (ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS)
+        saved = (
+            ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS, ep.NUMPY_MIN_ROWS_ENCODED
+        )
         try:
             ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = 10 ** 9, 10 ** 9
             variants["rows"] = _run_variant(plan, rows)
@@ -332,8 +407,30 @@ def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
             variants["columns"] = _run_variant(plan, rows)
             ep.NUMPY_MIN_ROWS = 1
             variants["numpy"] = _run_variant(plan, rows)
+            if db.encoded:
+                codec = db.codec
+                enc_plan = db.expansion_plan(rel.schema, encoded=True)
+                assert enc_plan.out_schema == plan.out_schema
+                enc_rows = [codec.encode_row(rel.schema, r) for r in rows]
+                ep.COLUMN_MIN_ROWS = 10 ** 9
+                ep.NUMPY_MIN_ROWS_ENCODED = 10 ** 9
+                enc_variants = {"encoded-rows": _run_variant(enc_plan, enc_rows)}
+                ep.COLUMN_MIN_ROWS = 1
+                enc_variants["encoded-columns"] = _run_variant(enc_plan, enc_rows)
+                ep.NUMPY_MIN_ROWS_ENCODED = 1
+                enc_variants["encoded-numpy"] = _run_variant(enc_plan, enc_rows)
+                for variant, (counter, out) in enc_variants.items():
+                    decoded = [
+                        None if r is None
+                        else codec.decode_row(enc_plan.out_schema, r)
+                        for r in out
+                    ]
+                    variants[variant] = (counter, decoded)
         finally:
-            ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = saved
+            (
+                ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS,
+                ep.NUMPY_MIN_ROWS_ENCODED,
+            ) = saved
 
         for variant, (counter, out) in variants.items():
             assert out == ref, f"{name}: batch[{variant}] output diverges"
@@ -368,6 +465,49 @@ def lp_engine_work_profile(query, db) -> dict[str, int | None]:
     result = csma(query, db, lattice, inputs)
     profile["csma"] = result.stats.tuples_touched
     return profile
+
+
+def engine_work_profile(query, db) -> dict[str, object]:
+    """``tuples_touched`` (and LFTJ seeks) of every applicable engine on
+    ``db``'s active plane."""
+    profile: dict[str, object] = dict(lp_engine_work_profile(query, db))
+    _, bj = binary_join_plan(query, db)
+    profile["binary"] = bj.tuples_touched
+    if _vars_all_in_atoms(query):
+        _, gj = generic_join(query, db, fd_aware=True)
+        profile["generic"] = gj.tuples_touched
+        counter = WorkCounter()
+        _, lf = leapfrog_triejoin(query, db, counter=counter)
+        profile["lftj"] = (lf.tuples_touched, lf.seeks, counter.tuples_touched)
+    return profile
+
+
+def assert_plane_equivalence(query, db) -> None:
+    """The dictionary-encoded plane ≡ the decoded plane, bit-identically.
+
+    Encoding is a per-attribute bijection, so *every* count the engines
+    report — expansion touches, join emissions, LFTJ seeks — must be
+    identical between a codec-backed database and its codec-less rebuild,
+    and the (decoded) results must agree.  Any drift means the encoded
+    kernel changed semantics, not just speed.
+    """
+    encoded_db = db if db.encoded else Database(
+        list(db.relations.values()),
+        fds=db.fds,
+        udfs=list(db.udfs),
+        degree_bounds=db.degree_bounds,
+        encode=True,
+    )
+    decoded_db = decoded_plane_db(db)
+    schema = tuple(sorted(query.variables))
+    enc_profile = engine_work_profile(query, encoded_db)
+    dec_profile = engine_work_profile(query, decoded_db)
+    assert enc_profile == dec_profile, (
+        f"encoded-vs-decoded work drift: {enc_profile} != {dec_profile}"
+    )
+    assert _run_csma(query, encoded_db, schema) == _run_csma(
+        query, decoded_db, schema
+    )
 
 
 def assert_lp_backend_equivalence(query, db) -> None:

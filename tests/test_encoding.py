@@ -1,0 +1,220 @@
+"""The dictionary-encoded data plane: round trips, sharing, stability.
+
+Satellite coverage for the columnar encoding PR:
+
+* **Round trips** — ``decode(encode(v)) == v`` for heterogeneous value
+  populations (hypothesis property), column-wise relation encoding
+  included.
+* **Sharing** — relations sharing an attribute name share its dictionary
+  (codes compare equal iff values do — the join contract), via the
+  per-database :class:`~repro.engine.dictionary.Codec`.
+* **Stability** — ``Database.add`` appends codes, never renumbers:
+  existing twins, plans and dense guard tables stay valid.
+* **The dense-domain fast path** — single-attribute guard steps flatten
+  to ``GUARD_DENSE`` tables exactly when the code domain is dense, with
+  out-of-range codes (values interned after compilation) behaving as
+  misses, like any unseen key.
+* **Plane equivalence** — every engine produces identical results and
+  bit-identical ``tuples_touched`` with the codec on and off
+  (:func:`differential.assert_plane_equivalence`); the encoded batch
+  backend is pinned against per-row ``reference_expand_tuple`` through
+  ``assert_batch_backend_equivalence`` (driven from
+  ``test_kernel_equivalence.py`` over the shared corpus).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from differential import (
+    MANDATORY_ENGINES,
+    all_instances,
+    assert_plane_equivalence,
+    random_simple_key_workload,
+)
+from repro.engine.database import Database
+from repro.engine.dictionary import Codec, Dictionary
+from repro.engine.expansion_plan import GUARD, GUARD_DENSE, densify_lookup
+from repro.engine.ops import WorkCounter
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+
+values_strategy = st.one_of(
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.text(max_size=6),
+    st.tuples(st.integers(0, 99), st.integers(0, 99)),
+    st.booleans(),
+    st.none(),
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(values_strategy, max_size=40))
+def test_dictionary_round_trip(values):
+    d = Dictionary()
+    codes = [d.encode(v) for v in values]
+    assert all(isinstance(c, int) and c >= 0 for c in codes)
+    for v, c in zip(values, codes):
+        assert d.decode(c) == v
+        # Interning is idempotent and stable.
+        assert d.encode(v) == c
+        assert d.code_of(v) == c
+    assert len(d) == len({id_key(v) for v in values})
+
+
+def id_key(value):
+    """Python dict-key identity: ``1``/``1.0``/``True`` share a slot."""
+    return (value, )  # tuples hash/eq like their contents
+
+
+def test_equal_values_share_a_code():
+    d = Dictionary()
+    assert d.encode(1) == d.encode(1.0) == d.encode(True)
+    assert d.decode(d.encode(1.0)) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(values_strategy, values_strategy), min_size=1, max_size=30
+    )
+)
+def test_relation_encode_decode_round_trip(rows):
+    codec = Codec()
+    rel = Relation("R", ("x", "y"), rows)
+    twin = codec.encode_relation(rel)
+    assert twin.schema == rel.schema
+    assert len(twin) == len(rel)
+    assert twin.columns_all_int() == (True, True)
+    decoded = codec.decode_tuples(rel.schema, twin.tuples)
+    assert set(decoded) == set(rel.tuples)
+    # The twin caches on the relation: same codec → same object.
+    assert codec.encode_relation(rel) is twin
+
+
+# ----------------------------------------------------------------------
+# Sharing and stability
+# ----------------------------------------------------------------------
+
+def test_dictionaries_shared_across_relations():
+    """Same attribute name → same dictionary → join-compatible codes."""
+    db = Database(
+        [
+            Relation("R", ("x", "y"), [(1, "a"), (2, "b")]),
+            Relation("S", ("y", "z"), [("a", 7), ("c", 8)]),
+        ],
+        encode=True,
+    )
+    d_y = db.codec.dictionary("y")
+    r_twin, s_twin = db.runtime("R"), db.runtime("S")
+    r_y = {t[1] for t in r_twin.tuples}
+    s_y = {t[0] for t in s_twin.tuples}
+    # "a" got one code, visible from both relations.
+    assert d_y.code_of("a") in r_y
+    assert d_y.code_of("a") in s_y
+    assert d_y.code_of("c") not in r_y
+
+
+def test_codes_stable_under_database_add():
+    db = Database(
+        [Relation("R", ("x", "y"), [(10, 20), (11, 21)])], encode=True
+    )
+    twin_before = db.runtime("R")
+    snapshot = {
+        attr: list(d.values) for attr, d in db.codec.dictionaries.items()
+    }
+    db.add(Relation("S", ("y", "z"), [(20, 99), (77, 100)]))
+    # Existing codes are untouched (appended only) and the twin object is
+    # exactly the one encoded at construction time.
+    assert db.runtime("R") is twin_before
+    for attr, values in snapshot.items():
+        assert db.codec.dictionary(attr).values[: len(values)] == values
+    # The shared attribute reuses R's code for 20 and appends for 77.
+    d_y = db.codec.dictionary("y")
+    assert db.runtime("S").tuples[0][0] == d_y.code_of(20)
+    assert d_y.code_of(77) >= len(snapshot["y"])
+
+
+def test_encoding_defaults_on_and_knob_disables():
+    assert Database([]).encoded  # REPRO_ENCODE default
+    assert not Database([], encode=False).encoded
+    with pytest.raises(ValueError):
+        Database([], encode=False).expansion_plan(("x",), encoded=True)
+
+
+# ----------------------------------------------------------------------
+# The dense-domain fast path
+# ----------------------------------------------------------------------
+
+def _guarded_db(**kwargs):
+    guard = Relation("G", ("x", "y"), [(i, i * 10) for i in range(50)])
+    return Database(
+        [guard, Relation("R", ("x",), [(i,) for i in range(50)])],
+        fds=FDSet([FD("x", "y")]),
+        **kwargs,
+    )
+
+
+def test_single_attr_dense_domain_uses_flat_table():
+    db = _guarded_db(encode=True)
+    plan = db.expansion_plan(("x",), encoded=True)
+    (step,) = plan.steps
+    assert step[0] == GUARD_DENSE
+    assert isinstance(step[2], list)
+    # The raw plan keeps the hash lookup.
+    raw_step = db.expansion_plan(("x",)).steps[0]
+    assert raw_step[0] == GUARD
+
+
+def test_sparse_domain_keeps_hash_lookup():
+    lookup = {(i * 10_000,): ("img",) for i in range(10)}
+    assert densify_lookup(lookup, domain_size=100_000) is None
+    dense = densify_lookup({(3,): ("img",)}, domain_size=10)
+    assert dense[3] == ("img",)
+    assert dense[4] is None
+
+
+def test_out_of_range_code_is_a_miss():
+    """A value interned *after* the dense table compiled (e.g. by
+    ``expand_tuple`` on unseen input) must dangle, exactly like the raw
+    plane's unseen-key miss."""
+    db = _guarded_db(encode=True)
+    raw = _guarded_db(encode=False)
+    counter_enc, counter_raw = WorkCounter(), WorkCounter()
+    assert db.expand_tuple({"x": 3}, counter=counter_enc) == {"x": 3, "y": 30}
+    assert raw.expand_tuple({"x": 3}, counter=counter_raw) == {"x": 3, "y": 30}
+    # 999 was never interned: its fresh code exceeds the dense table.
+    assert db.expand_tuple({"x": 999}, counter=counter_enc) is None
+    assert raw.expand_tuple({"x": 999}, counter=counter_raw) is None
+    assert counter_enc.tuples_touched == counter_raw.tuples_touched
+
+
+def test_expand_relation_public_api_stays_decoded():
+    db = _guarded_db(encode=True)
+    out = db.expand_relation(db["R"])
+    assert out.schema == ("x", "y")
+    assert (3, 30) in set(out.tuples)
+
+
+# ----------------------------------------------------------------------
+# Plane equivalence (the encoded backend as a mandatory engine variant)
+# ----------------------------------------------------------------------
+
+def test_decoded_plane_variants_are_mandatory():
+    assert {"generic-decoded-plane", "csma-decoded-plane",
+            "lftj-decoded-plane"} <= set(MANDATORY_ENGINES)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_plane_equivalence_on_corpus(seed):
+    for query, db in all_instances(seed):
+        assert_plane_equivalence(query, db)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_plane_equivalence_on_simple_key_workloads(seed):
+    query, db = random_simple_key_workload(seed)
+    assert_plane_equivalence(query, db)
