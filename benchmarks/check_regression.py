@@ -3,10 +3,15 @@
 Compares a freshly-produced ``BENCH_<tag>.json`` against the committed
 trajectory baseline::
 
-    python benchmarks/check_regression.py FRESH.json [BASELINE.json]
+    python benchmarks/check_regression.py [--strict-e17] FRESH.json [BASELINE.json]
 
 Baseline defaults to the newest committed ``BENCH_PR*.json`` in the repo
-root.  Policy (mirrors PERFORMANCE.md):
+root.  ``--strict-e17`` additionally requires the two files to cover the
+*identical* E17 workload set — the mode CI uses to pin two fresh sweeps
+against each other (ndarray frontier backend forced on vs forced off:
+any ``tuples_touched`` drift between the block backend and the row-loop
+backend fails the gate, and a silently missing workload cannot hide it).
+Policy (mirrors PERFORMANCE.md):
 
 * **fail** when a measured E16 growth exponent drifts from the baseline by
   more than ``EXPONENT_TOLERANCE`` — the exponents are the paper's claims
@@ -53,7 +58,9 @@ def find_default_baseline() -> Path | None:
     return max(candidates)[1] if candidates else None
 
 
-def compare(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
+def compare(
+    baseline: dict, fresh: dict, strict_e17: bool = False
+) -> tuple[list[str], list[str]]:
     """Returns (failures, warnings)."""
     failures: list[str] = []
     warnings: list[str] = []
@@ -101,24 +108,38 @@ def compare(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
         )
 
     _compare_e17(
-        baseline.get("e17", {}), fresh.get("e17", {}), failures, warnings
+        baseline.get("e17", {}), fresh.get("e17", {}), failures, warnings,
+        strict=strict_e17,
     )
     return failures, warnings
 
 
 def _compare_e17(
-    base_e17: dict, fresh_e17: dict, failures: list[str], warnings: list[str]
+    base_e17: dict,
+    fresh_e17: dict,
+    failures: list[str],
+    warnings: list[str],
+    strict: bool = False,
 ) -> None:
     """The large-frontier gate: counts fail, timings warn.
 
     Workloads are compared over the intersection of the two files — a
     smoke sweep legitimately lacks the full-size entries — but a baseline
     with an ``e17`` section and a fresh sweep sharing *none* of its
-    workloads is a failure (the suite silently vanished).
+    workloads is a failure (the suite silently vanished).  ``strict``
+    (the ndarray on-vs-off CI cross gate) demands identical workload
+    sets instead.
     """
     base_workloads = base_e17.get("workloads", {})
     fresh_workloads = fresh_e17.get("workloads", {})
+    if strict and set(base_workloads) != set(fresh_workloads):
+        failures.append(
+            "strict E17 comparison: workload sets differ "
+            f"({sorted(set(base_workloads) ^ set(fresh_workloads))})"
+        )
     if not base_workloads:
+        if strict:
+            failures.append("strict E17 comparison: baseline has no workloads")
         return
     common = set(base_workloads) & set(fresh_workloads)
     if not common:
@@ -157,12 +178,16 @@ def _compare_e17(
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 2 or len(argv) > 3:
+    args = list(argv[1:])
+    strict_e17 = "--strict-e17" in args
+    if strict_e17:
+        args.remove("--strict-e17")
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    fresh_path = Path(argv[1])
-    if len(argv) == 3:
-        baseline_path = Path(argv[2])
+    fresh_path = Path(args[0])
+    if len(args) == 2:
+        baseline_path = Path(args[1])
     else:
         baseline_path = find_default_baseline()
         if baseline_path is None:
@@ -173,7 +198,7 @@ def main(argv: list[str]) -> int:
     print(f"baseline: {baseline_path.name} (tag {baseline.get('tag')})")
     print(f"fresh:    {fresh_path} (tag {fresh.get('tag')})")
 
-    failures, warnings = compare(baseline, fresh)
+    failures, warnings = compare(baseline, fresh, strict_e17=strict_e17)
     for warning in warnings:
         print(f"WARNING: {warning}")
     for failure in failures:

@@ -158,6 +158,13 @@ def main() -> int:
         help="skip the per-file pytest runs; emit the E16 metrics and the "
         "E17 smoke sizes only",
     )
+    parser.add_argument(
+        "--e17-only",
+        action="store_true",
+        help="emit only the E17 section at smoke sizes (the CI "
+        "ndarray-on/off cross gate compares two such files with "
+        "check_regression.py --strict-e17)",
+    )
     args = parser.parse_args()
 
     payload = {
@@ -165,18 +172,19 @@ def main() -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
-    if not args.quick:
+    if not args.quick and not args.e17_only:
         print("bench suite:")
         payload["benches"] = run_bench_files()
-    print("e16 sweep:")
-    payload["e16"] = run_e16_sweep()
-    print(
-        f"  wall {payload['e16']['wall_clock_s']}s, exponents "
-        f"{payload['e16']['exponents']}"
-    )
+    if not args.e17_only:
+        print("e16 sweep:")
+        payload["e16"] = run_e16_sweep()
+        print(
+            f"  wall {payload['e16']['wall_clock_s']}s, exponents "
+            f"{payload['e16']['exponents']}"
+        )
     from bench_e17_large_frontier import peak_rss_kb, run_sweep as run_e17_sweep
 
-    level = "smoke" if args.quick else "full"
+    level = "smoke" if args.quick or args.e17_only else "full"
     print(f"e17 sweep ({level}):")
     payload["e17"] = run_e17_sweep(level=level)
     payload["peak_rss_kb"] = peak_rss_kb()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.engine import frontier as frontier_blocks
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
@@ -54,6 +55,9 @@ class _CoverInfo:
     cand_key: object
     cand_extra_key: object
     members: set | None = None
+    # Sorted key block over the full projection schema — the vectorized
+    # membership structure the footnote-8 block path probes.
+    members_block: object = None
     # Compiled expansion (prefix ++ extra → C_i), lazily built.
     plan: object = None
     reorder: object = None
@@ -226,8 +230,72 @@ def chain_algorithm(
         # layout starts with prev_attrs).
         n_prev = len(prev_attrs)
         next_frontier: dict[tuple, None] = {}
+
+        def run_batch_block(chosen: _CoverInfo, rows: list[tuple]) -> bool:
+            """Stages 2-3 on the int64 block backend: candidate expansion,
+            per-cover membership and the footnote-8 re-expansion all stay
+            array blocks; rows re-tuple only at the frontier-dedup
+            boundary.  Counter charges mirror the tuple path exactly
+            (plan batches charge inside the backend; each other cover
+            charges the surviving candidate count before its checks).
+            Returns False when the batch does not convert to a block (the
+            caller falls back to the tuple path)."""
+            np = frontier_blocks.np
+            plan = ensure_plan(chosen)
+            block = frontier_blocks.rows_to_block(
+                rows, len(plan.source_schema)
+            )
+            if block is None:
+                return False
+            ext, keep = plan.execute_batch_ndarray(block, counter)
+            if keep is not None:
+                ext = ext[keep]
+            cand_positions = list(plan.positions(ci_sorted))
+            for info in infos:
+                if info is chosen or not ext.shape[0]:
+                    continue
+                counter.add(ext.shape[0])
+                keys = info.members_block
+                if keys is None:
+                    keys = info.members_block = info.proj.key_block(
+                        info.proj.schema
+                    )
+                hit = frontier_blocks.block_isin(
+                    ext, plan.positions(info.proj.schema), keys
+                )
+                ext = ext[hit]
+                if not ext.shape[0]:
+                    continue
+                info_plan = ensure_plan(info)
+                rebuilt, rb_keep = info_plan.execute_batch_ndarray(
+                    np.concatenate(
+                        (
+                            ext[:, :n_prev],
+                            ext[:, list(plan.positions(info.extra_attrs))],
+                        ),
+                        axis=1,
+                    ),
+                    counter,
+                )
+                ok = (
+                    rebuilt[:, list(info_plan.positions(ci_sorted))]
+                    == ext[:, cand_positions]
+                ).all(axis=1)
+                if rb_keep is not None:
+                    ok &= rb_keep
+                ext = ext[ok]
+            for candidate in map(tuple, ext[:, cand_positions].tolist()):
+                next_frontier[candidate] = None
+            return True
+
         for chosen, rows in zip(infos, batches):
             if not rows:
+                continue
+            if (
+                encoded
+                and frontier_blocks.ndarray_engaged(len(rows))
+                and run_batch_block(chosen, rows)
+            ):
                 continue
             plan = ensure_plan(chosen)
             reorder = chosen.reorder

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.engine import frontier as frontier_blocks
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter, memoized_join_rows
@@ -428,10 +429,51 @@ def _execute_join_rule(
     guard_extra = tuple(a for a in guard.schema if a not in left.varset)
     out_schema = tuple(sorted(target_attrs))
     extra_key = tuple_getter(guard.positions(guard_extra))
-    # Collect the whole (left ⋈ guard) frontier (per-key memoized extras,
-    # C-level row concat — see ``memoized_join_rows``), then push it
-    # through the compiled plan in one batch; an empty join (like the
-    # naive path) never compiles anything.
+    # Collect the whole (left ⋈ guard) frontier, then push it through the
+    # compiled plan in one batch; an empty join (like the naive path)
+    # never compiles anything.  On the encoded plane with a large left
+    # side the join itself runs vectorized (``frontier.key_join`` over
+    # the guard's sorted key block) and the frontier stays an int64
+    # block end to end — emitted rows, match counts and output order are
+    # exactly the per-key memoized loop's (``memoized_join_rows``).
+    # Engages only when the downstream plan has steps — a step-less join
+    # materializes straight into relation tuples, where the per-key
+    # memoized C loop beats gather-and-retuple.
+    if (
+        shared
+        and db.encoded
+        and frontier_blocks.ndarray_engaged(len(left))
+        and db.expansion_plan(
+            left.schema + guard_extra, target_attrs, encoded=True
+        ).steps
+    ):
+        np = frontier_blocks.np
+        left_block = frontier_blocks.columns_to_block(
+            left.columns(), len(left.tuples)
+        )
+        if left_block is not None:
+            sorted_keys, payload = guard.join_block(shared, guard_extra)
+            reps, gather, touched = frontier_blocks.key_join(
+                sorted_keys, left_block, left.positions(shared)
+            )
+            counter.add(touched)
+            rows_block = left_block[reps]
+            if guard_extra:
+                rows_block = np.concatenate(
+                    (rows_block, payload[gather]), axis=1
+                )
+            branch.tables[target] = db.expand_block_relation(
+                f"T({lattice.label(target)})",
+                rows_block,
+                left.schema + guard_extra,
+                target_attrs,
+                out_schema,
+                counter=counter,
+            )
+            branch.degree_guards[(lattice.bottom, target)] = branch.tables[
+                target
+            ]
+            return True
     if shared:
         rows, touched = memoized_join_rows(
             left.tuples,
@@ -448,17 +490,17 @@ def _execute_join_rule(
                 rows.extend(map(t.__add__, extras))
     # One post per join: the total equals the per-tuple match charges.
     counter.add(touched)
-    out_tuples = db.expand_rows(
+    # (left tuple, guard image) → output is injective, so no re-dedup;
+    # on the ndarray backend the frontier stays an int64 block end to end
+    # and T(target) materializes column-wise with its store pre-seeded.
+    branch.tables[target] = db.expand_rows_relation(
+        f"T({lattice.label(target)})",
         rows,
         left.schema + guard_extra,
         target_attrs,
         out_schema,
         counter=counter,
         encoded=db.encoded,
-    )
-    # (left tuple, guard image) → output is injective, so no re-dedup.
-    branch.tables[target] = Relation(
-        f"T({lattice.label(target)})", out_schema, out_tuples, distinct=True
     )
     branch.degree_guards[(lattice.bottom, target)] = branch.tables[target]
     return True

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.proofs import SMProof, find_good_sm_proof
+from repro.engine import frontier as frontier_blocks
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter, memoized_join_rows
@@ -131,31 +132,95 @@ def submodularity_algorithm(
         # layout.  The join frontier materializes through the shared
         # per-key memoized core (``memoized_join_rows`` — the ``keep``
         # filter is the light-hitter test); counter charges are the
-        # pre-filter match counts, as in the naive loop.
+        # pre-filter match counts, as in the naive loop.  On the encoded
+        # plane with a large T(X) the whole SM-join runs vectorized
+        # instead: ``frontier.key_join`` over T(Y)'s sorted key block,
+        # the light-hitter test as a key-block membership, and the
+        # frontier an int64 block end to end — same rows, same order,
+        # same pre-filter match charges.
         xy_attrs = lattice.label(xy)
         y_extra = tuple(a for a in t_y.schema if a not in t_x.varset)
         y_lookup_attrs = tuple(a for a in t_y.schema if a in t_x.varset)
         z_key_of = tuple_getter(z_positions_y)
         out_schema = tuple(sorted(xy_attrs))
-        rows, touched = memoized_join_rows(
-            t_x.tuples,
-            t_x.positions(y_lookup_attrs),
-            t_y.index_on(y_lookup_attrs),
-            tuple_getter(t_y.positions(y_extra)),
-            keep=lambda match: z_key_of(match) in lite_keys,
-        )
-        counter.add(touched)
-        out_tuples = db.expand_rows(
-            rows,
-            t_x.schema + y_extra,
-            xy_attrs,
-            out_schema,
-            counter=counter,
-            encoded=encoded,
-        )
-        tables[join_item] = Relation(
-            f"T({join_item})", out_schema, out_tuples, distinct=True
-        )
+        tables[join_item] = None
+        # The block join engages only when the downstream plan has steps:
+        # a step-less join materializes straight into relation tuples,
+        # where the per-key memoized C loop beats gather-and-retuple.
+        if (
+            encoded
+            and y_lookup_attrs
+            and z_attrs
+            and frontier_blocks.ndarray_engaged(len(t_x))
+            and db.expansion_plan(
+                t_x.schema + y_extra, xy_attrs, encoded=True
+            ).steps
+        ):
+            np = frontier_blocks.np
+            left_block = frontier_blocks.columns_to_block(
+                t_x.columns(), len(t_x.tuples)
+            )
+            if left_block is not None:
+                sorted_keys, payload = t_y.join_block(
+                    y_lookup_attrs, y_extra + z_attrs
+                )
+                reps, gather, touched = frontier_blocks.key_join(
+                    sorted_keys, left_block, t_x.positions(y_lookup_attrs)
+                )
+                counter.add(touched)
+                if lite_keys:
+                    lite_sorted, _ = frontier_blocks.sorted_key_block(
+                        frontier_blocks.rows_to_block(
+                            list(lite_keys), len(z_attrs)
+                        )
+                    )
+                else:
+                    lite_sorted = ("empty", None, None)
+                # Light-hitter test on the z columns only, then gather
+                # just the survivors — a heavy split is supposed to drop
+                # most matches, so the full-width join block is never
+                # materialized pre-filter.
+                keep = frontier_blocks.block_isin(
+                    payload[:, len(y_extra):][gather],
+                    tuple(range(len(z_attrs))),
+                    lite_sorted,
+                )
+                rows_block = left_block[reps[keep]]
+                if y_extra:
+                    rows_block = np.concatenate(
+                        (rows_block, payload[gather[keep], : len(y_extra)]),
+                        axis=1,
+                    )
+                tables[join_item] = db.expand_block_relation(
+                    f"T({join_item})",
+                    rows_block,
+                    t_x.schema + y_extra,
+                    xy_attrs,
+                    out_schema,
+                    counter=counter,
+                )
+        if tables[join_item] is None:
+            rows, touched = memoized_join_rows(
+                t_x.tuples,
+                t_x.positions(y_lookup_attrs),
+                t_y.index_on(y_lookup_attrs),
+                tuple_getter(t_y.positions(y_extra)),
+                keep=lambda match: z_key_of(match) in lite_keys,
+            )
+            counter.add(touched)
+            # The join frontier flows through the compiled plan as one
+            # batch and materializes as T(X∨Y) column-wise — no
+            # re-tupling detour between the plan's output block and the
+            # relation's column store.
+            tables[join_item] = db.expand_rows_relation(
+                f"T({join_item})",
+                rows,
+                t_x.schema + y_extra,
+                xy_attrs,
+                out_schema,
+                counter=counter,
+                encoded=encoded,
+            )
         _assert_budget(tables[meet_item], h_star, z, lattice, slack_bits)
         _assert_budget(tables[join_item], h_star, xy, lattice, slack_bits)
         stats.table_sizes[meet_item] = len(tables[meet_item])

@@ -32,6 +32,7 @@ generations.
 from __future__ import annotations
 
 import random
+import string
 
 from repro.engine.database import Database
 from repro.engine.relation import Relation
@@ -162,6 +163,107 @@ def large_lftj_workload(
     atoms = [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))]
     query = Query(atoms)
     domain = max(4, n // 120)
+
+    def edge():
+        return (
+            composite(rng.randrange(domain)),
+            composite(rng.randrange(domain)),
+        )
+
+    relations = [
+        Relation(atom.name, atom.attrs, {edge() for _ in range(n)})
+        for atom in atoms
+    ]
+    return query, Database(relations, encode=encode)
+
+
+def large_fdchain_workload(
+    n: int, k: int = 8, seed: int = 4, encode: bool | None = None
+) -> tuple[Query, Database]:
+    """A ``k``-step guarded fd chain over an ``n``-row frontier — the
+    expansion procedure (Sec. 2) at scale, the array-of-int64 frontier's
+    home workload.
+
+    ``R(w, x)`` seeds ``n`` rows (four hub ``w`` values, ``x`` uniform
+    over a ``Θ(n)`` composite domain); guard relations ``G_j`` realize
+    the fd chain ``x → a → b → …`` as stored permutation tables; a
+    selective terminal atom ``U(last, w)`` (``n/100`` pairs) keeps the
+    output small, so the run *is* the frontier: after two cheap choose
+    depths, every depth is FD-determined and the whole ``Θ(n)``-row
+    frontier flows through one ``GUARD_DENSE`` plan step per level —
+    ``np.take`` per level on the encoded plane versus ``n`` composite-key
+    dict probes (plus one re-built row tuple per level) on the decoded
+    plane, then a final membership verification against ``U``.  Use
+    ``order = ("w", "x", "a", "b", …)`` so the chain binds in fd order.
+    """
+    if not 1 <= k <= 20:
+        raise ValueError(f"k must be in [1, 20], got {k}")
+    rng = random.Random(seed + 17)
+    chain_attrs = list(string.ascii_lowercase[:k])
+    last = chain_attrs[-1]
+    atoms = [Atom("R", ("w", "x")), Atom("U", (last, "w"))]
+    fds = [FD("x", chain_attrs[0])]
+    for prev, nxt in zip(chain_attrs, chain_attrs[1:]):
+        fds.append(FD(prev, nxt))
+    variables = ["w", "x"] + chain_attrs
+    query = Query(atoms, FDSet(fds, variables))
+    domain = max(4, n // 2)
+    dom = [composite(i) for i in range(domain)]
+    hubs = [composite(domain + i) for i in range(4)]
+    relations = [
+        Relation(
+            "R",
+            ("w", "x"),
+            {(hubs[i % 4], dom[rng.randrange(domain)]) for i in range(n)},
+        )
+    ]
+    prev = "x"
+    for j, attr in enumerate(chain_attrs):
+        shift = 2 * j + 1
+        relations.append(
+            Relation(
+                f"G{j}",
+                (prev, attr),
+                [(dom[v], dom[(v * 3 + shift) % domain]) for v in range(domain)],
+            )
+        )
+        prev = attr
+    relations.append(
+        Relation(
+            "U",
+            (last, "w"),
+            {
+                (dom[rng.randrange(domain)], hubs[rng.randrange(4)])
+                for _ in range(max(2, n // 100))
+            },
+        )
+    )
+    return query, Database(relations, fds=query.fds, encode=encode)
+
+
+def fdchain_order(k: int = 8) -> tuple[str, ...]:
+    """The fd-respecting variable order for :func:`large_fdchain_workload`."""
+    return ("w", "x", *string.ascii_lowercase[:k])
+
+
+def large_sma_workload(
+    n: int, density: int = 25, seed: int = 5, encode: bool | None = None
+) -> tuple[Query, Database]:
+    """A dense composite-key triangle sized for SMA's SM-joins.
+
+    Edges are uniform over a ``Θ(n / density)`` vertex domain (average
+    degree ≈ ``density``), so the SM proof's joins materialize
+    ``Θ(n · density)``-row T(·) tables before the light/heavy splits and
+    the final filter cut them down.  Every split key, join probe and
+    filter membership hashes a composite on the decoded plane and a small
+    int (or an int64 block row) on the encoded plane — the SM-join is the
+    hash-bound profile the encoded plane accelerates, complementary to
+    E16's (UDF-bound) fig4 SMA shape.  No fds, no UDFs.
+    """
+    rng = random.Random(seed + 41)
+    atoms = [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))]
+    query = Query(atoms)
+    domain = max(4, n // density)
 
     def edge():
         return (

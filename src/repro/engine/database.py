@@ -20,6 +20,7 @@ import math
 import os
 from typing import Iterable, Mapping, Sequence
 
+from repro.engine import frontier
 from repro.engine.dictionary import Codec
 from repro.engine.expansion_plan import (
     GUARD,
@@ -417,12 +418,109 @@ class Database:
             ):
                 return rows
             return list(map(tuple_getter(out_positions), rows))
+        survivors = self._expand_rows_block(plan, rows, out_positions, counter)
+        if survivors is not None:
+            return frontier.block_rows(survivors)
         out_key = tuple_getter(out_positions)
         return [
             out_key(expanded)
             for expanded in plan.execute_batch(rows, counter)
             if expanded is not None
         ]
+
+    def _expand_rows_block(self, plan, rows, out_positions, counter):
+        """The ndarray fast path shared by :meth:`expand_rows` and
+        :meth:`expand_rows_relation`: rows → plan → surviving rows as a
+        reordered int64 block (``None`` when the backend is not engaged).
+        """
+        if not (plan.encoded and frontier.ndarray_engaged(len(rows))):
+            return None
+        block = frontier.rows_to_block(rows, len(plan.source_schema))
+        if block is None:
+            return None
+        out, mask = plan.execute_batch_ndarray(block, counter)
+        if mask is not None:
+            out = out[mask]
+        return out[:, list(out_positions)]
+
+    def expand_rows_relation(
+        self,
+        name: str,
+        rows: list[tuple],
+        source_schema: Sequence[str],
+        target: VarSet,
+        out_schema: Sequence[str],
+        counter: WorkCounter | None = None,
+        encoded: bool = False,
+    ) -> Relation:
+        """:meth:`expand_rows` materialized straight into a relation.
+
+        SMA's SM-join and CSMA's join rules build their T(·) tables here:
+        on the ndarray path the surviving frontier block is handed to
+        :meth:`Relation.from_columns` column-wise — the relation starts
+        life with its column store and all-int verdict installed, so the
+        next join/index/batch over it skips the transpose and the int
+        scan.  Output rows are distinct by the callers' provenance
+        argument (injective join + expansion), exactly as before.
+        """
+        source_schema = tuple(source_schema)
+        out_schema = tuple(out_schema)
+        if rows:
+            plan = self.expansion_plan(source_schema, target, encoded=encoded)
+            if plan.steps:
+                survivors = self._expand_rows_block(
+                    plan, rows, plan.positions(out_schema), counter
+                )
+                if survivors is not None:
+                    return Relation.from_columns(
+                        name,
+                        out_schema,
+                        [column.tolist() for column in survivors.T],
+                        distinct=True,
+                        all_int=True,
+                    )
+        out_tuples = self.expand_rows(
+            rows, source_schema, target, out_schema,
+            counter=counter, encoded=encoded,
+        )
+        return Relation(name, out_schema, out_tuples, distinct=True)
+
+    def expand_block_relation(
+        self,
+        name: str,
+        block,
+        source_schema: Sequence[str],
+        target: VarSet,
+        out_schema: Sequence[str],
+        counter: WorkCounter | None = None,
+    ) -> Relation:
+        """:meth:`expand_rows_relation` for callers already holding an
+        int64 frontier block (encoded plane only): the block runs the
+        ndarray backend (or just reorders, when the schema is already
+        closed — charging nothing, like the step-less row path) and
+        materializes column-wise.  Output distinctness is the caller's
+        provenance argument, as everywhere.
+        """
+        source_schema = tuple(source_schema)
+        out_schema = tuple(out_schema)
+        plan = self.expansion_plan(source_schema, target, encoded=True)
+        out_positions = list(plan.positions(out_schema))
+        if plan.steps:
+            out, mask = plan.execute_batch_ndarray(block, counter)
+            if mask is not None:
+                out = out[mask]
+            out = out[:, out_positions]
+        elif out_positions == list(range(block.shape[1])):
+            out = block
+        else:
+            out = block[:, out_positions]
+        return Relation.from_columns(
+            name,
+            out_schema,
+            [column.tolist() for column in out.T],
+            distinct=True,
+            all_int=True,
+        )
 
     # ------------------------------------------------------------------
     # The expansion procedure (Sec. 2)
@@ -586,8 +684,42 @@ class Database:
 
         ``encoded=True`` is the engines' decode boundary: candidates are
         code tuples, membership probes hit the encoded twins' indexes, and
-        the surviving tuples are decoded back to values on return.
+        the surviving tuples are decoded back to values on return.  Under
+        a forced-on block backend the membership conjunction runs
+        vectorized instead: the candidates become one int64 block and
+        each input contributes a sorted-key-block ``isin`` pass — same
+        survivors, in the same order, decoded at the same single
+        boundary.  (Like every tuples→block roundtrip, this is at best
+        neutral against the generated listcomp's C-level set probes, so
+        ``auto`` keeps the listcomp; the forced mode keeps the path
+        under differential coverage.)
         """
+        input_names = list(input_names)
+        consistent = self.udf_filter(top_attrs, encoded=encoded)
+        candidates = list(candidates)
+        if counter is not None:
+            counter.add(len(candidates))
+        if (
+            encoded
+            and top_attrs
+            and frontier.ndarray_roundtrip_engaged(len(candidates))
+        ):
+            block = frontier.rows_to_block(candidates, len(top_attrs))
+            if block is not None:
+                keep = None
+                for name in input_names:
+                    rel = self.runtime(name)
+                    positions = tuple(
+                        top_attrs.index(a) for a in rel.schema
+                    )
+                    hit = frontier.block_isin(
+                        block, positions, rel.key_block(rel.schema)
+                    )
+                    keep = hit if keep is None else keep & hit
+                rows = (block if keep is None else block[keep]).tolist()
+                if consistent is not None:
+                    rows = [t for t in rows if consistent(t)]
+                return self.codec.decode_tuples(top_attrs, rows)
         membership_checks = []
         for name in input_names:
             rel = self.runtime(name) if encoded else self.relations[name]
@@ -597,10 +729,6 @@ class Database:
                     tuple_getter(top_attrs.index(a) for a in rel.schema),
                 )
             )
-        consistent = self.udf_filter(top_attrs, encoded=encoded)
-        candidates = list(candidates)
-        if counter is not None:
-            counter.add(len(candidates))
         # Flatten the membership conjunction into one generated listcomp:
         # per candidate it costs the key extractions (C itemgetters) and
         # set probes, no per-check loop frames.  Semantically identical to

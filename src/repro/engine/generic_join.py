@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.engine import frontier as frontier_blocks
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
@@ -116,6 +117,8 @@ def generic_join(
                     ),
                     len(vattrs) == 1,
                     None,  # key set, built on first probe
+                    tuple(extended_attrs.index(a) for a in vattrs),
+                    None,  # sorted key block, built on first block probe
                 ]
             )
         choose_paths.append(choose_atoms)
@@ -124,6 +127,14 @@ def generic_join(
             fd_aware and var in db.fds.closure(bound_set)
         )
         plans.append(None)  # expansion plans compile lazily per depth
+    # Length of the consecutive determined-depth run starting at each
+    # depth: converting a tuple frontier to an int64 block pays off only
+    # when the block survives ≥ 2 plan steps (a single determined depth
+    # sandwiched between choose depths would convert and immediately
+    # re-tuple, costing more than the vectorized step saves).
+    det_run = [0] * (len(order) + 1)
+    for depth in range(len(order) - 1, -1, -1):
+        det_run[depth] = det_run[depth + 1] + 1 if determined[depth] else 0
 
     consistent = db.udf_filter(order, encoded=encoded)
 
@@ -145,9 +156,15 @@ def generic_join(
     # one batched plan execution instead of one call per prefix.  Child
     # order within a prefix matches the recursive formulation, so results
     # (and all counted work) are identical to the depth-first original.
+    # On the encoded plane a large frontier travels as an int64 block
+    # (``is_block``) across consecutive determined depths: the plan runs
+    # on the block backend and verification probes sorted key blocks —
+    # rows re-tuple only at a data-dependent choose depth or the terminal.
     frontier: list[tuple] = [()]
+    is_block = False
     for depth, var in enumerate(order):
-        if not frontier:
+        n = frontier.shape[0] if is_block else len(frontier)
+        if not n:
             break
         if determined[depth]:
             plan = plans[depth]
@@ -157,11 +174,29 @@ def generic_join(
                     frozenset(order[:depth]) | {var},
                     encoded=encoded,
                 )
-            n = len(frontier)
             stats.per_depth[depth] += n
             stats.tuples_touched += n
             if counter is not None:
                 counter.add(n)
+            if (
+                not is_block
+                and encoded
+                and (det_run[depth] >= 2 or frontier_blocks.ndarray_forced_on())
+                and frontier_blocks.ndarray_engaged(n)
+            ):
+                block = frontier_blocks.rows_to_block(frontier, depth)
+                if block is not None:
+                    frontier, is_block = block, True
+            if is_block:
+                extended, keep = plan.execute_batch_ndarray(frontier, counter)
+                for path in verify_paths[depth]:
+                    keys = path[6]
+                    if keys is None:
+                        keys = path[6] = path[0].key_block(path[1])
+                    hit = frontier_blocks.block_isin(extended, path[5], keys)
+                    keep = hit if keep is None else keep & hit
+                frontier = extended if keep is None else extended[keep]
+                continue
             # The plan appends exactly {var}: extended IS prefix + (value,).
             frontier = [
                 extended
@@ -169,6 +204,9 @@ def generic_join(
                 if extended is not None and verify_binding(extended, depth)
             ]
             continue
+        if is_block:
+            frontier = [tuple(row) for row in frontier.tolist()]
+            is_block = False
         paths = choose_paths[depth]
         if not paths:
             # Variable in no atom: it must be FD-determined; oblivious
@@ -213,6 +251,10 @@ def generic_join(
             counter.add(touched)
         frontier = next_frontier
 
+    if is_block:
+        # Terminal re-tupling happens through the decode boundary below:
+        # the block rows feed the consistency filter / decoder as lists.
+        frontier = frontier.tolist()
     if consistent is None:
         results = frontier
     else:

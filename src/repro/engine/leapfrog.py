@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from decimal import Decimal
+from fractions import Fraction
 from typing import Sequence
 
 from repro.engine.database import Database
@@ -75,8 +77,30 @@ def _identity(value):
 
 
 def _sort_key(value):
-    """Total order over heterogeneous values: group by type (so ints never
-    compare against strings), order naturally within each type."""
+    """Total order over heterogeneous values, *consistent with ==*.
+
+    Joins compare values by ``==``/hash everywhere else in the engine, so
+    the trie order must treat ``==``-equal values as equal keys — else a
+    key interned as ``True`` in one trie and ``1`` in another would never
+    meet in the leapfrog intersection.  Numerics (``bool``/``int``/
+    ``float``/``Fraction``/``Decimal``) collapse onto one exact
+    ``Fraction`` axis; every
+    other type groups by type name (so ints never compare against
+    strings) and orders naturally within the group.  Non-finite floats
+    keep the legacy per-type key — they are ``==``-isolated anyway.
+    """
+    if isinstance(value, (bool, int, float, Fraction, Decimal)):
+        try:
+            return ("num", Fraction(value))
+        except (ValueError, OverflowError):
+            # Non-finite: ±inf compares ``==`` across float/Decimal too,
+            # so each sign shares one key; NaN is ``==``-isolated (not
+            # even equal to itself) and keeps the per-type key.
+            if value == float("inf"):
+                return ("num+inf", 0)
+            if value == float("-inf"):
+                return ("num-inf", 0)
+            return (type(value).__name__, value)
     return (type(value).__name__, value)
 
 
@@ -124,16 +148,24 @@ class TrieIterator:
             self.path[-1] = parent["children"][parent["keys"][self.positions[-1]]]
 
     def seek(self, target) -> None:
-        """Advance to the least key >= target (galloping via bisect)."""
+        """Advance to the least key >= target (galloping via bisect).
+
+        Heterogeneous levels bisect a *cached* sort-key array, built once
+        per node on its first seek and stored on the (shared) node dict —
+        previously the ``[_sort_key(k) for k in keys]`` list was rebuilt
+        on every seek, making the decoded-plane run seek-bound on wide
+        levels (O(width) per seek instead of O(log width)).
+        """
         parent = self.path[-2]
         keys = parent["keys"]
         if self.index.int_keys:
             lo = bisect.bisect_left(keys, target, self.positions[-1])
         else:
+            skeys = parent.get("skeys")
+            if skeys is None:
+                skeys = parent["skeys"] = [_sort_key(k) for k in keys]
             lo = bisect.bisect_left(
-                [_sort_key(k) for k in keys],
-                _sort_key(target),
-                self.positions[-1],
+                skeys, _sort_key(target), self.positions[-1]
             )
         self.positions[-1] = lo
         if not self.at_end():

@@ -71,7 +71,7 @@ class Relation:
     __slots__ = (
         "name", "schema", "tuples", "_indexes", "_positions", "_varset",
         "_projections", "_columns", "_columns_all_int", "_twins",
-        "_tuple_set", "_key_sets",
+        "_tuple_set", "_key_sets", "_key_blocks",
     )
 
     def __init__(
@@ -116,6 +116,39 @@ class Relation:
         self._twins: dict[int, tuple] | None = None
         self._tuple_set: set | None = None
         self._key_sets: dict[tuple, set] | None = None
+        self._key_blocks: dict[tuple, object] | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        schema: Sequence[str],
+        columns: Sequence[Sequence],
+        distinct: bool = False,
+        all_int: bool = False,
+    ) -> "Relation":
+        """Build a relation from a column store, installing the store.
+
+        The seam the array-of-int64 frontier uses: a producer that already
+        holds result *columns* (e.g. ``Database.expand_rows_relation``'s
+        ndarray path) constructs the relation with one C-level ``zip``
+        transposition and seeds the columnar view (plus the all-int
+        verdict, when the columns are dictionary codes), so downstream
+        ``index_on``/batch executions never re-transpose or re-scan.
+
+        The store is installed only when it matches the relation's rows:
+        without ``distinct=True`` the constructor may dedup, and seeding
+        the pre-dedup columns would desync ``columns()`` from ``tuples``
+        — in that case the (consistent) lazy transpose applies instead.
+        """
+        columns = tuple(tuple(column) for column in columns)
+        rows = zip(*columns) if columns else ()
+        rel = cls(name, schema, rows, distinct=distinct)
+        if len(columns) == len(rel.schema) and (
+            not columns or len(rel.tuples) == len(columns[0])
+        ):
+            rel.seed_columns(columns, all_int=all_int)
+        return rel
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -164,6 +197,69 @@ class Relation:
             keys = set(map(itemgetter(*positions), self.tuples))
         self._key_sets[key] = keys
         return keys
+
+    def key_block(self, attrs: Sequence[str]):
+        """The keys on ``attrs`` as a cached *sorted key structure*
+        (``frontier.sorted_key_block``: int64, mixed-radix packed, or
+        void fallback) — the vectorized counterpart of :meth:`key_set`,
+        probed by the ndarray frontier's membership checks
+        (``frontier.block_isin``).
+
+        Only meaningful on all-int relations (dictionary-encoded twins);
+        callers on the encoded plane guarantee that by construction.
+        """
+        key = tuple(attrs)
+        if self._key_blocks is None:
+            self._key_blocks = {}
+        cached = self._key_blocks.get(key)
+        if cached is None:
+            import numpy as np
+
+            from repro.engine import frontier
+
+            columns = self.columns()
+            positions = self.positions(key)
+            block = np.empty((len(self.tuples), len(positions)), dtype=np.int64)
+            for j, p in enumerate(positions):
+                block[:, j] = columns[p]
+            cached, _ = frontier.sorted_key_block(block)
+            self._key_blocks[key] = cached
+        return cached
+
+    def join_block(self, key_attrs: Sequence[str], payload_attrs: Sequence[str]):
+        """``(sorted_keys, payload)`` for vectorized probe joins — the
+        build side of ``frontier.key_join``.
+
+        ``sorted_keys`` is the sorted key structure over this relation's
+        ``key_attrs`` (stable, so rows with equal keys keep their
+        original relation order — matching :meth:`index_on` bucket order
+        exactly); ``payload`` is the ``payload_attrs`` columns gathered
+        into the same order as an int64 block.  Cached per attribute
+        pair; encoded-plane callers only (all-int cells).
+        """
+        key = ("join", tuple(key_attrs), tuple(payload_attrs))
+        if self._key_blocks is None:
+            self._key_blocks = {}
+        cached = self._key_blocks.get(key)
+        if cached is None:
+            import numpy as np
+
+            from repro.engine import frontier
+
+            columns = self.columns()
+            n = len(self.tuples)
+            key_positions = self.positions(tuple(key_attrs))
+            block = np.empty((n, len(key_positions)), dtype=np.int64)
+            for j, p in enumerate(key_positions):
+                block[:, j] = columns[p]
+            sorted_keys, order = frontier.sorted_key_block(block)
+            payload_positions = self.positions(tuple(payload_attrs))
+            payload = np.empty((n, len(payload_positions)), dtype=np.int64)
+            for j, p in enumerate(payload_positions):
+                payload[:, j] = columns[p]
+            cached = (sorted_keys, payload[order])
+            self._key_blocks[key] = cached
+        return cached
 
     @property
     def varset(self) -> frozenset:

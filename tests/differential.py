@@ -28,7 +28,12 @@ encoded-vs-decoded agreement — results *and* bit-identical
 differential test of the encoding itself, with
 :func:`assert_batch_backend_equivalence` pinning both planes' batch
 backends against per-row ``reference_expand_tuple`` (the decoded-value
-specification).
+specification).  The ``*-ndarray-frontier`` variants (one per algorithm
+family) force the array-of-int64 block backend onto every encoded batch;
+:func:`assert_ndarray_backend_equivalence` pins whole-engine work
+profiles bit-identical with the backend forced on vs off, and
+:func:`mixed_type_midrun_instance` generates the cross-type /
+mid-run-interning corpus both sharp-edge fixes are pinned on.
 
 Test files import from here; this module itself is not collected (no
 ``test_`` prefix).
@@ -54,6 +59,7 @@ from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
 from repro.engine.reference import reference_expand_tuple
 from repro.fds.fd import FD, FDSet
+from repro.fds.udf import UDF
 from repro.lattice.builders import fig4_lattice, fig9_lattice, lattice_from_query
 from repro.lattice.chains import best_chain_bound
 from repro.lp.cllp import ConditionalLLP
@@ -72,6 +78,19 @@ def lp_backend_forced(backend: str):
             os.environ.pop("REPRO_LP_BACKEND", None)
         else:
             os.environ["REPRO_LP_BACKEND"] = saved
+
+
+@contextmanager
+def ndarray_forced(mode: str):
+    """Temporarily force the ndarray frontier backend ``on``/``off``/``auto``."""
+    from repro.engine import frontier
+
+    saved = frontier.NDARRAY_MODE
+    frontier.NDARRAY_MODE = mode
+    try:
+        yield
+    finally:
+        frontier.NDARRAY_MODE = saved
 
 # ----------------------------------------------------------------------
 # Randomized instance generators
@@ -157,11 +176,82 @@ def random_simple_key_workload(seed: int) -> tuple[Query, Database]:
     )
 
 
+#: ``==``-equal cross-type representatives per small integer: ``1`` may
+#: surface as ``1``, ``1.0`` or ``True`` — all three hash equal, share a
+#: dictionary code, and decode to the first-seen representative (the
+#: pinned semantics of ``repro.engine.dictionary``).
+_MIXED_REPS = {
+    i: [i, float(i)] + ([bool(i)] if i < 2 else []) for i in range(8)
+}
+
+
+def mixed_type_midrun_instance(seed: int) -> tuple[Query, Database]:
+    """A 4-cycle instance exercising the encoded plane's two sharp edges.
+
+    * **Cross-type values** — every cell is a random ``==``-equal
+      representative (``1`` vs ``1.0`` vs ``True``), so terminal outputs
+      may flip representatives across planes while staying ``==``-equal.
+    * **Mid-run interning** — the unguarded fd ``(w, x) → y`` evaluates a
+      UDF whose sums exceed the stored ``y`` domain: fresh codes intern
+      *after* the guarded ``y → z`` step's dense table compiled, and every
+      backend must treat them as dangling (the value is in no guard).
+
+    The UDF is well-defined on ``==``-classes (``w + x``), as the pinned
+    semantics require of opaque predicates.
+    """
+    rng = random.Random(seed + 5000)
+
+    def rep(i: int):
+        return rng.choice(_MIXED_REPS[i])
+
+    atoms = [
+        Atom("R", ("w", "x")),
+        Atom("S", ("x", "y")),
+        Atom("T", ("y", "z")),
+        Atom("U", ("z", "w")),
+    ]
+    variables = ["w", "x", "y", "z"]
+    fds = FDSet([FD(frozenset({"w", "x"}), "y"), FD("y", "z")], variables)
+    query = Query(atoms, fds)
+    h = UDF("h", ("w", "x"), "y", lambda w, x: w + x)
+    # The y → z guard: functional modulo == (one row per y-class).
+    zmap = {y: (y * 5 + 1) % 7 for y in range(4)}
+    r, s, t, u = set(), set(), set(), set()
+    for y, zv in zmap.items():
+        t.add((rep(y), rep(zv)))
+    for _ in range(rng.randint(6, 16)):
+        w, x = rng.randrange(4), rng.randrange(4)
+        r.add((rep(w), rep(x)))
+        s.add((rep(x), rep(rng.randrange(5))))
+        u.add((rep(rng.randrange(7)), rep(w)))
+    # A few guaranteed answers so the instance is not vacuously empty.
+    for _ in range(3):
+        w, x = rng.randrange(2), rng.randrange(2)
+        y = w + x
+        if y in zmap:
+            r.add((rep(w), rep(x)))
+            s.add((rep(x), rep(y)))
+            u.add((rep(zmap[y]), rep(w)))
+    db = Database(
+        [
+            Relation("R", ("w", "x"), r),
+            Relation("S", ("x", "y"), s),
+            Relation("T", ("y", "z"), t),
+            Relation("U", ("z", "w"), u),
+        ],
+        fds=fds,
+        udfs=[h],
+    )
+    return query, db
+
+
 def all_instances(seed: int):
-    """The expansion-level differential corpus: one world instance + one
-    guarded instance per seed."""
+    """The expansion-level differential corpus: one world instance, one
+    guarded instance and one mixed-type/mid-run-interning instance per
+    seed."""
     yield random_world_instance(seed)
     yield random_guarded_instance(seed)
+    yield mixed_type_midrun_instance(seed)
 
 
 # ----------------------------------------------------------------------
@@ -291,6 +381,24 @@ def _run_lftj_decoded(query, db, schema):
     return _run_lftj(query, decoded_plane_db(db), schema)
 
 
+def _ndarray_variant(runner: Callable) -> Callable:
+    """The same engine with the ndarray frontier backend forced on for
+    every encoded batch (no row threshold)."""
+
+    def run(query, db, schema):
+        with ndarray_forced("on"):
+            return runner(query, db, schema)
+
+    return run
+
+
+_run_chain_ndarray = _ndarray_variant(_run_chain)
+_run_sma_ndarray = _ndarray_variant(_run_sma)
+_run_csma_ndarray = _ndarray_variant(_run_csma)
+_run_generic_ndarray = _ndarray_variant(_run_generic)
+_run_lftj_ndarray = _ndarray_variant(_run_lftj)
+
+
 #: name → runner(query, db, schema) -> set | None (None = not applicable).
 ENGINES: dict[str, Callable] = {
     "binary": _run_binary,
@@ -306,6 +414,11 @@ ENGINES: dict[str, Callable] = {
     "generic-decoded-plane": _run_generic_decoded,
     "csma-decoded-plane": _run_csma_decoded,
     "lftj-decoded-plane": _run_lftj_decoded,
+    "chain-ndarray-frontier": _run_chain_ndarray,
+    "sma-ndarray-frontier": _run_sma_ndarray,
+    "csma-ndarray-frontier": _run_csma_ndarray,
+    "generic-ndarray-frontier": _run_generic_ndarray,
+    "lftj-ndarray-frontier": _run_lftj_ndarray,
 }
 
 #: Engines that must be applicable (and agree) on every instance the
@@ -316,11 +429,18 @@ ENGINES: dict[str, Callable] = {
 #: LP in the loop (scipy demoted to an optional cross-check).  The
 #: ``*-decoded-plane`` twins are mandatory for the same reason the LFTJ
 #: reference substrate is: every instance must evaluate identically with
-#: the dictionary encoding switched off.
+#: the dictionary encoding switched off.  The ``*-ndarray-frontier``
+#: variants force the array-of-int64 backend onto every encoded batch
+#: regardless of size — one per algorithm family; the three whose base
+#: engines apply to every generated instance are mandatory (``chain``/
+#: ``sma`` variants run whenever their base engines do), and
+#: :func:`assert_ndarray_backend_equivalence` additionally pins their
+#: ``tuples_touched`` bit-identical to the row-loop backend.
 MANDATORY_ENGINES = ("binary", "csma", "generic", "lftj",
                      "lftj-reference-expansion", "csma-exact-lp",
                      "generic-decoded-plane", "csma-decoded-plane",
-                     "lftj-decoded-plane")
+                     "lftj-decoded-plane", "csma-ndarray-frontier",
+                     "generic-ndarray-frontier", "lftj-ndarray-frontier")
 
 
 def run_all_engines(query, db) -> dict[str, set]:
@@ -401,24 +521,35 @@ def assert_batch_backend_equivalence(db, rng: random.Random) -> None:
             ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS, ep.NUMPY_MIN_ROWS_ENCODED
         )
         try:
-            ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = 10 ** 9, 10 ** 9
-            variants["rows"] = _run_variant(plan, rows)
-            ep.COLUMN_MIN_ROWS = 1
-            variants["columns"] = _run_variant(plan, rows)
-            ep.NUMPY_MIN_ROWS = 1
-            variants["numpy"] = _run_variant(plan, rows)
+            with ndarray_forced("off"):
+                ep.COLUMN_MIN_ROWS, ep.NUMPY_MIN_ROWS = 10 ** 9, 10 ** 9
+                variants["rows"] = _run_variant(plan, rows)
+                ep.COLUMN_MIN_ROWS = 1
+                variants["columns"] = _run_variant(plan, rows)
+                ep.NUMPY_MIN_ROWS = 1
+                variants["numpy"] = _run_variant(plan, rows)
             if db.encoded:
                 codec = db.codec
                 enc_plan = db.expansion_plan(rel.schema, encoded=True)
                 assert enc_plan.out_schema == plan.out_schema
                 enc_rows = [codec.encode_row(rel.schema, r) for r in rows]
-                ep.COLUMN_MIN_ROWS = 10 ** 9
-                ep.NUMPY_MIN_ROWS_ENCODED = 10 ** 9
-                enc_variants = {"encoded-rows": _run_variant(enc_plan, enc_rows)}
-                ep.COLUMN_MIN_ROWS = 1
-                enc_variants["encoded-columns"] = _run_variant(enc_plan, enc_rows)
-                ep.NUMPY_MIN_ROWS_ENCODED = 1
-                enc_variants["encoded-numpy"] = _run_variant(enc_plan, enc_rows)
+                enc_variants = {}
+                with ndarray_forced("off"):
+                    ep.COLUMN_MIN_ROWS = 10 ** 9
+                    ep.NUMPY_MIN_ROWS_ENCODED = 10 ** 9
+                    enc_variants["encoded-rows"] = _run_variant(enc_plan, enc_rows)
+                    ep.COLUMN_MIN_ROWS = 1
+                    enc_variants["encoded-columns"] = _run_variant(enc_plan, enc_rows)
+                    ep.NUMPY_MIN_ROWS_ENCODED = 1
+                    enc_variants["encoded-numpy"] = _run_variant(enc_plan, enc_rows)
+                # The ndarray frontier backend, forced onto every batch
+                # size — the same rows (including the garbage/duplicate
+                # ones and any codes interned mid-loop) must produce the
+                # identical aligned output and identical counts.
+                with ndarray_forced("on"):
+                    enc_variants["encoded-ndarray"] = _run_variant(
+                        enc_plan, enc_rows
+                    )
                 for variant, (counter, out) in enc_variants.items():
                     decoded = [
                         None if r is None
@@ -508,6 +639,36 @@ def assert_plane_equivalence(query, db) -> None:
     assert _run_csma(query, encoded_db, schema) == _run_csma(
         query, decoded_db, schema
     )
+
+
+def assert_ndarray_backend_equivalence(query, db) -> None:
+    """The ndarray frontier backend ≡ the row-loop backend, bit-identically.
+
+    Runs every engine's work profile twice on the encoded plane — once
+    with the array-of-int64 backend forced onto every batch, once with it
+    forced off (the generated row-loop / columnwise backends) — and
+    asserts identical ``tuples_touched`` everywhere plus identical CSMA
+    results.  Any drift means the block backend changed the measured work
+    shape, not just the constant factor.
+    """
+    encoded_db = db if db.encoded else Database(
+        list(db.relations.values()),
+        fds=db.fds,
+        udfs=list(db.udfs),
+        degree_bounds=db.degree_bounds,
+        encode=True,
+    )
+    schema = tuple(sorted(query.variables))
+    with ndarray_forced("on"):
+        on_profile = engine_work_profile(query, encoded_db)
+        on_result = _run_csma(query, encoded_db, schema)
+    with ndarray_forced("off"):
+        off_profile = engine_work_profile(query, encoded_db)
+        off_result = _run_csma(query, encoded_db, schema)
+    assert on_profile == off_profile, (
+        f"ndarray-vs-row-loop work drift: {on_profile} != {off_profile}"
+    )
+    assert on_result == off_result
 
 
 def assert_lp_backend_equivalence(query, db) -> None:
