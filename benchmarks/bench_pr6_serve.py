@@ -1,0 +1,136 @@
+"""PR6 — serving and robustness: latency/throughput of the query service.
+
+The earlier suites gate the *kernels* (tuples_touched, growth exponents,
+plane equivalence); this one gates the *service* wrapped around them:
+
+* **closed loop** — N client threads, think-time zero, retries with
+  exponential backoff on retryable errors: the service-side view of a
+  saturated tenant (p50/p99 latency, achieved QPS, zero failures when no
+  faults are armed);
+* **open loop** — Poisson arrivals at a fixed offered rate against a
+  bounded admission queue: overload shows up as typed
+  ``ServiceOverloaded`` rejections, never as queue collapse;
+* **chaos** — the same closed loop with every fault site armed: the
+  accounting identity (completed + timeouts + engine faults = admitted
+  submissions) must balance exactly, and every finished request is either
+  bit-identical to the fault-free answer or a clean typed error — the
+  rates recorded here (rejection/degradation/failure) are what
+  ``check_regression.py`` tracks warn-only across PRs.
+
+The pytest entry point runs the smoke sizes (CI); ``run_serve_bench`` is
+what ``benchmarks/run_all.py`` records into ``BENCH_<tag>.json`` under
+the ``serve`` key.
+"""
+
+from __future__ import annotations
+
+from repro.serve.faults import FaultInjector
+from repro.serve.traffic import closed_loop, open_loop
+from repro.serve.workloads import build_demo_service, demo_requests
+
+#: (rounds, clients, open-loop rate) per level.  Smoke keeps CI under a
+#: second; full is run_all's trajectory measurement.
+LEVELS = {
+    "smoke": {"rounds": 4, "clients": 4, "rate_qps": 200.0},
+    "full": {"rounds": 30, "clients": 6, "rate_qps": 400.0},
+}
+
+CHAOS_SPEC = "worker:0.03,engine:0.05,alloc:0.03,timeout:0.03"
+
+
+def _quiet() -> FaultInjector:
+    return FaultInjector(seed=0)  # nothing armed, env-independent
+
+
+def _chaos() -> FaultInjector:
+    return FaultInjector.from_env(
+        {"REPRO_FAULTS": CHAOS_SPEC, "REPRO_FAULTS_SEED": "7"}
+    )
+
+
+def _run_closed(level: dict, faults: FaultInjector) -> dict:
+    with build_demo_service(
+        tenants=2, max_workers=4, queue_depth=8, faults=faults
+    ) as service:
+        requests = demo_requests(tenants=2, rounds=level["rounds"], seed=0)
+        report = closed_loop(
+            service, requests, clients=level["clients"], seed=0
+        )
+        report["service"] = service.metrics()
+    return report
+
+
+def _run_open(level: dict) -> dict:
+    with build_demo_service(
+        tenants=2, max_workers=4, queue_depth=4, faults=_quiet()
+    ) as service:
+        requests = demo_requests(tenants=2, rounds=level["rounds"], seed=1)
+        report = open_loop(
+            service, requests, rate_qps=level["rate_qps"], seed=1
+        )
+        report["service"] = service.metrics()
+    return report
+
+
+def accounting_balances(service_counters: dict) -> bool:
+    """completed + timeouts + engine_faults + admission rejections account
+    for every submission the bounded queue accepted."""
+    c = service_counters
+    return (
+        c["completed"]
+        + c["timeouts"]
+        + c["engine_faults"]
+        + c["rejected_admission"]
+        == c["submitted"]
+    )
+
+
+def run_serve_bench(level: str = "smoke") -> dict:
+    cfg = LEVELS[level]
+    closed = _run_closed(cfg, _quiet())
+    opened = _run_open(cfg)
+    chaos = _run_closed(cfg, _chaos())
+    return {
+        "level": level,
+        "closed_loop": closed,
+        "open_loop": opened,
+        "chaos": chaos,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (the smoke gate CI runs via run_bench_files)
+# ----------------------------------------------------------------------
+def test_closed_loop_fault_free_is_clean():
+    report = _run_closed(LEVELS["smoke"], _quiet())
+    assert report["requests"] > 0
+    assert report["ok"] == report["requests"]
+    assert report["failure_rate"] == 0.0
+    assert report["degradation_rate"] == 0.0
+    assert report["p99_ms"] >= report["p50_ms"] > 0.0
+    assert accounting_balances(report["service"])
+
+
+def test_open_loop_overload_is_typed_rejection_only():
+    report = _run_open(LEVELS["smoke"])
+    # Whatever the offered rate did, nothing fell outside the taxonomy:
+    # every request is completed, admission-rejected, or overload-rejected.
+    assert report["ok"] + report["rejected_overload"] == report["requests"]
+    assert report["timeouts"] == 0 and report["engine_faults"] == 0
+    assert accounting_balances(report["service"])
+
+
+def test_chaos_accounting_balances_exactly():
+    report = _run_closed(LEVELS["smoke"], _chaos())
+    counters = report["service"]
+    assert accounting_balances(counters)
+    assert sum(counters["faults_fired"].values()) > 0
+    # Retries recovered some retryable failures: clients still finished
+    # work under the storm.
+    assert report["ok"] > 0
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_serve_bench(level="full"), indent=2, sort_keys=True))

@@ -111,7 +111,55 @@ def compare(
         baseline.get("e17", {}), fresh.get("e17", {}), failures, warnings,
         strict=strict_e17,
     )
+    _compare_serve(baseline.get("serve"), fresh.get("serve"), warnings)
     return failures, warnings
+
+
+#: Absolute drift in a serving *rate* (rejection/degradation/failure,
+#: all in [0, 1]) before the trajectory warns.
+SERVE_RATE_SLACK = 0.25
+#: Fresh p99 may be up to this multiple of the baseline p99.
+SERVE_P99_SLACK = 2.0
+
+
+def _compare_serve(
+    base_serve: dict | None, fresh_serve: dict | None, warnings: list[str]
+) -> None:
+    """The serving trajectory: warn-only, never fail.
+
+    Latency and throughput are machine- and load-dependent, and the
+    chaos rates move with the injected-fault seed — none of that is a
+    correctness signal (the serve test suites gate correctness).  But a
+    doubled p99 or a rejection rate jumping by 0.25 should be visible in
+    the CI log.  Silently skipped when the baseline predates the
+    ``serve`` section.
+    """
+    if not base_serve or not fresh_serve:
+        return
+    for section in ("closed_loop", "open_loop", "chaos"):
+        base_row = base_serve.get(section)
+        fresh_row = fresh_serve.get(section)
+        if not base_row or not fresh_row:
+            continue
+        base_p99 = base_row.get("p99_ms")
+        fresh_p99 = fresh_row.get("p99_ms")
+        if base_p99 and fresh_p99 and fresh_p99 > base_p99 * SERVE_P99_SLACK:
+            warnings.append(
+                f"serve {section} p99 regressed: baseline {base_p99}ms vs "
+                f"fresh {fresh_p99}ms (> {SERVE_P99_SLACK}x; timing only)"
+            )
+        for rate in ("rejection_rate", "degradation_rate", "failure_rate"):
+            base_val = base_row.get(rate)
+            fresh_val = fresh_row.get(rate)
+            if base_val is None or fresh_val is None:
+                continue
+            drift = abs(fresh_val - base_val)
+            if drift > SERVE_RATE_SLACK:
+                warnings.append(
+                    f"serve {section} {rate} drifted: baseline {base_val} "
+                    f"vs fresh {fresh_val} (|Δ| = {drift:.3f} > "
+                    f"{SERVE_RATE_SLACK}; warn-only)"
+                )
 
 
 def _compare_e17(

@@ -24,7 +24,11 @@ generations honestly:
   per-workload ``tuples_touched`` (bit-identical across the encoded and
   decoded planes, asserted in-run), both planes' wall-clocks, the
   encoded-plane speedup, and peak RSS.  ``--quick`` runs the smoke sizes
-  only; the full ≥1M-row sweep runs otherwise.
+  only; the full ≥1M-row sweep runs otherwise;
+* ``serve`` — the PR6 serving suite (``bench_pr6_serve``): closed-loop
+  latency percentiles and QPS, open-loop overload behavior, and the
+  chaos run's rejection/degradation/failure rates.  Compared warn-only
+  by ``check_regression.py`` (latency and rates are machine-dependent).
 
 See PERFORMANCE.md for how to read tuples_touched vs wall-clock.
 """
@@ -187,6 +191,18 @@ def main() -> int:
     level = "smoke" if args.quick or args.e17_only else "full"
     print(f"e17 sweep ({level}):")
     payload["e17"] = run_e17_sweep(level=level)
+    if not args.e17_only:
+        from bench_pr6_serve import run_serve_bench
+
+        print(f"serve bench ({level}):")
+        payload["serve"] = run_serve_bench(level=level)
+        closed = payload["serve"]["closed_loop"]
+        chaos = payload["serve"]["chaos"]
+        print(
+            f"  closed-loop p50 {closed['p50_ms']}ms p99 {closed['p99_ms']}ms "
+            f"({closed['qps']} qps); chaos failure rate "
+            f"{chaos['failure_rate']}"
+        )
     payload["peak_rss_kb"] = peak_rss_kb()
 
     out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{args.tag}.json"

@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-khamis-ns16",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of Khamis-Ngo-Suciu (PODS'16): output-size bounds "
         "and worst-case-optimal join algorithms over FD lattices"
@@ -10,6 +10,13 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            # Drive the demo multi-tenant service and print a JSON report
+            # (latency percentiles, QPS, rejection/degradation rates).
+            "repro-serve=repro.serve.cli:main",
+        ],
+    },
     install_requires=[
         "numpy",
     ],

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import os
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 from repro.engine import frontier
@@ -35,19 +36,35 @@ from repro.engine.expansion_plan import (
 )
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
+from repro.errors import ExpansionError  # noqa: F401  (historical home)
 from repro.fds.fd import FD, FDSet, VarSet
 from repro.fds.udf import UDF, UDFRegistry
-
-
-class ExpansionError(RuntimeError):
-    """An fd could not be applied: no guard relation and no UDF."""
-
 
 #: Dictionary encoding is the default data plane; ``REPRO_ENCODE=0``
 #: reverts every new Database to the decoded (PR3) kernel.
 _ENCODE_DEFAULT = os.environ.get("REPRO_ENCODE", "").strip().lower() not in (
     "0", "false", "no", "off"
 )
+
+#: LRU cap shared by the per-database compiled-kernel caches (tuple plans,
+#: relation plans, guard lookups, udf filters).  Every entry memoizes a
+#: pure compilation, so eviction only costs a recompile — the cap exists
+#: for long-uptime serving, where a tenant's query mix churns through far
+#: more (schema, target, plane) combinations than any one benchmark run.
+PLAN_CACHE_MAX = int(os.environ.get("REPRO_PLAN_CACHE_MAX", "") or 512)
+
+
+def _lru_get(cache: OrderedDict, key):
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+    return hit
+
+
+def _lru_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    while len(cache) > PLAN_CACHE_MAX:
+        cache.popitem(last=False)
 
 
 class Database:
@@ -72,23 +89,35 @@ class Database:
         udfs: Iterable[UDF] = (),
         degree_bounds: Mapping[tuple[VarSet, str], int] | None = None,
         encode: bool | None = None,
+        codec: Codec | None = None,
     ):
+        if codec is not None:
+            # A caller-supplied codec (the serving layer shares one per
+            # tenant across that tenant's databases) implies the encoded
+            # plane.
+            if encode is False:
+                raise ValueError("codec= given but encode=False requested")
+            self.codec: Codec | None = codec
+        else:
+            self.codec = (
+                Codec()
+                if (encode if encode is not None else _ENCODE_DEFAULT)
+                else None
+            )
         self.relations: dict[str, Relation] = {}
-        self.codec: Codec | None = (
-            Codec()
-            if (encode if encode is not None else _ENCODE_DEFAULT)
-            else None
-        )
         self._runtime: dict[str, Relation] = {}
-        # Compiled-kernel caches.  Keys incorporate len(fds)/len(udfs) so
-        # post-hoc fd/udf registration cannot serve stale plans; adding a
-        # relation clears everything (it may become a better guard).
-        self._tuple_plans: dict[tuple, ExpansionPlan] = {}
-        self._relation_plans: dict[tuple, RelationExpansionPlan] = {}
-        self._guard_lookups: dict[tuple, dict] = {}
+        # Compiled-kernel caches (LRU, capped at PLAN_CACHE_MAX).  Keys
+        # incorporate len(fds)/len(udfs) so post-hoc fd/udf registration
+        # cannot serve stale plans; adding a relation clears everything
+        # (it may become a better guard).
+        self._tuple_plans: OrderedDict[tuple, ExpansionPlan] = OrderedDict()
+        self._relation_plans: OrderedDict[tuple, RelationExpansionPlan] = (
+            OrderedDict()
+        )
+        self._guard_lookups: OrderedDict[tuple, dict] = OrderedDict()
         # Keyed on (schema, #udfs, plane) — the salt covers post-hoc
         # registration.
-        self._udf_filters: dict[tuple, tuple] = {}
+        self._udf_filters: OrderedDict[tuple, tuple] = OrderedDict()
         for rel in relations:
             self.add(rel)
         self.fds: FDSet = fds if fds is not None else FDSet()
@@ -121,6 +150,32 @@ class Database:
         self._relation_plans.clear()
         self._guard_lookups.clear()
         self._udf_filters.clear()
+
+    def rebuild_codec(self, codec: Codec | None = None) -> Codec:
+        """Swap in a fresh (or caller-shared) codec and re-encode every
+        stored relation through it.
+
+        The dictionaries' append-only/stable-code contract means cold
+        entries — values interned by long-gone queries' mid-run UDF
+        evaluations — can never be evicted *in place*.  A long-uptime
+        service instead compacts wholesale: rebuild from the live stored
+        relations, dropping everything else.  All compiled plans and the
+        runtime twins are invalidated (they embed the old codes); results
+        are unchanged because encoding is a bijection per codec.
+
+        Must not run concurrently with queries on this database — the
+        serving layer compacts only when the tenant has no query in
+        flight.
+        """
+        if self.codec is None:
+            raise ValueError("rebuild_codec on a codec-less database")
+        self.codec = codec if codec is not None else Codec()
+        self._runtime = {
+            name: self.codec.encode_relation(rel)
+            for name, rel in self.relations.items()
+        }
+        self._invalidate_plans()
+        return self.codec
 
     @property
     def encoded(self) -> bool:
@@ -189,12 +244,12 @@ class Database:
         encoded: bool,
     ) -> dict:
         key = (guard.name, key_attrs, value_attrs, multi, encoded)
-        cached = self._guard_lookups.get(key)
+        cached = _lru_get(self._guard_lookups, key)
         if cached is None:
             build = build_multi_guard_lookup if multi else build_guard_lookup
             source = self.runtime(guard.name) if encoded else guard
             cached = build(source, key_attrs, value_attrs)
-            self._guard_lookups[key] = cached
+            _lru_put(self._guard_lookups, key, cached)
         return cached
 
     def _encoded_udf_fn(self, udf: UDF):
@@ -346,7 +401,7 @@ class Database:
         if encoded and self.codec is None:
             raise ValueError("encoded plan requested on a codec-less database")
         key = (source_schema, target, encoded, self._plan_salt())
-        cached = self._tuple_plans.get(key)
+        cached = _lru_get(self._tuple_plans, key)
         if cached is not None:
             return cached
         goal = (
@@ -358,7 +413,7 @@ class Database:
             source_schema, goal, relation_mode=False, encoded=encoded
         )
         plan = ExpansionPlan(source_schema, layout, steps, encoded=encoded)
-        self._tuple_plans[key] = plan
+        _lru_put(self._tuple_plans, key, plan)
         return plan
 
     def relation_plan(
@@ -374,7 +429,7 @@ class Database:
         if encoded and self.codec is None:
             raise ValueError("encoded plan requested on a codec-less database")
         key = (source_schema, encoded, self._plan_salt())
-        cached = self._relation_plans.get(key)
+        cached = _lru_get(self._relation_plans, key)
         if cached is not None:
             return cached
         goal = self.fds.closure(frozenset(source_schema))
@@ -384,7 +439,7 @@ class Database:
         plan = RelationExpansionPlan(
             source_schema, layout, steps, encoded=encoded
         )
-        self._relation_plans[key] = plan
+        _lru_put(self._relation_plans, key, plan)
         return plan
 
     def expand_rows(
@@ -626,7 +681,7 @@ class Database:
         """
         schema = tuple(schema)
         key = (schema, len(self.udfs), encoded)
-        cached = self._udf_filters.get(key)
+        cached = _lru_get(self._udf_filters, key)
         if cached is None:
             checks = self._udf_check_triples(schema)
             if not checks:

@@ -48,6 +48,7 @@ Contracts the rest of the engine relies on:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 from repro.engine.relation import Relation
@@ -59,13 +60,22 @@ class Dictionary:
     ``values`` is the decode table (``values[code]`` is the interned
     value); consumers may capture the list object itself — it grows in
     place and codes never move.
+
+    Interning is thread-safe: a codec shared by several tenant databases
+    may be probed from many worker threads at once.  The hit path stays
+    lock-free (a dict read under the GIL), only a *miss* takes the
+    per-dictionary lock to re-check and append — so two threads racing
+    on the same fresh value agree on one code, and codes stay dense.
+    The decode table is appended *before* the code is published, so a
+    lock-free reader that sees a code can always decode it.
     """
 
-    __slots__ = ("values", "_codes")
+    __slots__ = ("values", "_codes", "_lock")
 
     def __init__(self) -> None:
         self.values: list = []
         self._codes: dict = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.values)
@@ -76,10 +86,13 @@ class Dictionary:
         try:
             return codes[value]
         except KeyError:
-            code = len(self.values)
-            codes[value] = code
-            self.values.append(value)
-            return code
+            with self._lock:
+                code = codes.get(value)
+                if code is None:
+                    code = len(self.values)
+                    self.values.append(value)
+                    codes[value] = code
+                return code
 
     def code_of(self, value) -> int | None:
         """The code of ``value`` without interning (``None`` when unseen)."""
@@ -110,6 +123,14 @@ class Codec:
         if d is None:
             d = self.dictionaries[attr] = Dictionary()
         return d
+
+    def total_values(self) -> int:
+        """Total interned values across every attribute dictionary — the
+        long-uptime memory proxy the serving layer caps (cold entries are
+        evicted wholesale by rebuilding the codec from the live stored
+        relations; codes are append-only, so per-entry eviction would
+        break the stability contract)."""
+        return sum(len(d) for d in self.dictionaries.values())
 
     # -- rows ----------------------------------------------------------
     def encode_row(self, schema: Sequence[str], row: Sequence) -> tuple:

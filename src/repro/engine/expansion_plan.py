@@ -50,6 +50,7 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None
 
 from repro.engine import frontier as _frontier
+from repro.engine.cancellation import checkpoint
 
 GUARD = 0
 UDF = 1
@@ -288,6 +289,7 @@ class ExpansionPlan:
         n = len(tuples)
         if n == 0:
             return []
+        checkpoint()  # frontier-block granularity deadline/fault check-in
         if self.encoded and _frontier.ndarray_roundtrip_engaged(n):
             block = _frontier.rows_to_block(tuples, len(self.source_schema))
             if block is not None:
@@ -315,6 +317,7 @@ class ExpansionPlan:
         """
         if n == 0:
             return []
+        checkpoint()  # frontier-block granularity deadline/fault check-in
         if (
             self.encoded
             and self.steps
@@ -439,6 +442,7 @@ class ExpansionPlan:
         for spec in self._ndarray_specs():
             if m == 0:
                 break
+            checkpoint()  # per plan step over the whole block
             touched += m
             kind = spec[0]
             if kind == "udf":
@@ -522,6 +526,7 @@ class ExpansionPlan:
         for tag, positions, payload in self.steps:
             if m == 0:
                 break
+            checkpoint()  # per plan step over the whole column store
             touched += m
             if tag != UDF:
                 images = self._guard_images(
@@ -639,6 +644,7 @@ class RelationExpansionPlan:
         """
         current = tuples
         for tag, extract, payload in self._compiled:
+            checkpoint()  # per plan step over the whole relation
             out = []
             if tag == GUARD:
                 for t in current:

@@ -30,6 +30,10 @@ Python objects and never enter a block.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.engine.cancellation import checkpoint
 
 try:  # pragma: no cover - the image bakes numpy in
     import numpy as np
@@ -54,13 +58,38 @@ _OFF = frozenset({"0", "off", "never", "false", "no"})
 #: Mutable module state so the differential harness can force both modes.
 NDARRAY_MODE = os.environ.get("REPRO_BATCH_NDARRAY", "").strip().lower() or "auto"
 
+#: Per-context mode override: the serving layer's degradation chain runs
+#: one query's fallback stage with the block backend off *without*
+#: touching the process-global mode other worker threads are using.
+_MODE_OVERRIDE: ContextVar[str | None] = ContextVar(
+    "repro_ndarray_mode_override", default=None
+)
+
+
+def active_mode() -> str:
+    """The mode in force for the current context: the contextual override
+    when one is installed, the module-global knob otherwise."""
+    override = _MODE_OVERRIDE.get()
+    return NDARRAY_MODE if override is None else override
+
+
+@contextmanager
+def mode_override(mode: str):
+    """Force ``mode`` (``auto``/``on``/``off``) for the dynamic extent of
+    the block, in this thread/context only."""
+    token = _MODE_OVERRIDE.set(mode)
+    try:
+        yield
+    finally:
+        _MODE_OVERRIDE.reset(token)
+
 
 def ndarray_engaged(n: int) -> bool:
     """Does the block backend handle an encoded batch of ``n`` rows under
     the current mode?  (Callers have already checked ``plan.encoded``.)"""
     if np is None or n <= 0:
         return False
-    mode = NDARRAY_MODE
+    mode = active_mode()
     if mode in _OFF:
         return False
     if mode in _ON:
@@ -73,7 +102,7 @@ def ndarray_forced_on() -> bool:
     with extra engagement heuristics (e.g. generic join's determined-run
     length) bypass them under force, so the differential variants and the
     CI cross gate exercise the block path everywhere it can run."""
-    return np is not None and NDARRAY_MODE in _ON
+    return np is not None and active_mode() in _ON
 
 
 def ndarray_roundtrip_engaged(n: int) -> bool:
@@ -207,6 +236,7 @@ def sorted_key_block(block):
     kind table above) and ``order`` is the stable argsort permutation, so
     callers can align per-key payload rows with the sorted keys.
     """
+    checkpoint()  # block-granularity deadline/fault check-in
     n, k = block.shape
     if n == 0:
         return ("empty", None, None), np.empty(0, dtype=np.int64)
@@ -268,6 +298,7 @@ def key_join(struct, block, positions):
     probe loop would emit, in the same order.  ``touched`` is the total
     match count (the per-tuple counter charges, summed).
     """
+    checkpoint()  # block-granularity deadline/fault check-in
     kind, sorted_keys, _ = struct
     n = block.shape[0]
     if kind == "empty":

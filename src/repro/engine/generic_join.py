@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine import frontier as frontier_blocks
+from repro.engine.cancellation import checkpoint
 from repro.engine.database import Database
 from repro.engine.expansion_plan import tuple_getter
 from repro.engine.ops import WorkCounter
@@ -163,6 +164,7 @@ def generic_join(
     frontier: list[tuple] = [()]
     is_block = False
     for depth, var in enumerate(order):
+        checkpoint()  # frontier-block granularity deadline/fault check-in
         n = frontier.shape[0] if is_block else len(frontier)
         if not n:
             break
@@ -220,7 +222,9 @@ def generic_join(
         # Per-depth counter charges accumulate locally and post once —
         # the total is bit-identical to the per-prefix ``add`` calls.
         touched = 0
-        for prefix in frontier:
+        for prefix_i, prefix in enumerate(frontier):
+            if not prefix_i & 2047:  # re-check every 2048 prefixes
+                checkpoint()
             # Choose the atom with the fewest matching extensions.
             best = None
             best_count = None

@@ -28,6 +28,7 @@ from decimal import Decimal
 from fractions import Fraction
 from typing import Sequence
 
+from repro.engine.cancellation import checkpoint
 from repro.engine.database import Database
 from repro.engine.ops import WorkCounter
 from repro.engine.relation import Relation
@@ -281,6 +282,7 @@ def leapfrog_triejoin(
 
     def descend(depth: int, prefix: tuple,
                 open_iters: dict[str, TrieIterator]) -> None:
+        checkpoint()  # per-node deadline/fault check-in
         if depth == n_vars:
             if consistent is None or consistent(prefix):
                 results.append(prefix)

@@ -1,0 +1,174 @@
+"""Structured error taxonomy for the engine and the serving layer.
+
+Every failure the kernel or the query service can surface is a
+:class:`ReproError` carrying *machine-readable* context — tenant, engine,
+backend, a retryable flag and free-form extras — so retry/degrade logic
+dispatches on types and fields, never on exception strings.
+
+The hierarchy:
+
+* :class:`ExpansionError` — an fd could not be applied (no guard relation
+  and no UDF); raised by plan compilation and the reference path.  The
+  historical type (it predates the taxonomy) re-exported from
+  ``repro.engine.database`` for compatibility.
+* :class:`QueryTimeout` — a cooperative deadline expired mid-run
+  (:mod:`repro.engine.cancellation`); the worker is released, nothing is
+  orphaned.  Not retryable by default: retrying the same query against
+  the same deadline would time out again.
+* :class:`AdmissionRejected` — the certified CLLP/LLP output bound
+  exceeds the tenant's budget.  Carries the bound, the budget and the
+  exact optimality certificate of the bound solve, so a rejected client
+  holds a *proof* the query was oversized, not a heuristic guess.
+* :class:`ServiceOverloaded` — the bounded admission queue is full.
+  Retryable: backoff and resubmit is the intended client reaction.
+* :class:`EngineFault` — an unexpected engine-internal failure (including
+  injected faults and allocation failures), classified and wrapped.
+  Retryable: the service's degradation chain retries on a simpler
+  backend, and a client may resubmit.
+
+:func:`classify` is the single choke point turning arbitrary exceptions
+into taxonomy members.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(RuntimeError):
+    """Base of the taxonomy: a message plus machine-readable context."""
+
+    #: Default retry semantics for the class; instances may override.
+    retryable: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        engine: str | None = None,
+        backend: str | None = None,
+        retryable: bool | None = None,
+        **extra: Any,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.engine = engine
+        self.backend = backend
+        if retryable is not None:
+            self.retryable = retryable
+        self.extra = extra
+
+    def annotate(self, **fields: Any) -> "ReproError":
+        """Fill context fields that are still unset (never overwrites);
+        returns self so ``raise exc.annotate(tenant=...)`` reads naturally.
+
+        The engine raises with the fields it knows (backend, engine); the
+        service annotates tenant/engine on the way out.
+        """
+        for name in ("tenant", "engine", "backend"):
+            value = fields.pop(name, None)
+            if value is not None and getattr(self, name) is None:
+                setattr(self, name, value)
+        for key, value in fields.items():
+            self.extra.setdefault(key, value)
+        return self
+
+    def context(self) -> dict[str, Any]:
+        """The machine-readable context dict (what a service response or
+        a structured log line would serialize)."""
+        ctx: dict[str, Any] = {
+            "type": type(self).__name__,
+            "message": str(self),
+            "tenant": self.tenant,
+            "engine": self.engine,
+            "backend": self.backend,
+            "retryable": self.retryable,
+        }
+        ctx.update(self.extra)
+        return ctx
+
+
+class ExpansionError(ReproError):
+    """An fd could not be applied: no guard relation and no UDF."""
+
+
+class QueryTimeout(ReproError):
+    """A cooperative per-query deadline expired mid-run."""
+
+    retryable = False
+
+    def __init__(self, message: str, *, deadline_s: float | None = None, **kw):
+        super().__init__(message, **kw)
+        self.deadline_s = deadline_s
+        if deadline_s is not None:
+            self.extra.setdefault("deadline_s", deadline_s)
+
+
+class AdmissionRejected(ReproError):
+    """The certified output bound exceeds the tenant's budget.
+
+    ``bound_log2``/``budget_log2`` are in log2 output tuples;
+    ``certificate`` is the exact optimality certificate of the bound
+    solve when the exact LP backend participated (always, under the
+    service's forced-exact admission solves), so the rejection carries
+    its own proof.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        bound_log2: float | None = None,
+        budget_log2: float | None = None,
+        certificate=None,
+        **kw,
+    ):
+        super().__init__(message, **kw)
+        self.bound_log2 = bound_log2
+        self.budget_log2 = budget_log2
+        self.certificate = certificate
+        if bound_log2 is not None:
+            self.extra.setdefault("bound_log2", bound_log2)
+        if budget_log2 is not None:
+            self.extra.setdefault("budget_log2", budget_log2)
+        self.extra.setdefault("certified", certificate is not None)
+
+
+class ServiceOverloaded(ReproError):
+    """The bounded admission queue is full; back off and resubmit."""
+
+    retryable = True
+
+
+class EngineFault(ReproError):
+    """An unexpected engine-internal failure, classified and wrapped."""
+
+    retryable = True
+
+    def __init__(self, message: str, *, stage: str | None = None, **kw):
+        super().__init__(message, **kw)
+        self.stage = stage
+        if stage is not None:
+            self.extra.setdefault("stage", stage)
+
+
+def classify(exc: BaseException, **context: Any) -> ReproError:
+    """Turn an arbitrary exception into a taxonomy member.
+
+    Taxonomy members pass through (annotated with ``context``); anything
+    else — injected faults, allocation failures, genuine bugs — wraps
+    into an :class:`EngineFault` whose ``__cause__`` keeps the original
+    traceback.  ``MemoryError`` is tagged ``kind="allocation"`` so ops
+    dashboards can split resource pressure from logic faults.
+    """
+    if isinstance(exc, ReproError):
+        return exc.annotate(**context)
+    kind = "allocation" if isinstance(exc, MemoryError) else "exception"
+    fault = EngineFault(
+        f"{type(exc).__name__}: {exc}", kind=kind, **context
+    )
+    fault.__cause__ = exc
+    return fault

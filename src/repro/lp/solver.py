@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
@@ -77,15 +79,43 @@ BOTH_OBJECTIVE_TOL = 1e-7
 
 _BACKENDS = ("auto", "exact", "scipy", "both")
 
+#: Per-context policy override.  The serving layer's admission control
+#: forces the exact backend for its certified bound without mutating the
+#: process environment other worker threads read concurrently.  Every
+#: memo key derived from :func:`lp_backend` (here and in
+#: :mod:`repro.lp.llp`) sees the override, so cached solutions never leak
+#: across policies.
+_BACKEND_OVERRIDE: ContextVar[str | None] = ContextVar(
+    "repro_lp_backend_override", default=None
+)
+
 
 def lp_backend() -> str:
-    """The configured backend policy (env ``REPRO_LP_BACKEND``)."""
-    value = os.environ.get("REPRO_LP_BACKEND", "auto").strip().lower() or "auto"
+    """The backend policy in force: the contextual override when one is
+    installed, the env knob ``REPRO_LP_BACKEND`` otherwise."""
+    value = _BACKEND_OVERRIDE.get()
+    if value is None:
+        value = os.environ.get("REPRO_LP_BACKEND", "auto").strip().lower() or "auto"
     if value not in _BACKENDS:
         raise ValueError(
             f"REPRO_LP_BACKEND must be one of {_BACKENDS}, got {value!r}"
         )
     return value
+
+
+@contextmanager
+def forced_lp_backend(policy: str):
+    """Force ``policy`` (``auto``/``exact``/``scipy``/``both``) for the
+    dynamic extent of the block, in this thread/context only."""
+    if policy not in _BACKENDS:
+        raise ValueError(
+            f"backend policy must be one of {_BACKENDS}, got {policy!r}"
+        )
+    token = _BACKEND_OVERRIDE.set(policy)
+    try:
+        yield
+    finally:
+        _BACKEND_OVERRIDE.reset(token)
 
 
 def _resolve_backend(n_vars: int, n_rows: int) -> str:

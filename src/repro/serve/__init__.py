@@ -1,0 +1,28 @@
+"""Fault-tolerant multi-tenant serving layer over the repro engines."""
+
+from repro.serve.admission import AdmissionDecision, admit, certified_bound
+from repro.serve.faults import FaultInjector, PoisonedValue, poison_codec
+from repro.serve.service import (
+    ENGINES,
+    QueryResult,
+    QueryService,
+    Tenant,
+    canonical_rows,
+)
+from repro.serve.traffic import closed_loop, open_loop
+
+__all__ = [
+    "AdmissionDecision",
+    "admit",
+    "certified_bound",
+    "FaultInjector",
+    "PoisonedValue",
+    "poison_codec",
+    "ENGINES",
+    "QueryResult",
+    "QueryService",
+    "Tenant",
+    "canonical_rows",
+    "closed_loop",
+    "open_loop",
+]

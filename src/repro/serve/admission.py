@@ -1,0 +1,107 @@
+"""Certified admission control: reject oversized queries *with proof*.
+
+Before a query executes, the service solves the paper's LLP for the
+query's lattice presentation (Prop. 3.4 — the GLVV bound) and compares
+the certified log2 output bound against the tenant's budget.  Small
+programs solve on the exact rational backend
+(:func:`repro.lp.solver.forced_lp_backend`), so a rejection carries an
+:class:`~repro.lp.exact.ExactCertificate` — a machine-checkable proof
+that *any* engine would have been allowed to produce up to
+``2**bound_log2`` tuples, i.e. the rejection is a theorem, not a
+heuristic.  Programs past the exact-size cutoff fall back to the
+configured policy and the decision is flagged ``certified=False``.
+
+The solve itself is cheap and memoized per lattice
+(:mod:`repro.lp.llp`), so repeated submissions of the same query shape
+hit the cache.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import AdmissionRejected
+from repro.lattice.builders import lattice_from_query
+from repro.lp.llp import LatticeLinearProgram, LLPSolution
+from repro.lp.solver import forced_lp_backend
+
+#: Lattice-size cutoff for forcing the exact backend on admission solves.
+#: The Fraction simplex is exponential-free but its constant grows with
+#: the submodularity row count (quadratic in lattice size); above the
+#: cutoff admission falls back to the ambient policy and the decision is
+#: uncertified.
+ADMIT_EXACT_MAX_ELEMENTS = int(os.environ.get("REPRO_ADMIT_EXACT_MAX", "") or 24)
+
+
+@dataclass
+class AdmissionDecision:
+    """The outcome of one admission check (always returned on *admit*;
+    carried inside :class:`~repro.errors.AdmissionRejected` on reject)."""
+
+    admitted: bool
+    bound_log2: float
+    budget_log2: float | None
+    certified: bool
+    solution: LLPSolution
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """The dual inequality's per-atom weights (the bound's witness)."""
+        return {
+            name: float(w)
+            for name, w in self.solution.inequality.weights.items()
+        }
+
+
+def certified_bound(query, db) -> tuple[float, LLPSolution, bool]:
+    """The GLVV log2 output bound for ``query`` on ``db``'s cardinalities,
+    solved exactly when the lattice is small enough.
+
+    Returns ``(bound_log2, solution, certified)`` where ``certified``
+    means the exact backend produced (and verified) the optimality
+    certificate.
+    """
+    lattice, inputs = lattice_from_query(query)
+    log_sizes = {name: db.log_sizes()[name] for name in inputs}
+    program = LatticeLinearProgram(lattice, inputs, log_sizes)
+    if lattice.n <= ADMIT_EXACT_MAX_ELEMENTS:
+        with forced_lp_backend("exact"):
+            solution = program.solve()
+    else:
+        solution = program.solve()
+    certified = solution.certificate is not None
+    return solution.objective, solution, certified
+
+
+def admit(
+    query,
+    db,
+    budget_log2: float | None,
+    tenant: str | None = None,
+) -> AdmissionDecision:
+    """Admit ``query`` or raise :class:`AdmissionRejected`.
+
+    ``budget_log2`` is the tenant's per-query output budget in log2
+    tuples (``None`` = unlimited: the bound is still computed and
+    reported, nothing is rejected).
+    """
+    bound_log2, solution, certified = certified_bound(query, db)
+    decision = AdmissionDecision(
+        admitted=budget_log2 is None or bound_log2 <= budget_log2,
+        bound_log2=bound_log2,
+        budget_log2=budget_log2,
+        certified=certified,
+        solution=solution,
+    )
+    if not decision.admitted:
+        raise AdmissionRejected(
+            f"certified output bound 2^{bound_log2:.3f} exceeds the "
+            f"tenant budget 2^{budget_log2:.3f}",
+            bound_log2=bound_log2,
+            budget_log2=budget_log2,
+            certificate=solution.certificate,
+            tenant=tenant,
+            weights=decision.weights,
+        )
+    return decision

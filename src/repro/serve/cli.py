@@ -1,0 +1,97 @@
+"""``repro-serve``: drive the demo multi-tenant service and print a report.
+
+Usage::
+
+    repro-serve --tenants 2 --workers 4 --rounds 10 --mode closed
+    repro-serve --mode open --rate 100 --faults engine:0.05,alloc:0.02
+    PYTHONPATH=src python -m repro.serve.cli --chaos
+
+Emits a JSON report (latency percentiles, QPS, rejection/degradation
+rates, service counters) on stdout — the same shape
+``benchmarks/bench_pr6_serve.py`` records into the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serve.faults import FaultInjector
+from repro.serve.traffic import closed_loop, open_loop
+from repro.serve.workloads import build_demo_service, demo_requests
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=10,
+                        help="request rounds per tenant per query shape")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop client threads")
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="open-loop arrival rate (QPS)")
+    parser.add_argument("--edges", type=int, default=48,
+                        help="edges per demo relation")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-tenant output budget (log2 tuples)")
+    parser.add_argument("--dictionary-cap", type=int, default=None,
+                        help="per-tenant interned-value cap (compaction)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-query deadline in seconds")
+    parser.add_argument("--faults", default=None,
+                        help="fault spec, e.g. engine:0.05,alloc:0.02 "
+                        "(default: REPRO_FAULTS env)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="shorthand: arm all fault sites at 5%%")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.chaos:
+        args.faults = args.faults or (
+            "worker:0.05,engine:0.05,alloc:0.05,timeout:0.05"
+        )
+    faults = None
+    if args.faults:
+        faults = FaultInjector.from_env(
+            {"REPRO_FAULTS": args.faults, "REPRO_FAULTS_SEED": str(args.seed)}
+        )
+
+    service = build_demo_service(
+        tenants=args.tenants,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        seed=args.seed,
+        n_edges=args.edges,
+        budget_log2=args.budget,
+        dictionary_cap=args.dictionary_cap,
+        faults=faults,
+    )
+    requests = demo_requests(
+        tenants=args.tenants,
+        rounds=args.rounds,
+        deadline_s=args.deadline,
+        seed=args.seed,
+    )
+    with service:
+        if args.mode == "closed":
+            report = closed_loop(
+                service, requests, clients=args.clients, seed=args.seed
+            )
+        else:
+            report = open_loop(
+                service, requests, rate_qps=args.rate, seed=args.seed
+            )
+        report["service"] = service.metrics()
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

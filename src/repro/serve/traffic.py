@@ -1,0 +1,217 @@
+"""Traffic generators for the query service: latency/robustness metrics.
+
+Two generators, mirroring the standard serving-benchmark taxonomy:
+
+* :func:`closed_loop` — ``clients`` threads issue requests back-to-back;
+  each retryable failure (:class:`~repro.errors.ServiceOverloaded`,
+  :class:`~repro.errors.EngineFault`) is retried with seeded-jitter
+  exponential backoff up to a retry budget.  Measures service latency
+  under a fixed concurrency level.
+* :func:`open_loop` — one dispatcher submits on a seeded
+  exponential-inter-arrival schedule regardless of completions (the
+  "arrival rate is not gated by the service" model); overload shows up
+  as fast rejections rather than queueing delay.
+
+Both return a plain-dict report (p50/p99/mean latency, achieved QPS,
+rejection and degradation rates, per-outcome counts) suitable for JSON
+trajectory files — ``benchmarks/bench_pr6_serve.py`` records it into
+``BENCH_<tag>.json`` and ``benchmarks/check_regression.py`` compares it
+warn-only.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.errors import (
+    AdmissionRejected,
+    QueryTimeout,
+    ReproError,
+    ServiceOverloaded,
+)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation, deterministic)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class _Stats:
+    """Shared outcome accounting for both generators."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies_ms: list[float] = []
+        self.counts = {
+            "requests": 0,
+            "ok": 0,
+            "degraded": 0,
+            "rejected_admission": 0,
+            "rejected_overload": 0,
+            "timeouts": 0,
+            "engine_faults": 0,
+            "retries": 0,
+        }
+
+    def record(self, outcome: str, latency_ms: float | None = None) -> None:
+        with self.lock:
+            self.counts[outcome] += 1
+            if latency_ms is not None:
+                self.latencies_ms.append(latency_ms)
+
+    def bump(self, key: str, n: int = 1) -> None:
+        with self.lock:
+            self.counts[key] += n
+
+    def report(self, wall_s: float) -> dict:
+        with self.lock:
+            lat = list(self.latencies_ms)
+            counts = dict(self.counts)
+        requests = counts["requests"]
+        finished = counts["ok"]
+        rejected = counts["rejected_admission"] + counts["rejected_overload"]
+        failed = rejected + counts["timeouts"] + counts["engine_faults"]
+        return {
+            **counts,
+            "wall_s": round(wall_s, 4),
+            "qps": round(finished / wall_s, 2) if wall_s > 0 else 0.0,
+            "p50_ms": round(percentile(lat, 0.50), 3),
+            "p99_ms": round(percentile(lat, 0.99), 3),
+            "mean_ms": round(sum(lat) / len(lat), 3) if lat else 0.0,
+            "rejection_rate": round(rejected / requests, 4) if requests else 0.0,
+            "degradation_rate": (
+                round(counts["degraded"] / finished, 4) if finished else 0.0
+            ),
+            "failure_rate": round(failed / requests, 4) if requests else 0.0,
+        }
+
+
+def _classify_outcome(err: ReproError) -> str:
+    if isinstance(err, AdmissionRejected):
+        return "rejected_admission"
+    if isinstance(err, ServiceOverloaded):
+        return "rejected_overload"
+    if isinstance(err, QueryTimeout):
+        return "timeouts"
+    return "engine_faults"
+
+
+def closed_loop(
+    service,
+    requests: list[dict],
+    clients: int = 4,
+    retry_budget: int = 3,
+    backoff_base_s: float = 0.005,
+    backoff_cap_s: float = 0.25,
+    seed: int = 0,
+) -> dict:
+    """Drive ``requests`` (dicts of :meth:`QueryService.execute` kwargs)
+    through ``clients`` closed-loop worker threads and report."""
+    stats = _Stats()
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        rng = random.Random((seed << 8) ^ client_id)
+        while True:
+            with cursor_lock:
+                i = cursor["next"]
+                if i >= len(requests):
+                    return
+                cursor["next"] = i + 1
+            request = requests[i]
+            stats.bump("requests")
+            attempt = 0
+            while True:
+                start = time.perf_counter()
+                try:
+                    result = service.execute(**request)
+                except ReproError as err:
+                    outcome = _classify_outcome(err)
+                    if err.retryable and attempt < retry_budget:
+                        attempt += 1
+                        stats.bump("retries")
+                        delay = min(
+                            backoff_cap_s,
+                            backoff_base_s
+                            * (2 ** attempt)
+                            * (0.5 + rng.random()),
+                        )
+                        time.sleep(delay)
+                        continue
+                    stats.record(outcome)
+                    break
+                latency_ms = (time.perf_counter() - start) * 1e3
+                stats.record("ok", latency_ms)
+                if result.degraded:
+                    stats.bump("degraded")
+                break
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return stats.report(time.perf_counter() - start)
+
+
+def open_loop(
+    service,
+    requests: list[dict],
+    rate_qps: float = 50.0,
+    seed: int = 0,
+    result_timeout_s: float = 60.0,
+) -> dict:
+    """Submit ``requests`` on a seeded exponential-inter-arrival schedule
+    (no retries — an open-loop client's next arrival doesn't wait), then
+    gather every future and report."""
+    stats = _Stats()
+    rng = random.Random(seed)
+    inflight: list = []
+    done_at: dict[int, float] = {}
+    done_lock = threading.Lock()
+
+    def stamp(future) -> None:
+        with done_lock:
+            done_at[id(future)] = time.perf_counter()
+
+    start = time.perf_counter()
+    for request in requests:
+        stats.bump("requests")
+        try:
+            submitted = time.perf_counter()
+            future = service.submit(**request)
+            future.add_done_callback(stamp)
+            inflight.append((submitted, future))
+        except ServiceOverloaded:
+            stats.record("rejected_overload")
+        # Exponential inter-arrival at the target rate.
+        time.sleep(-1.0 / rate_qps * _log1m(rng.random()))
+    for submitted, future in inflight:
+        try:
+            result = future.result(timeout=result_timeout_s)
+        except ReproError as err:
+            stats.record(_classify_outcome(err))
+            continue
+        finished = done_at.get(id(future), time.perf_counter())
+        stats.record("ok", (finished - submitted) * 1e3)
+        if result.degraded:
+            stats.bump("degraded")
+    return stats.report(time.perf_counter() - start)
+
+
+def _log1m(u: float) -> float:
+    """ln(1-u), guarded against u == 1.0 from a float rng."""
+    import math
+
+    return math.log(max(1e-12, 1.0 - u))

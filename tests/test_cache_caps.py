@@ -10,9 +10,11 @@ import random
 
 import pytest
 
+import repro.engine.database as database_mod
 import repro.engine.relation as relation_mod
 import repro.lp.solver as solver_mod
 from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
 from repro.lp.solver import solve_lp
 
 
@@ -127,3 +129,107 @@ def test_solve_lp_cache_hit_returns_same_object(monkeypatch):
     a = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
     b = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
     assert a is b
+
+
+# ----------------------------------------------------------------------
+# Database plan caches (expansion/guard/udf kernels)
+# ----------------------------------------------------------------------
+def _chain_database() -> "database_mod.Database":
+    """Six-attribute fd chain a→b→…→f, each fd guarded by a functional
+    binary relation mapping v ↦ (3v + i) mod 8."""
+    attrs = "abcdef"
+    relations = []
+    for i in range(len(attrs) - 1):
+        pairs = [(v, (3 * v + i) % 8) for v in range(8)]
+        relations.append(
+            Relation(f"G{i}", (attrs[i], attrs[i + 1]), pairs)
+        )
+    fds = FDSet(
+        [FD(attrs[i], attrs[i + 1]) for i in range(len(attrs) - 1)], attrs
+    )
+    return database_mod.Database(relations, fds=fds)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_plan_cache_eviction_preserves_expansions(seed, monkeypatch):
+    """Expansion plans are pure compilations: with the plan caches capped
+    to 2 entries, revisiting evicted source schemas recompiles but every
+    expansion stays identical to a fresh database's."""
+    monkeypatch.setattr(database_mod, "PLAN_CACHE_MAX", 2)
+    db = _chain_database()
+    rng = random.Random(seed)
+    # Far more distinct (source_schema, target) plan keys than the cap,
+    # visited twice in shuffled order so evicted plans get recompiled.
+    schemas = [("a",), ("b",), ("c",), ("d",), ("a", "c"), ("b", "d"),
+               ("c", "e"), ("a", "d")]
+    requests = schemas * 2
+    rng.shuffle(requests)
+    for schema in requests:
+        target = db.fds.closure(frozenset(schema))
+        out_schema = tuple(sorted(target))
+        rows = [tuple(rng.randrange(8) for _ in schema) for _ in range(6)]
+        got = db.expand_rows(rows, schema, target, out_schema)
+        fresh = _chain_database().expand_rows(rows, schema, target, out_schema)
+        assert sorted(got) == sorted(fresh)
+        assert len(db._tuple_plans) <= 2
+        assert len(db._guard_lookups) <= 2
+
+
+def test_relation_plan_cache_is_capped(monkeypatch):
+    monkeypatch.setattr(database_mod, "PLAN_CACHE_MAX", 2)
+    db = _chain_database()
+    for schema in [("a",), ("b",), ("c",), ("d",), ("e",)]:
+        plan = db.relation_plan(schema)
+        # The compiled layout reaches the schema's fd-closure.
+        assert set(plan.out_schema) == db.fds.closure(frozenset(schema))
+        assert len(db._relation_plans) <= 2
+    # A capacity hit returns the cached object (LRU refresh, no recompile).
+    first = db.relation_plan(("d",))
+    assert db.relation_plan(("d",)) is first
+
+
+# ----------------------------------------------------------------------
+# Long-uptime property: serving under plan caps + codec compaction
+# ----------------------------------------------------------------------
+def test_uptime_simulation_bounds_caches_and_preserves_answers(monkeypatch):
+    """Simulated weeks of serving: every 'day' a tenant attaches a fresh
+    database over new values, queries it, and detaches yesterday's.  With
+    tiny plan caps and a tight dictionary cap, per-day answers must match
+    a fresh single-use database bit-for-bit while the shared codec and
+    plan caches stay bounded instead of growing with uptime."""
+    monkeypatch.setattr(database_mod, "PLAN_CACHE_MAX", 4)
+    from repro.engine.generic_join import generic_join
+    from repro.serve.faults import FaultInjector
+    from repro.serve.service import QueryService, canonical_rows
+    from repro.serve.workloads import demo_queries, demo_relations
+
+    triangle = demo_queries()["triangle"]
+    days = 12
+    with QueryService(max_workers=2, faults=FaultInjector(seed=0)) as service:
+        service.create_tenant("t", dictionary_cap=60)
+        tenant = service.tenant("t")
+        for day in range(days):
+            relations = demo_relations(
+                seed=day, n_edges=32, value_base=day * 1000, value_range=16
+            )
+            service.attach_database("t", f"day{day}", relations)
+            result = service.execute("t", f"day{day}", triangle)
+            fresh_rel, _ = generic_join(
+                triangle,
+                database_mod.Database(relations, encode=False),
+                fd_aware=True,
+            )
+            schema, rows = canonical_rows(fresh_rel, triangle)
+            assert result.schema == schema
+            assert result.rows == rows
+            if day:
+                service.detach_database("t", f"day{day - 1}")
+            # Attached databases' plan caches respect the cap all along.
+            for db in tenant.databases.values():
+                assert len(db._tuple_plans) <= 4
+                assert len(db._relation_plans) <= 4
+        # Compaction ran and kept the shared codec near the live domain
+        # (one day's values), not the union of all 12 days' values.
+        assert tenant.compactions >= 1
+        assert tenant.codec.total_values() <= 60 + 3 * 16
+        assert service.metrics()["completed"] == days
