@@ -8,9 +8,10 @@ trajectory baseline::
 Baseline defaults to the newest committed ``BENCH_PR*.json`` in the repo
 root.  ``--strict-e17`` additionally requires the two files to cover the
 *identical* E17 workload set — the mode CI uses to pin two fresh sweeps
-against each other (ndarray frontier backend forced on vs forced off:
-any ``tuples_touched`` drift between the block backend and the row-loop
-backend fails the gate, and a silently missing workload cannot hide it).
+against each other (ndarray frontier backend forced on vs forced off,
+and since PR7 the sharded dispatch forced on vs off: any
+``tuples_touched`` or result-digest drift between configurations fails
+the gate, and a silently missing workload cannot hide it).
 Policy (mirrors PERFORMANCE.md):
 
 * **fail** when a measured E16 growth exponent drifts from the baseline by
@@ -23,6 +24,11 @@ Policy (mirrors PERFORMANCE.md):
   drifts (compared over the workloads present in both files, so a
   ``--quick`` smoke sweep is gated against the committed full sweep's
   smoke sizes);
+* **fail** when an E17 workload's result-set ``digest`` drifts, when
+  both files record one (they do since PR7) — the digest is
+  order-independent over decoded values, so the REPRO_SHARD on/off
+  cross gate pins the *answers*, not just the counts; in ``--strict-e17``
+  mode a missing digest on either side also fails;
 * **warn** (never fail) when the E16 sweep wall-clock or an E17
   workload's encoded wall-clock regressed beyond ``WALL_CLOCK_SLACK``,
   or when a full-size E17 workload's recorded speedup fell below the
@@ -201,6 +207,23 @@ def _compare_e17(
                 f"E17 tuples_touched drift at {name}: baseline "
                 f"{base_row.get('tuples_touched')} vs fresh "
                 f"{fresh_row.get('tuples_touched')}"
+            )
+        # Result-set digests (recorded since PR7; older baselines lack
+        # them and are skipped).  The digest is order-independent over
+        # decoded values, so two sweeps of the same tree — in particular
+        # the REPRO_SHARD=on vs =off CI cross gate — must agree exactly;
+        # a drift is a wrong *answer*, worse than a wrong count.
+        base_digest = base_row.get("digest")
+        fresh_digest = fresh_row.get("digest")
+        if base_digest and fresh_digest and base_digest != fresh_digest:
+            failures.append(
+                f"E17 result digest drift at {name}: baseline "
+                f"{base_digest} vs fresh {fresh_digest}"
+            )
+        elif strict and not (base_digest and fresh_digest):
+            failures.append(
+                f"strict E17 comparison: digest missing at {name} "
+                f"(baseline: {bool(base_digest)}, fresh: {bool(fresh_digest)})"
             )
         base_enc = base_row.get("wall_encoded_s")
         fresh_enc = fresh_row.get("wall_encoded_s")

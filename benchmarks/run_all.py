@@ -21,10 +21,12 @@ generations honestly:
   keep bit-identical across refactors) plus measured growth exponents and
   the sweep wall-clock (which refactors should shrink);
 * ``e17`` — the large-frontier suite (``bench_e17_large_frontier``):
-  per-workload ``tuples_touched`` (bit-identical across the encoded and
-  decoded planes, asserted in-run), both planes' wall-clocks, the
-  encoded-plane speedup, and peak RSS.  ``--quick`` runs the smoke sizes
-  only; the full ≥1M-row sweep runs otherwise;
+  per-workload ``tuples_touched`` and result digests (bit-identical
+  across the decoded, encoded, ndarray-off, and forced-shard planes,
+  asserted in-run), every plane's wall-clock, the encoded-plane and
+  shard speedups, peak RSS, and the shard configuration (workers,
+  cpu_count, env mode — the ``shard`` sub-object).  ``--quick`` runs
+  the smoke sizes only; the full ≥1M-row sweep runs otherwise;
 * ``serve`` — the PR6 serving suite (``bench_pr6_serve``): closed-loop
   latency percentiles and QPS, open-loop overload behavior, and the
   chaos run's rejection/degradation/failure rates.  Compared warn-only
@@ -166,8 +168,8 @@ def main() -> int:
         "--e17-only",
         action="store_true",
         help="emit only the E17 section at smoke sizes (the CI "
-        "ndarray-on/off cross gate compares two such files with "
-        "check_regression.py --strict-e17)",
+        "ndarray-on/off and REPRO_SHARD-on/off cross gates each compare "
+        "two such files with check_regression.py --strict-e17)",
     )
     args = parser.parse_args()
 

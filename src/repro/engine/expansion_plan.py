@@ -50,6 +50,7 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None
 
 from repro.engine import frontier as _frontier
+from repro.engine import shard as _shard
 from repro.engine.cancellation import checkpoint
 
 GUARD = 0
@@ -409,20 +410,52 @@ class ExpansionPlan:
         self._nd_specs = specs = tuple(built)
         return specs
 
+    def shard_positions(self) -> tuple[int, ...]:
+        """Source-block columns the shard backend hash-partitions on: the
+        first guard step's key columns (so co-keyed rows probe the same
+        guard from one shard), falling back to every source column when
+        no guard keys purely into the source block."""
+        width = len(self.source_schema)
+        for tag, positions, _ in self.steps:
+            if tag != UDF and positions and all(p < width for p in positions):
+                return tuple(positions)
+        return tuple(range(width))
+
     def execute_batch_ndarray(self, block, counter=None):
         """Run the plan over an ``(n, len(source_schema))`` int64 frontier
-        block (encoded plans only).
+        block (encoded plans only); see
+        :meth:`execute_batch_ndarray_local` for the kernel contract.
+
+        This is the shard seam: when the sharded backend is engaged
+        (``REPRO_SHARD``), the block is hash-partitioned and executed
+        across the worker pool with a deterministic merge — the returned
+        ``(out, mask)`` and the counter charge are bit-identical to the
+        local kernel for any worker count.  Every block caller (the
+        chain/CSMA/SMA/generic seams, ``Database.expand_rows`` and the
+        roundtrip entry points) inherits sharding through this one
+        dispatch.
+        """
+        if self.steps and _shard.shard_engaged(block.shape[0]):
+            return _shard.run_plan_sharded(self, block, counter)
+        return self.execute_batch_ndarray_local(block, counter)
+
+    def execute_batch_ndarray_local(self, block, counter=None):
+        """Run the plan over an ``(n, len(source_schema))`` int64 frontier
+        block (encoded plans only), unsharded.
 
         Returns ``(out, mask)``: ``out`` is the ``(n, len(out_schema))``
         int64 result block, ``mask`` the alive-row flags (``None`` = no
         row dangled).  Dead rows keep garbage in their appended cells and
-        must never be read.  Dense guard steps gather through their flat
-        table (out-of-range codes — values interned after the plan
-        compiled — are misses); sparse guard steps run sort/searchsorted
-        key joins on the lexicographic void view; UDF steps decode and
-        evaluate only the masked-in rows.  Counter totals are
-        bit-identical to the row-loop backend: each step charges exactly
-        the rows alive when it runs.
+        must never be read — though every written cell is *per-row
+        deterministic* (dead rows gather slot-0/clipped images like any
+        other), which is what lets the shard backend scatter-merge
+        per-shard outputs bit-identically.  Dense guard steps gather
+        through their flat table (out-of-range codes — values interned
+        after the plan compiled — are misses); sparse guard steps run
+        sort/searchsorted key joins on the lexicographic void view; UDF
+        steps decode and evaluate only the masked-in rows.  Counter
+        totals are bit-identical to the row-loop backend: each step
+        charges exactly the rows alive when it runs.
         """
         np = _np
         n = block.shape[0]

@@ -12,7 +12,11 @@ of points:
   cooperative checkpoints (:func:`hook` plugs into
   :func:`repro.engine.cancellation.checkpoint_scope`), simulating an
   engine-internal bug, an allocation failure mid-join, and a forced
-  deadline expiry respectively.
+  deadline expiry respectively;
+* the **shard** site fires at shard-worker start (:func:`shard_hook`
+  plugs into :func:`repro.engine.shard.worker_hook_scope`), killing an
+  individual shard task mid-query — the degradation chain must join the
+  surviving shards and fall back to an unsharded stage.
 
 Everything is deterministic given the seed, and ``times=`` budgets give
 tests byte-exact control ("fail the first stage once, then succeed") —
@@ -41,7 +45,7 @@ import threading
 
 from repro.errors import QueryTimeout
 
-SITES = ("worker", "engine", "alloc", "timeout")
+SITES = ("worker", "engine", "alloc", "timeout", "shard")
 
 
 class PoisonedValue:
@@ -184,6 +188,8 @@ class FaultInjector:
             raise QueryTimeout(
                 "injected fault: forced deadline expiry", deadline_s=0.0
             )
+        if site == "shard":
+            raise RuntimeError("injected fault: shard worker killed mid-query")
         raise AssertionError(f"unreachable site {site!r}")
 
     def hook(self):
@@ -194,3 +200,11 @@ class FaultInjector:
             self.fire("alloc")
             self.fire("engine")
         return _checkpoint_hook
+
+    def shard_hook(self):
+        """A shard-worker-start hook firing the ``shard`` site — install
+        with :func:`repro.engine.shard.worker_hook_scope` (thread-safe:
+        shard tasks fire it concurrently)."""
+        def _shard_worker_hook() -> None:
+            self.fire("shard")
+        return _shard_worker_hook

@@ -9,6 +9,7 @@ state machine — *which* stage answers, *which* typed error escapes,
 """
 
 import threading
+from contextlib import contextmanager
 
 import pytest
 
@@ -31,7 +32,8 @@ from repro.fds.udf import UDF
 from repro.query.query import Atom, Query
 from repro.serve.admission import admit, certified_bound
 from repro.serve.faults import FaultInjector, poison_codec
-from repro.serve.service import QueryService, canonical_rows
+from repro.engine import shard as frontier_shard
+from repro.serve.service import QueryService, canonical_rows, degradation_stages
 from repro.serve.workloads import (
     build_demo_service,
     demo_queries,
@@ -146,7 +148,7 @@ def test_service_timeout_releases_worker():
         # The worker slot came back: a clean query on the same (single)
         # worker succeeds.
         result = service.execute("tenant0", "main", TRIANGLE)
-        assert result.backend == "encoded-ndarray"
+        assert result.backend == degradation_stages()[0][0]
         assert not result.degraded
         assert service.metrics()["timeouts"] == 1
 
@@ -188,11 +190,14 @@ def expected_rows(query=TRIANGLE, n=48):
     return canonical_rows(rel, query)[1]
 
 
-@pytest.mark.parametrize("times,backend", [
-    (1, "encoded-rows"),
-    (2, "decoded-reference"),
-])
-def test_degradation_stages_answer_bit_identically(times, backend):
+@pytest.mark.parametrize("times", [1, 2, 3])
+def test_degradation_stages_answer_bit_identically(times):
+    # Expectations follow the configured chain (an ``encoded-sharded``
+    # head appears when REPRO_SHARD engages), not hard-coded labels.
+    stages = degradation_stages()
+    if times >= len(stages):
+        pytest.skip(f"chain has {len(stages)} stages")
+    backend = stages[times][0]
     faults = FaultInjector(seed=1).arm("engine", times=times)
     service = build_demo_service(tenants=1, faults=faults)
     with service:
@@ -208,16 +213,17 @@ def test_degradation_stages_answer_bit_identically(times, backend):
 
 
 def test_degradation_exhaustion_is_a_typed_fault():
-    faults = FaultInjector(seed=1).arm("engine", times=3)
+    stages = degradation_stages()
+    faults = FaultInjector(seed=1).arm("engine", times=len(stages))
     service = build_demo_service(tenants=1, faults=faults)
     with service:
         with pytest.raises(EngineFault) as excinfo:
             service.execute("tenant0", "main", TRIANGLE, engine="generic")
     err = excinfo.value
     assert err.stage == "exhausted"
-    assert len(err.extra["absorbed"]) == 3
+    assert len(err.extra["absorbed"]) == len(stages)
     assert [c["backend"] for c in err.extra["absorbed"]] == [
-        "encoded-ndarray", "encoded-rows", "decoded-reference"
+        label for label, _, _ in stages
     ]
 
 
@@ -226,7 +232,7 @@ def test_allocation_fault_classified_and_absorbed():
     service = build_demo_service(tenants=1, faults=faults)
     with service:
         result = service.execute("tenant0", "main", TRIANGLE, engine="generic")
-    assert result.backend == "encoded-rows"
+    assert result.backend == degradation_stages()[1][0]
     assert result.faults_absorbed[0]["kind"] == "allocation"
     assert result.rows == expected_rows()
 
@@ -395,3 +401,55 @@ def test_compaction_drops_cold_entries_and_preserves_results():
         tri = service.execute("tenant0", "main", TRIANGLE, engine="generic")
         assert tri.rows == expected_rows()
         assert service.metrics()["tenants"]["tenant0"]["compactions"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Sharded execution stage
+# ----------------------------------------------------------------------
+@contextmanager
+def sharding_forced(workers=2):
+    """Force the shard backend via the module-global knobs (service
+    worker threads don't inherit the test thread's context, so the
+    ContextVar override cannot reach them)."""
+    saved = (frontier_shard.SHARD_MODE, frontier_shard.SHARD_WORKERS)
+    frontier_shard.SHARD_MODE, frontier_shard.SHARD_WORKERS = "on", workers
+    try:
+        yield
+    finally:
+        frontier_shard.SHARD_MODE, frontier_shard.SHARD_WORKERS = saved
+
+
+def test_sharded_stage_heads_the_chain_and_answers_bit_identically():
+    with sharding_forced(workers=2):
+        stages = degradation_stages()
+        assert [label for label, _, _ in stages] == [
+            "encoded-sharded", "encoded-ndarray", "encoded-rows",
+            "decoded-reference",
+        ]
+        service = build_demo_service(tenants=1, faults=quiet())
+        with service:
+            result = service.execute(
+                "tenant0", "main", TRIANGLE, engine="generic"
+            )
+        assert result.backend == "encoded-sharded"
+        assert not result.degraded
+        assert result.rows == expected_rows()
+    # Without shards the chain head is the single-worker block backend.
+    assert degradation_stages()[0][0] != "encoded-sharded" or (
+        frontier_shard.shard_available()
+    )
+
+
+def test_shard_worker_fault_degrades_to_single_worker_stage():
+    with sharding_forced(workers=2):
+        faults = FaultInjector(seed=1).arm("shard", times=1)
+        service = build_demo_service(tenants=1, faults=faults)
+        with service:
+            result = service.execute(
+                "tenant0", "main", TRIANGLE, engine="generic"
+            )
+        assert result.backend == "encoded-ndarray"
+        assert result.degraded
+        assert result.rows == expected_rows()
+        assert faults.fired["shard"] == 1
+        assert frontier_shard.active_tasks() == 0

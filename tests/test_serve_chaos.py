@@ -20,8 +20,17 @@ fault-free.
 """
 
 import os
+import threading
+from contextlib import contextmanager
 
-from repro.errors import ReproError, ServiceOverloaded
+import numpy as np
+import pytest
+
+from repro.engine import frontier, shard
+from repro.engine.cancellation import Deadline, checkpoint_scope
+from repro.engine.expansion_plan import GUARD, ExpansionPlan
+from repro.engine.ops import WorkCounter
+from repro.errors import QueryTimeout, ReproError, ServiceOverloaded
 from repro.serve.faults import FaultInjector, PoisonedValue, poison_codec
 from repro.serve.workloads import (
     build_demo_service,
@@ -44,6 +53,7 @@ def chaos_injector() -> FaultInjector:
     injector.arm("engine", probability=0.05)
     injector.arm("alloc", probability=0.03)
     injector.arm("timeout", probability=0.03)
+    injector.arm("shard", probability=0.05)
     return injector
 
 
@@ -191,3 +201,112 @@ def test_chaos_soak_compactions_bound_dictionary_growth():
         metrics = service.metrics()
         assert metrics["completed"] == len(requests)
         assert metrics["engine_faults"] == 0
+
+
+# ----------------------------------------------------------------------
+# Sharded execution under chaos
+# ----------------------------------------------------------------------
+
+@contextmanager
+def sharding_forced(workers=3):
+    """Force the shard backend via the module-global knobs (service
+    worker threads don't see the test thread's ContextVar overrides)."""
+    saved = (shard.SHARD_MODE, shard.SHARD_WORKERS)
+    shard.SHARD_MODE, shard.SHARD_WORKERS = "on", workers
+    try:
+        yield
+    finally:
+        shard.SHARD_MODE, shard.SHARD_WORKERS = saved
+
+
+def test_shard_worker_kill_mid_query_bit_identical_or_typed():
+    """The fault injector kills individual shard workers mid-query: every
+    query still ends bit-identical-or-typed, no shard task leaks, and the
+    service answers cleanly once the storm passes."""
+    requests = demo_requests(tenants=1, rounds=8, seed=13)
+    digests = reference_digests(requests[:1] and requests)
+    with sharding_forced(workers=3):
+        injector = FaultInjector(seed=3)
+        injector.arm("shard", probability=0.5)
+        outcomes = {"ok": 0, "degraded": 0, "typed": 0}
+        with build_demo_service(
+            tenants=1, max_workers=2, queue_depth=8, faults=injector
+        ) as service:
+            for request in requests:
+                try:
+                    result = service.execute(**request)
+                except ReproError as err:
+                    assert err.context()["tenant"] == request["tenant"]
+                    outcomes["typed"] += 1
+                    continue
+                assert result.rows == digests[request_key(request)], (
+                    f"wrong answer after shard kill via {result.backend}"
+                )
+                outcomes["ok"] += 1
+                if result.degraded:
+                    outcomes["degraded"] += 1
+            # The storm actually killed shard workers, queries survived,
+            # and every shard task was joined (no leaks).
+            assert injector.fired["shard"] > 0
+            assert outcomes["ok"] > 0
+            assert outcomes["degraded"] > 0, (
+                "a killed shard must degrade at least one query to an "
+                "unsharded stage"
+            )
+            assert shard.active_tasks() == 0
+            # Serviceable after the storm, sharded stage restored.
+            injector.disarm()
+            result = service.execute(**requests[0])
+            assert result.rows == digests[request_key(requests[0])]
+            assert not result.degraded
+
+
+def test_deadline_checkpoints_reach_every_shard():
+    """A pre-expired deadline installed as a checkpoint hook must be
+    observed by *every* shard task (the submit-time context snapshot
+    carries the hook into the pool), the dispatcher must join all shards
+    before surfacing the ``QueryTimeout``, and nothing may leak."""
+    plan = ExpansionPlan(
+        ("a", "b"),
+        ("a", "b", "x"),
+        ((GUARD, (0,), {(i,): (i % 5,) for i in range(64)}),),
+        encoded=True,
+    )
+    rng = np.random.default_rng(17)
+    block = rng.integers(0, 64, size=(4096, 2)).astype(np.int64)
+    # Warm the plan's lazy ndarray specs outside the hook's scope: their
+    # compilation checkpoints in the *submitting* thread, and this test
+    # is about the checkpoints inside the shard tasks.
+    plan.execute_batch_ndarray_local(block[:4], WorkCounter())
+    with sharding_forced(workers=4):
+        expected_shards = sum(
+            1
+            for idx in frontier.hash_partition(
+                block, plan.shard_positions(), 4
+            )
+            if len(idx)
+        )
+        assert expected_shards > 1, "partition must actually fan out"
+        deadline = Deadline(0.0)
+        observed = []
+        lock = threading.Lock()
+
+        def expired_deadline_checkpoint():
+            with lock:
+                observed.append(threading.current_thread().name)
+            deadline.check()  # raises QueryTimeout: the budget is spent
+
+        with checkpoint_scope(expired_deadline_checkpoint):
+            with pytest.raises(QueryTimeout):
+                plan.execute_batch_ndarray(block, WorkCounter())
+        # Every shard task hit the hook (each checks in at task start
+        # from inside the pool), and all were joined before the raise.
+        shard_observations = [
+            name for name in observed if name.startswith("repro-shard")
+        ]
+        assert len(shard_observations) >= expected_shards
+        assert shard.active_tasks() == 0
+    # The kernel stays healthy afterwards: same call, no deadline, runs.
+    with sharding_forced(workers=4):
+        out, mask = plan.execute_batch_ndarray(block, WorkCounter())
+    assert out.shape == (4096, 3)
