@@ -14,10 +14,11 @@ On a normal lattice glvv == normal == coatomic; chain >= glvv always,
 with equality on distributive lattices (Cor. 5.15).
 
 Every bound here is the value of a small LP routed through
-:func:`repro.lp.solver.solve_lp`, which dispatches to the exact rational
-backend below the size cutoff (``REPRO_LP_BACKEND`` overrides); when the
-exact backend participates, the reported float is ``float()`` of a
-certificate-verified rational optimum rather than raw solver output.
+:func:`repro.lp.solver.solve_lp`, which solves on the exact rational
+backend under every policy (``REPRO_LP_BACKEND=scipy/both`` only adds a
+per-solve scipy cross-check); the reported float is ``float()`` of a
+certificate-verified canonical rational optimum rather than raw solver
+output.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ import numpy as np
 from repro.lattice.lattice import Lattice
 from repro.lattice.polymatroid import LatticeFunction
 from repro.lp.exact import ExactCertificate
-from repro.lp.solver import lp_backend, solve_lp
+from repro.lp.solver import solve_lp
 
 
 def lattice_lp_cache(lattice: Lattice) -> dict:
@@ -39,14 +39,15 @@ def lattice_lp_cache(lattice: Lattice) -> dict:
 def _solution_cache_key(*parts) -> tuple:
     """Memo key for a cached LP *solution* (not a matrix skeleton).
 
-    Solutions depend on which backend produced them (degenerate programs
-    have solver-specific optimal vertices), and FD-lattices are interned
-    across instances, so an in-process ``REPRO_LP_BACKEND`` switch — the
-    differential tests do exactly that — must not be served a stale
-    other-backend solution.  Skeleton keys stay backend-free: the matrix
-    data is backend-independent.
+    Canonical-vertex selection made LP solutions a function of the
+    program alone: every backend policy returns the same canonical exact
+    rational vertex with a verified certificate (the ``scipy``/``both``
+    policies only add a per-solve cross-check), so the key carries no
+    backend component — an in-process ``REPRO_LP_BACKEND`` switch, as
+    the differential tests perform, hits the same memo entry instead of
+    solving the program once per policy.
     """
-    return (*parts, lp_backend())
+    return parts
 
 
 @dataclass(frozen=True)

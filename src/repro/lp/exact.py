@@ -14,10 +14,20 @@ Two engines share one program representation:
 
 * :func:`solve_exact_lp` — two-phase primal simplex (slack-basis start,
   Dantzig pivoting with a deterministic Bland fallback for guaranteed
-  termination), returning an :class:`ExactCertificate` holding the primal
-  vertex, the dual vector read off the final basis, and the exact
-  optimality proof (primal-feasible + dual-feasible + zero duality gap),
-  re-verified in exact arithmetic before it is returned;
+  termination) followed by **canonical-vertex selection**: the returned
+  primal is the lexicographically minimal point of the optimal face
+  (minimize ``x_0``, then ``x_1``, … over the face — a vertex, and a
+  function of the *program*, not of pivoting history), and the dual
+  certificate is canonicalized the same way (read off the final basis
+  when the vertex is non-degenerate — the dual is then unique — and
+  otherwise selected as the lex-min vertex of the explicit dual
+  program).  Degenerate programs therefore have *one* well-defined
+  exact solution: any two solves of the same program, here or in any
+  faithful reimplementation of the rule, return the same rational
+  vertex.  The result is an :class:`ExactCertificate` holding the
+  canonical primal vertex, the canonical dual vector, and the exact
+  optimality proof (primal-feasible + dual-feasible + zero duality
+  gap), re-verified in exact arithmetic before it is returned;
 * :func:`enumerate_standard_vertices` / :func:`enumerate_vertices` —
   basis/vertex enumeration for the small covering polytopes (the
   normality test's ``edge_cover_vertices`` and the property tests'
@@ -375,6 +385,59 @@ class _Tableau:
             start=Fraction(0),
         )
 
+    # -- canonical-vertex selection -----------------------------------
+    def optimal_face(self, costs: list[Fraction], allowed) -> list[int]:
+        """Columns spanning the optimal face of ``costs`` at this basis.
+
+        The face is the set of feasible points supported on the basic
+        columns plus the allowed non-basic columns with zero reduced
+        cost; any pivot confined to these columns stays optimal.
+        """
+        keep = {self.basis[i] for i in range(self.m) if self.alive[i]}
+        for j, r in self._reduced_costs(costs, allowed):
+            if r == 0:
+                keep.add(j)
+        return sorted(keep)
+
+    def canonicalize(self, costs: list[Fraction]) -> None:
+        """Pivot to the lexicographically minimal vertex of the optimal face.
+
+        Must be called at a ``costs``-optimal basis.  Minimizes ``x_0``
+        over the face, then ``x_1`` over the shrunken face, and so on —
+        the classic lexicographic refinement, which lands on a vertex
+        that depends only on the *program* (the face is determined by
+        the program, and each stage's minimum is unique given the
+        earlier pins), never on pivoting history.  Two shortcuts keep
+        this cheap: a structural column that is *non-basic* on the
+        current face already sits at its face-minimum of zero, so
+        pinning it is just barring the column (no simplex run); and the
+        sweep stops as soon as every face column is basic (the face has
+        collapsed to a single vertex).  Only basic structural columns —
+        at most ``m`` of them — pay a (unit-cost, hence never
+        unbounded) simplex run.
+        """
+        allowed = self.optimal_face(costs, range(self.n_real))
+        for k in range(self.n):
+            in_basis = {self.basis[i] for i in range(self.m) if self.alive[i]}
+            if all(j in in_basis for j in allowed):
+                break  # no non-basic face direction left: a single vertex
+            if k not in allowed:
+                continue  # x_k == 0 everywhere on the face already
+            if k not in in_basis:
+                allowed.remove(k)  # pin x_k at its face-minimum, zero
+                continue
+            unit = [Fraction(0)] * self.n_cols
+            unit[k] = Fraction(1)
+            self.run(unit, allowed)
+            allowed = self.optimal_face(unit, allowed)
+
+    def vertex_is_nondegenerate(self) -> bool:
+        """True when every basic variable is strictly positive and no row
+        was retired as redundant — the final basis is then the *unique*
+        basis of its vertex and the dual vector read off it is the unique
+        dual optimum (no canonicalization needed)."""
+        return all(self.alive) and all(v > 0 for v in self.rhs)
+
     # -- phase transitions --------------------------------------------
     def drive_out_artificials(self) -> None:
         """Pivot basic artificials out; retire rows that prove redundant."""
@@ -429,27 +492,12 @@ class _Tableau:
         return y
 
 
-def solve_exact_lp(
-    costs: Sequence,
-    a_ub: Iterable[Sequence] | None = None,
-    b_ub: Sequence | None = None,
-    a_eq: Iterable[Sequence] | None = None,
-    b_eq: Sequence | None = None,
-) -> ExactCertificate:
-    """Minimize ``costs @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``,
-    ``x >= 0`` — exactly.
+def _optimal_tableau(program: ExactLP) -> tuple[_Tableau, list[Fraction]]:
+    """Phase 1 + phase 2 + canonicalization; returns (tableau, phase-2 costs).
 
-    Returns an :class:`ExactCertificate` whose ``verify()`` already passed;
-    raises :class:`LPInfeasibleError` / :class:`LPUnboundedError` otherwise.
+    The tableau sits at the lexicographically minimal vertex of the
+    optimal face when this returns.
     """
-    program = ExactLP.from_data(costs, a_ub, b_ub, a_eq, b_eq)
-    n = program.n_vars
-    if program.n_rows == 0:
-        if any(c < 0 for c in program.costs):
-            raise LPUnboundedError("LP failed: objective unbounded below")
-        zero = tuple([Fraction(0)] * n)
-        return ExactCertificate(program, zero, (), (), Fraction(0))
-
     tableau = _Tableau(program)
     # Phase 1: minimize the artificials (skipped when the slack basis is
     # already feasible, i.e. every artificial starts at rhs 0).
@@ -462,15 +510,85 @@ def solve_exact_lp(
                 raise LPInfeasibleError("LP failed: constraints infeasible")
         tableau.drive_out_artificials()
     # Phase 2: the real objective over structural + slack columns.
-    phase2 = list(program.costs) + [Fraction(0)] * (tableau.n_cols - n)
+    phase2 = list(program.costs) + [Fraction(0)] * (tableau.n_cols - program.n_vars)
     tableau.run(phase2, range(tableau.n_real))
+    tableau.canonicalize(phase2)
+    return tableau, phase2
 
+
+def _canonical_dual(program: ExactLP) -> tuple[Vector, Vector]:
+    """Lex-min optimal dual vector of ``program``, in package convention.
+
+    Builds the explicit dual as a primal program over non-negative
+    variables ``u`` (the ``<=``-row weights), ``p`` and ``q`` (the
+    ``==``-row weights split as ``y_eq = p - q``)::
+
+        minimize  b_ub @ u + b_eq @ p - b_eq @ q
+        s.t.      -A_ub^T u - A_eq^T (p - q) <= c,   u, p, q >= 0
+
+    whose optimum is ``-z*`` by strong duality (feasible and bounded
+    whenever the primal has an optimum, so neither phase can fail), and
+    solves it with the same canonical lex-min rule.  Only needed when
+    the primal vertex is degenerate — a non-degenerate optimal basis
+    has a unique dual, which :meth:`_Tableau.duals` already reads off.
+    """
+    m_ub = len(program.a_ub)
+    m_eq = len(program.a_eq)
+    costs = list(program.b_ub) + list(program.b_eq) + [-v for v in program.b_eq]
+    a_ub = []
+    for j in range(program.n_vars):
+        row = [-rw[j] for rw in program.a_ub]
+        row += [-rw[j] for rw in program.a_eq]
+        row += [rw[j] for rw in program.a_eq]
+        a_ub.append(row)
+    dual_program = ExactLP.from_data(costs, a_ub, program.costs)
+    tableau, _ = _optimal_tableau(dual_program)
+    w = tableau.solution()
+    y_ub = tuple(w[:m_ub])
+    y_eq = tuple(w[m_ub + i] - w[m_ub + m_eq + i] for i in range(m_eq))
+    return y_ub, y_eq
+
+
+def solve_exact_lp(
+    costs: Sequence,
+    a_ub: Iterable[Sequence] | None = None,
+    b_ub: Sequence | None = None,
+    a_eq: Iterable[Sequence] | None = None,
+    b_eq: Sequence | None = None,
+) -> ExactCertificate:
+    """Minimize ``costs @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``,
+    ``x >= 0`` — exactly, returning the *canonical* solution.
+
+    Both the primal vertex and the dual vector are the lex-min points of
+    their optimal faces (see the module docstring), so any two solves of
+    the same program return identical certificates.
+
+    Returns an :class:`ExactCertificate` whose ``verify()`` already passed;
+    raises :class:`LPInfeasibleError` / :class:`LPUnboundedError` otherwise.
+    """
+    program = ExactLP.from_data(costs, a_ub, b_ub, a_eq, b_eq)
+    n = program.n_vars
+    if program.n_rows == 0:
+        if any(c < 0 for c in program.costs):
+            raise LPUnboundedError("LP failed: objective unbounded below")
+        # The origin is the lex-min point of the optimal face {x >= 0,
+        # x_j > 0 only where c_j == 0}: canonical by construction.
+        zero = tuple([Fraction(0)] * n)
+        return ExactCertificate(program, zero, (), (), Fraction(0))
+
+    tableau, phase2 = _optimal_tableau(program)
     x = tableau.solution()
-    y = tableau.duals(phase2)
-    n_ub = len(program.a_ub)
-    # Package convention: negate the raw marginals (see module docstring).
-    y_ub = tuple(-v for v in y[:n_ub])
-    y_eq = tuple(-v for v in y[n_ub:])
+    if tableau.vertex_is_nondegenerate():
+        # Unique dual: read it off the final basis.
+        y = tableau.duals(phase2)
+        n_ub = len(program.a_ub)
+        # Package convention: negate the raw marginals (module docstring).
+        y_ub = tuple(-v for v in y[:n_ub])
+        y_eq = tuple(-v for v in y[n_ub:])
+    else:
+        # Degenerate vertex: the dual face may have several vertices, so
+        # pick its lex-min via the explicit dual program.
+        y_ub, y_eq = _canonical_dual(program)
     certificate = ExactCertificate(
         program=program,
         x=tuple(x),

@@ -1,37 +1,42 @@
-"""Backend-dispatching LP front door: exact rational kernel + optional scipy.
+"""Backend-dispatching LP front door: exact canonical kernel + scipy cross-check.
 
 All programs in this package are minimizations of ``c @ x`` subject to
-``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and ``x >= 0``.  ``solve_lp``
-routes each program to one of two backends:
+``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and ``x >= 0``.  Every solve is
+**authoritatively exact**: :mod:`repro.lp.exact`'s Fraction simplex with
+canonical lex-min vertex selection returns the one well-defined rational
+vertex of each program (primal and dual), together with an
+:class:`~repro.lp.exact.ExactCertificate` verified in exact arithmetic.
+Because the vertex is a function of the program — not of pivoting history
+or of which solver ran — solutions are backend-independent and the
+CSMA/SMA/chain trajectories no longer depend on the LP policy.
 
-* **exact** (:mod:`repro.lp.exact`) — Fraction simplex returning a primal
-  vertex, a dual vector and an :class:`~repro.lp.exact.ExactCertificate`
-  verified in exact arithmetic.  The default for small programs (the chain
-  bounds' fractional edge covers, vertex packings, …), so the chain
-  algorithm's hot loop never touches scipy.
-* **scipy** (HiGHS) — floating point with rational post-processing, used
-  above the size cutoff when scipy is importable.  scipy is an *optional*
-  dependency: without it every program solves exactly.
+``REPRO_LP_BACKEND`` selects the *policy*:
 
-``REPRO_LP_BACKEND`` selects the policy:
+* ``auto`` / ``exact`` (default) — solve exactly; scipy is never touched.
+  There is no size cutoff any more: the sparse Fraction simplex handles
+  the big lattice LLP/CLLP programs, and the old
+  ``REPRO_LP_EXACT_MAX_VARS`` / ``REPRO_LP_EXACT_MAX_ROWS`` knobs are
+  gone.
+* ``scipy`` / ``both`` — **cross-check mode**: the exact canonical
+  solution is still what callers get, but every solve additionally runs
+  scipy (HiGHS) and raises :class:`LPBackendMismatchError` unless (a)
+  the float objective agrees with the certified exact optimum within
+  ``BOTH_OBJECTIVE_TOL`` and (b) scipy's full primal vector lies on the
+  certified optimal face within ``BOTH_VERTEX_TOL`` (feasible and
+  optimal, every residual checked against the certified program) —
+  per-solve vertex-level agreement, not just objectives.  CI runs the
+  E16 smoke in this mode; it requires scipy (an optional extra —
+  without it the two cross-check policies raise ``LPError`` while
+  ``auto``/``exact`` keep working).
 
-* ``auto`` (default) — exact when ``n_vars <= EXACT_MAX_VARS`` and
-  ``rows <= EXACT_MAX_ROWS`` (env ``REPRO_LP_EXACT_MAX_VARS`` /
-  ``REPRO_LP_EXACT_MAX_ROWS``) or when scipy is missing; scipy otherwise.
-* ``exact`` / ``scipy`` — force one backend for every program.
-* ``both`` — solve with *both* backends and raise
-  :class:`LPBackendMismatchError` unless the objectives agree; the
-  returned solution keeps the scipy-shaped primal (bit-compatible with a
-  plain scipy run) and carries the exact certificate.  CI runs the E16
-  smoke in this mode.
-
-Whatever the backend, the wrapper adds deterministic handling of empty
+Whatever the policy, the wrapper adds deterministic handling of empty
 constraint blocks, dual values with consistent signs (a binding ``<=`` row
 has a non-negative ``duals_ub`` weight — pinned by
 ``tests/test_lp_exact.py``), a rational solution vector, and a bounded
 memo of solved programs keyed on the exact problem bytes *and* the
-resolved backend — LP solving is a pure function, and the same LLP/CLLP
-instances recur across benchmark sweeps, planner calls and CSMA restarts.
+backend the policy resolved to (``exact`` vs cross-check) — LP solving is
+a pure function, and the same LLP/CLLP instances recur across benchmark
+sweeps, planner calls and CSMA restarts.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ import os
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
 
@@ -63,28 +68,22 @@ except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
 
 
 class LPBackendMismatchError(LPError):
-    """``REPRO_LP_BACKEND=both`` found the two backends disagreeing."""
+    """The scipy cross-check disagreed with the certified exact solve."""
 
 
-#: Size cutoff for the auto policy: programs at most this large solve on
-#: the exact backend.  Tuned so every fractional edge cover / vertex
-#: packing the chain search emits stays exact while the big lattice LPs
-#: (whose optimal-vertex choice the CSMA/SMA trajectories were recorded
-#: on) keep their scipy-selected vertices.
-EXACT_MAX_VARS = int(os.environ.get("REPRO_LP_EXACT_MAX_VARS", "8"))
-EXACT_MAX_ROWS = int(os.environ.get("REPRO_LP_EXACT_MAX_ROWS", "24"))
-
-#: Absolute/relative tolerance for the ``both`` agreement assertion.
+#: Absolute/relative tolerance for the cross-check objective assertion.
 BOTH_OBJECTIVE_TOL = 1e-7
+
+#: Per-constraint residual tolerance for the cross-check *vertex*
+#: assertion: scipy's primal vector must be feasible and optimal for the
+#: certified program within this (relative) slack.
+BOTH_VERTEX_TOL = 1e-6
 
 _BACKENDS = ("auto", "exact", "scipy", "both")
 
 #: Per-context policy override.  The serving layer's admission control
 #: forces the exact backend for its certified bound without mutating the
-#: process environment other worker threads read concurrently.  Every
-#: memo key derived from :func:`lp_backend` (here and in
-#: :mod:`repro.lp.llp`) sees the override, so cached solutions never leak
-#: across policies.
+#: process environment other worker threads read concurrently.
 _BACKEND_OVERRIDE: ContextVar[str | None] = ContextVar(
     "repro_lp_backend_override", default=None
 )
@@ -118,27 +117,27 @@ def forced_lp_backend(policy: str):
         _BACKEND_OVERRIDE.reset(token)
 
 
-def _resolve_backend(n_vars: int, n_rows: int) -> str:
-    """Collapse the policy to the backend(s) this program actually uses."""
+def resolved_lp_backend() -> str:
+    """Collapse the policy to what a solve actually does: ``"exact"``
+    (``auto``/``exact`` — canonical exact solve only) or ``"cross"``
+    (``scipy``/``both`` — canonical exact solve plus a per-solve scipy
+    agreement assertion).  Memo keys use this, so policies that behave
+    identically share cached solutions."""
     policy = lp_backend()
-    if policy == "auto":
-        if not HAVE_SCIPY:
-            return "exact"
-        if n_vars <= EXACT_MAX_VARS and n_rows <= EXACT_MAX_ROWS:
-            return "exact"
-        return "scipy"
-    if policy in ("scipy", "both") and not HAVE_SCIPY:
+    if policy in ("auto", "exact"):
+        return "exact"
+    if not HAVE_SCIPY:
         raise LPError(
             f"REPRO_LP_BACKEND={policy} requires scipy, which is not "
             "installed (install the [scipy] extra)"
         )
-    return policy
+    return "cross"
 
 
-#: Solved-program memo (problem bytes + backend → LPSolution).  LP solving
-#: is pure, so returning the cached (immutable-by-convention) solution is
-#: safe; the size cap bounds memory on long sweeps with many distinct
-#: instances.
+#: Solved-program memo (problem bytes + resolved backend → LPSolution).
+#: LP solving is pure, so returning the cached (immutable-by-convention)
+#: solution is safe; the size cap bounds memory on long sweeps with many
+#: distinct instances.
 _SOLVE_CACHE: "OrderedDict[tuple, LPSolution]" = OrderedDict()
 _SOLVE_CACHE_MAX = 512
 
@@ -147,9 +146,12 @@ _SOLVE_CACHE_MAX = 512
 class LPSolution:
     """Solution of a minimization LP.
 
-    ``certificate`` is present whenever the exact backend participated in
-    the solve: it carries the exact primal/dual pair and the verified
-    optimality proof.  ``backend`` records which backend produced ``x``.
+    ``x``/``x_rational`` is always the canonical exact vertex and
+    ``certificate`` always carries the verified optimality proof.
+    ``backend`` records the policy family that produced the solution:
+    ``"exact"`` for a pure exact solve, ``"both"`` when the scipy
+    cross-check also ran (the ``scipy`` and ``both`` policies are
+    aliases for cross-check mode).
     """
 
     objective: float
@@ -158,7 +160,7 @@ class LPSolution:
     duals_eq: np.ndarray
     x_rational: list[Fraction]
     certificate: ExactCertificate | None = None
-    backend: str = "scipy"
+    backend: str = "exact"
 
     @property
     def objective_rational(self) -> Fraction:
@@ -211,6 +213,56 @@ def _solve_exact(costs: np.ndarray, kwargs: dict) -> LPSolution:
     )
 
 
+def _assert_scipy_agrees(
+    exact: LPSolution,
+    scipy_solution: LPSolution,
+    costs: np.ndarray,
+    kwargs: dict,
+) -> None:
+    """The cross-check contract: scipy must confirm the certified solve,
+    per-solve and vertex-level, not just by objective.
+
+    * The float objective agrees with the certified exact optimum within
+      ``BOTH_OBJECTIVE_TOL``.
+    * scipy's full primal *vector* lies on the certified optimal face
+      within ``BOTH_VERTEX_TOL``: non-negative, every ``<=`` and ``==``
+      row satisfied, and its cost equal to the certified optimum — all
+      residuals measured against the certified program.  (Coordinate
+      equality with the canonical vertex would be unsound: on a
+      degenerate face HiGHS may legitimately return a *different*
+      optimal vertex; what it may not do is return an infeasible or
+      sub-optimal point.)
+    """
+    certificate = exact.certificate
+    gap = abs(float(certificate.objective) - scipy_solution.objective)
+    scale = max(1.0, abs(scipy_solution.objective))
+    if gap > BOTH_OBJECTIVE_TOL * scale:
+        raise LPBackendMismatchError(
+            f"exact/scipy objectives disagree: "
+            f"{float(certificate.objective)!r} (exact, verified) "
+            f"vs {scipy_solution.objective!r} (scipy), gap {gap:g}"
+        )
+    x = scipy_solution.x
+    residual = -float(x.min(initial=0.0))
+    if "A_ub" in kwargs:
+        slack = kwargs["A_ub"] @ x - kwargs["b_ub"]
+        residual = max(residual, float(slack.max(initial=0.0)))
+    if "A_eq" in kwargs:
+        residual = max(
+            residual, float(np.abs(kwargs["A_eq"] @ x - kwargs["b_eq"]).max())
+        )
+    residual = max(
+        residual, abs(float(costs @ x) - float(certificate.objective)) / scale
+    )
+    row_scale = max(1.0, float(np.abs(x).max(initial=0.0)))
+    if residual > BOTH_VERTEX_TOL * row_scale:
+        raise LPBackendMismatchError(
+            "scipy's vertex is not on the certified optimal face: residual "
+            f"{residual:g} at {x!r}, certified optimum "
+            f"{certificate.objective!r} at {list(certificate.x)!r}"
+        )
+
+
 def solve_lp(
     costs: Sequence[float],
     a_ub: Sequence[Sequence[float]] | None = None,
@@ -221,7 +273,6 @@ def solve_lp(
 ) -> LPSolution:
     """Minimize ``costs @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``, ``x >= 0``."""
     costs = np.ascontiguousarray(costs, dtype=float)
-    n = costs.shape[0]
     kwargs = {}
     if a_ub is not None and len(a_ub) > 0:
         kwargs["A_ub"] = np.ascontiguousarray(a_ub, dtype=float)
@@ -229,10 +280,7 @@ def solve_lp(
     if a_eq is not None and len(a_eq) > 0:
         kwargs["A_eq"] = np.ascontiguousarray(a_eq, dtype=float)
         kwargs["b_eq"] = np.ascontiguousarray(b_eq, dtype=float)
-    n_rows = (0 if "A_ub" not in kwargs else kwargs["A_ub"].shape[0]) + (
-        0 if "A_eq" not in kwargs else kwargs["A_eq"].shape[0]
-    )
-    backend = _resolve_backend(n, n_rows)
+    backend = resolved_lp_backend()
     cache_key = (
         costs.tobytes(),
         kwargs["A_ub"].tobytes() if "A_ub" in kwargs else None,
@@ -248,22 +296,11 @@ def solve_lp(
         _SOLVE_CACHE.move_to_end(cache_key)
         return cached
 
-    if backend == "exact":
-        solution = _solve_exact(costs, kwargs)
-    elif backend == "scipy":
-        solution = _solve_scipy(costs, kwargs, max_denominator)
-    else:  # both: scipy-shaped solution, exact certificate, agreement check
-        exact = _solve_exact(costs, kwargs)
-        solution = _solve_scipy(costs, kwargs, max_denominator)
-        gap = abs(float(exact.certificate.objective) - solution.objective)
-        scale = max(1.0, abs(solution.objective))
-        if gap > BOTH_OBJECTIVE_TOL * scale:
-            raise LPBackendMismatchError(
-                f"exact/scipy objectives disagree: "
-                f"{float(exact.certificate.objective)!r} (exact, verified) "
-                f"vs {solution.objective!r} (scipy), gap {gap:g}"
-            )
-        solution.certificate = exact.certificate
+    solution = _solve_exact(costs, kwargs)
+    if backend == "cross":
+        _assert_scipy_agrees(
+            solution, _solve_scipy(costs, kwargs, max_denominator), costs, kwargs
+        )
         solution.backend = "both"
 
     _SOLVE_CACHE[cache_key] = solution

@@ -136,14 +136,15 @@ class Hypergraph:
             b_ub.append(-1.0)
         solution = solve_lp(costs, a_ub, b_ub)
         weights = dict(zip(self.edge_names, solution.x_rational))
-        if solution.backend != "exact" and not self.is_fractional_edge_cover(
+        if solution.certificate is None and not self.is_fractional_edge_cover(
             weights
         ):
-            # Nudge (scipy-shaped primal, including `both` mode, whose
-            # x_rational is still the rationalized scipy vertex):
+            # Nudge for a certificate-free (raw-float) primal:
             # rationalization can round a tight constraint the wrong way;
-            # scale up minimally to restore feasibility.  An exact-backed
-            # primal is a certified cover vertex — feasibility cannot fail.
+            # scale up minimally to restore feasibility.  Unreachable
+            # through solve_lp today — every policy returns the certified
+            # canonical vertex, a certified cover vertex by construction —
+            # but kept for callers injecting float solutions directly.
             slack = min(
                 sum(w for name, w in weights.items() if v in self.edges[name])
                 for v in self.vertices

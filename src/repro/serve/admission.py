@@ -2,14 +2,18 @@
 
 Before a query executes, the service solves the paper's LLP for the
 query's lattice presentation (Prop. 3.4 — the GLVV bound) and compares
-the certified log2 output bound against the tenant's budget.  Small
-programs solve on the exact rational backend
-(:func:`repro.lp.solver.forced_lp_backend`), so a rejection carries an
+the certified log2 output bound against the tenant's budget.  Every
+admission solve runs on the exact rational backend
+(:func:`repro.lp.solver.forced_lp_backend` — scipy never participates,
+so admission works identically on a no-scipy interpreter), and the
+canonical-vertex rule makes the solution the unique lex-min optimum of
+the program.  A rejection therefore always carries an
 :class:`~repro.lp.exact.ExactCertificate` — a machine-checkable proof
 that *any* engine would have been allowed to produce up to
 ``2**bound_log2`` tuples, i.e. the rejection is a theorem, not a
-heuristic.  Programs past the exact-size cutoff fall back to the
-configured policy and the decision is flagged ``certified=False``.
+heuristic.  (The old ``REPRO_ADMIT_EXACT_MAX`` lattice-size cutoff,
+which left big-lattice decisions uncertified, is gone: the sparse
+Fraction simplex handles the big programs.)
 
 The solve itself is cheap and memoized per lattice
 (:mod:`repro.lp.llp`), so repeated submissions of the same query shape
@@ -18,20 +22,12 @@ hit the cache.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from repro.errors import AdmissionRejected
 from repro.lattice.builders import lattice_from_query
 from repro.lp.llp import LatticeLinearProgram, LLPSolution
 from repro.lp.solver import forced_lp_backend
-
-#: Lattice-size cutoff for forcing the exact backend on admission solves.
-#: The Fraction simplex is exponential-free but its constant grows with
-#: the submodularity row count (quadratic in lattice size); above the
-#: cutoff admission falls back to the ambient policy and the decision is
-#: uncertified.
-ADMIT_EXACT_MAX_ELEMENTS = int(os.environ.get("REPRO_ADMIT_EXACT_MAX", "") or 24)
 
 
 @dataclass
@@ -56,19 +52,16 @@ class AdmissionDecision:
 
 def certified_bound(query, db) -> tuple[float, LLPSolution, bool]:
     """The GLVV log2 output bound for ``query`` on ``db``'s cardinalities,
-    solved exactly when the lattice is small enough.
+    always solved (and verified) on the exact backend.
 
-    Returns ``(bound_log2, solution, certified)`` where ``certified``
-    means the exact backend produced (and verified) the optimality
-    certificate.
+    Returns ``(bound_log2, solution, certified)``; ``certified`` is kept
+    for API compatibility and is ``True`` whenever the solve produced a
+    verified certificate — which the forced exact backend always does.
     """
     lattice, inputs = lattice_from_query(query)
     log_sizes = {name: db.log_sizes()[name] for name in inputs}
     program = LatticeLinearProgram(lattice, inputs, log_sizes)
-    if lattice.n <= ADMIT_EXACT_MAX_ELEMENTS:
-        with forced_lp_backend("exact"):
-            solution = program.solve()
-    else:
+    with forced_lp_backend("exact"):
         solution = program.solve()
     certified = solution.certificate is not None
     return solution.objective, solution, certified

@@ -783,28 +783,26 @@ def assert_shard_sweep_equivalence(query, db, workers=(1, 2, 7)) -> None:
 
 
 def assert_lp_backend_equivalence(query, db) -> None:
-    """The exact-LP swap is safe: work-neutral where pinnable, certified
-    result/objective-neutral everywhere.
+    """The LP backend policy is invisible: canonical exact vertices drive
+    every engine under every policy.
 
-    Three runs of the LP-driven engines (chain, SMA, CSMA) — under the
-    shipped ``auto`` policy, under forced ``exact`` and under forced
-    ``scipy`` — must satisfy:
+    Canonical-vertex selection (lex-min over the optimal face, primal
+    *and* dual) makes each LP solution a function of the program alone,
+    so all three LP-driven engines — chain, SMA, **and CSMA** — must
+    produce **bit-identical work profiles** under the shipped ``auto``
+    policy, forced ``exact``, and forced ``scipy`` (now cross-check
+    mode: the same canonical solve, plus a per-solve scipy agreement
+    assertion).  The historical CSMA dual-face-degeneracy carve-out is
+    retired: CSMA's branch trajectory follows the canonical CLLP dual
+    certificate, not whichever vertex a solver happened to pick.
 
-    * **auto ≡ scipy, bit-identical work** for all three engines: the
-      shipped routing (exact backend below the size cutoff) cannot perturb
-      any engine trajectory.
-    * **exact ≡ scipy, bit-identical work** for chain and SMA: the chain
-      bound depends only on (exactly recomputed) cover objectives, and the
-      LLP optima on this corpus are unique, so both backends must land on
-      the same vertex.  A drift here means a backend returned a
-      sub-optimal or mis-rationalized solution.
-    * **exact vs scipy CSMA: identical outputs and identical CLLP
-      optimum** (the budget driving Lemma 5.36 restarts).  The branch
-      *trajectory* legitimately follows whichever optimal dual certificate
-      the backend returned — the CLLP dual has degenerate faces (zero-cost
-      s/m variables), so vertex-level agreement across independent solvers
-      is not a sound contract; both certificates are verified exact
-      instead (see PERFORMANCE.md, "Exact rational LP backend").
+    The CLLP optimum (the Lemma 5.36 restart budget) is compared as
+    certified exact ``Fraction`` objectives for *equality* — no float
+    tolerance, which could mask a genuinely sub-optimal vertex.
+
+    The ``scipy`` leg runs first so unmemoized programs actually
+    exercise the scipy cross-check (the solution memos are now
+    policy-free, so later legs may legitimately hit the cache).
 
     Requires scipy (skipped by callers on exact-only interpreters).
     """
@@ -815,16 +813,15 @@ def assert_lp_backend_equivalence(query, db) -> None:
     with lp_backend_forced("exact"):
         exact_profile = lp_engine_work_profile(query, db)
     assert auto_profile == scipy_profile, (
-        f"auto-vs-scipy LP routing changed engine work: "
+        f"auto-vs-scipy LP policy changed engine work: "
         f"{auto_profile} != {scipy_profile}"
     )
-    for engine in ("chain", "sma"):
-        assert exact_profile[engine] == scipy_profile[engine], (
-            f"{engine}: exact backend diverged from scipy "
-            f"({exact_profile[engine]} != {scipy_profile[engine]})"
-        )
-    # CSMA: outputs must agree (covered again by assert_engines_agree) and
-    # the CLLP optimum — the restart budget — must be backend-independent.
+    assert exact_profile == scipy_profile, (
+        f"exact-vs-scipy LP policy changed engine work: "
+        f"{exact_profile} != {scipy_profile}"
+    )
+    # The CLLP optimum — the restart budget — is certified and identical
+    # (as exact Fractions) across policies.
     lattice, inputs = lattice_from_query(query)
     logs = {k: db.log_sizes()[k] for k in inputs}
     program = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
@@ -834,9 +831,11 @@ def assert_lp_backend_equivalence(query, db) -> None:
         exact_solution = program.solve()
     assert exact_solution.certificate is not None
     assert exact_solution.certificate.verify()
-    assert abs(exact_solution.objective - scipy_solution.objective) <= 1e-7, (
-        "CLLP optimum differs across LP backends"
-    )
+    assert scipy_solution.certificate is not None
+    assert (
+        exact_solution.certificate.objective
+        == scipy_solution.certificate.objective
+    ), "CLLP optimum differs across LP backend policies"
     schema = tuple(sorted(query.variables))
     with lp_backend_forced("scipy"):
         scipy_csma = _run_csma(query, db, schema)

@@ -52,12 +52,11 @@ def test_random_simple_key_workloads(seed):
 @requires_scipy
 @pytest.mark.parametrize("seed", range(12))
 def test_lp_backend_work_equivalence(seed):
-    """Satellite of the exact-LP PR: the same workloads, evaluated with
-    the LP layer pinned to each backend — the shipped auto routing must be
-    bit-identical in work to scipy across chain/SMA/CSMA, and the forced
-    exact stack must match scipy wherever the optimum pins the trajectory
-    (everywhere but CSMA's degenerate dual choice, which is certified
-    instead)."""
+    """The same workloads, evaluated with the LP layer pinned to each
+    backend policy — canonical-vertex selection makes every policy
+    bit-identical in work across chain, SMA *and* CSMA (the old CSMA
+    degenerate-dual exemption is retired), with the CLLP optimum compared
+    as exact Fractions."""
     query, db = random_simple_key_workload(seed)
     assert_lp_backend_equivalence(query, db)
 

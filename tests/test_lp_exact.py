@@ -13,8 +13,16 @@ Four contracts (PR 3 satellites):
    cannot silently flip the chain-bound duals
    (cf. ``repro/lp/solver.py``'s negation of HiGHS marginals).
 3. **Backend knob** — ``REPRO_LP_BACKEND={exact,scipy,both,auto}``
-   routing, the ``both`` agreement mode, and backend-keyed memos.
-4. **Importability split** — ``repro.lp`` imports and solves with scipy
+   policy resolution (``auto`` ≡ ``exact``: canonical exact solve;
+   ``scipy`` ≡ ``both``: the same solve plus a per-solve scipy
+   cross-check), resolved-backend-keyed solve memos, and the
+   policy-free lattice memos.
+4. **Canonical-vertex selection** — degenerate programs return the
+   lex-min vertex of the optimal face (primal and dual), pinned on
+   hand-built degenerate programs, a CLLP instance with a multi-vertex
+   optimal dual face, and vertex-for-vertex against the enumeration
+   argmin on every random program.
+5. **Importability split** — ``repro.lp`` imports and solves with scipy
    blocked (the exact backend is the floor; scipy is an optional extra).
 """
 
@@ -85,8 +93,11 @@ def _random_program(rng: random.Random):
 
 @pytest.mark.parametrize("seed", range(40))
 def test_simplex_matches_vertex_enumeration(seed):
-    """Two independent exact engines, one optimum: the simplex value must
-    equal the brute-force minimum over enumerated vertices."""
+    """Two independent exact engines, one optimum *and one vertex*: the
+    simplex value must equal the brute-force minimum over enumerated
+    vertices, and — canonical-vertex selection — the returned primal must
+    be the lex-min optimal vertex, which is exactly what
+    ``minimize_by_enumeration``'s ``(value, point)`` tie-break yields."""
     rng = random.Random(seed)
     costs, a_ub, b_ub = _random_program(rng)
     try:
@@ -95,8 +106,9 @@ def test_simplex_matches_vertex_enumeration(seed):
         assert enumerate_vertices(a_ub, b_ub) == []
         return
     assert certificate.verify()
-    value, _ = minimize_by_enumeration(costs, a_ub, b_ub)
+    value, vertex = minimize_by_enumeration(costs, a_ub, b_ub)
     assert value == certificate.objective
+    assert tuple(vertex) == certificate.x
 
 
 @pytest.mark.parametrize("seed", range(25))
@@ -136,15 +148,106 @@ def test_certificate_rejects_tampering():
     assert not bad_dual.verify()
 
 
-def test_degenerate_program_terminates():
-    """A fully degenerate cube corner (many ties) must not cycle."""
-    n = 6
+def _degenerate_cube_corner(n: int = 6):
     a_ub = [[1.0 if j == i else 0.0 for j in range(n)] for i in range(n)]
     a_ub += [[-1.0] * n]
     b_ub = [1.0] * n + [0.0]
+    return a_ub, b_ub
+
+
+def test_degenerate_program_terminates():
+    """A fully degenerate cube corner (many ties) must not cycle."""
+    n = 6
+    a_ub, b_ub = _degenerate_cube_corner(n)
     certificate = solve_exact_lp([1.0] * n, a_ub, b_ub)
     assert certificate.objective == 0
     assert certificate.verify()
+
+
+# ----------------------------------------------------------------------
+# Canonical-vertex selection on hand-built degenerate programs
+# ----------------------------------------------------------------------
+
+def test_canonical_vertex_on_degenerate_cube_corner():
+    """The fully degenerate cube corner, with a flat objective so the
+    *whole cube* is the optimal face: the canonical solution must be its
+    lex-min vertex — the origin — and two independent solves must agree
+    on every field of the certificate."""
+    n = 6
+    a_ub, b_ub = _degenerate_cube_corner(n)
+    first = solve_exact_lp([0.0] * n, a_ub, b_ub)
+    second = solve_exact_lp([0.0] * n, a_ub, b_ub)
+    assert first.x == tuple([Fraction(0)] * n)
+    assert first == second  # identical certificate, not just objective
+    # The original (unique-optimum) objective stays pinned at the origin.
+    assert solve_exact_lp([1.0] * n, a_ub, b_ub).x == first.x
+
+
+def test_canonical_vertex_is_lex_min_on_segment_face():
+    """min x0 + x1 over the unit square with x0 + x1 >= 1: the optimal
+    face is the whole segment from (1,0) to (0,1); the canonical vertex
+    is its lex-min endpoint (0,1)."""
+    a_ub = [[-1.0, -1.0], [1.0, 0.0], [0.0, 1.0]]
+    b_ub = [-1.0, 1.0, 1.0]
+    certificate = solve_exact_lp([1.0, 1.0], a_ub, b_ub)
+    assert certificate.x == (Fraction(0), Fraction(1))
+    assert certificate.verify()
+    assert solve_exact_lp([1.0, 1.0], a_ub, b_ub) == certificate
+
+
+def test_canonical_dual_is_lex_min_on_degenerate_dual_face():
+    """max x0 + x1 s.t. x0 <= 1, x1 <= 1, x0 + x1 <= 2: the third row is
+    redundant but binding, so the primal vertex (1,1) is degenerate and
+    the dual optimal face is the segment {(1-t, 1-t, t) : t in [0,1]}.
+    Its lex-min vertex is (0, 0, 1) — the canonical dual must pick it,
+    deterministically."""
+    first = solve_exact_lp([-1.0, -1.0], [[1, 0], [0, 1], [1, 1]], [1, 1, 2])
+    second = solve_exact_lp([-1.0, -1.0], [[1, 0], [0, 1], [1, 1]], [1, 1, 2])
+    assert first.x == (Fraction(1), Fraction(1))
+    assert first.y_ub == (Fraction(0), Fraction(0), Fraction(1))
+    assert first == second
+    assert first.verify()
+
+
+def test_cllp_dual_face_is_degenerate_and_canonical():
+    """A CLLP whose explicit dual LP has a multi-vertex optimal face (the
+    zero-cost s/m variables of Eq. (26)) — the trigger for the old CSMA
+    carve-out.  The canonical solve must return the lex-min optimal
+    vertex (cross-checked against exhaustive vertex enumeration) and two
+    independent solves of the dual must agree exactly.  The diamond M3
+    with equal cardinalities has a 3-vertex optimal dual face."""
+    lattice = m3()
+    inputs = {f"R{a}": a for a in lattice.coatoms}
+    logs = {name: 3.0 for name in inputs}
+    program = ConditionalLLP.from_cardinalities(lattice, inputs, logs)
+    bounds = program.bounds_by_pair()
+    degree_pairs = tuple(bounds)
+    a_ub, b_ub, incomparable, cover_pairs = program._dual_skeleton(degree_pairs)
+    n_c, n_s, n_m = len(degree_pairs), len(incomparable), len(cover_pairs)
+    costs = [bounds[p] for p in degree_pairs] + [0.0] * (n_s + n_m)
+    value, lex_min_vertex = minimize_by_enumeration(
+        costs, a_ub.tolist(), b_ub.tolist()
+    )
+    # The optimal face genuinely has several vertices — the degeneracy the
+    # canonical rule resolves (otherwise this instance proves nothing).
+    cost_vec = [Fraction(v).limit_denominator() for v in costs]
+    optimal_vertices = [
+        p
+        for p in enumerate_vertices(a_ub.tolist(), b_ub.tolist())
+        if sum(c * x for c, x in zip(cost_vec, p)) == value
+    ]
+    assert len(optimal_vertices) >= 2
+    # The certified canonical solve lands on the lex-min optimal vertex.
+    certificate = solve_exact_lp(costs, a_ub.tolist(), b_ub.tolist())
+    assert certificate.x == tuple(lex_min_vertex)
+    assert certificate.objective == value
+    # Two independent full dual solves agree exactly, component for
+    # component — the property CSMA's restart budget now relies on.
+    first = program.solve_dual()
+    lattice._lp_memo.clear()  # defeat the lattice memo: a genuine re-solve
+    solver_mod._SOLVE_CACHE.clear()
+    second = program.solve_dual()
+    assert (first.c, first.s, first.m) == (second.c, second.s, second.m)
 
 
 # ----------------------------------------------------------------------
@@ -380,66 +483,106 @@ def test_backend_knob_validation():
             solve_lp([1.0], a_ub=[[1.0]], b_ub=[1.0])
 
 
-def test_auto_routes_by_size(monkeypatch):
+def test_auto_always_resolves_exact():
+    """``auto`` never routes to scipy: big programs (past the retired
+    8-var/24-row cutoff) solve on the exact canonical backend too."""
     solver_mod._SOLVE_CACHE.clear()
     with lp_backend_forced("auto"):
         small = solve_lp([1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
         assert small.backend == "exact"
         assert small.certificate is not None
-        if HAVE_SCIPY:
-            monkeypatch.setattr(solver_mod, "EXACT_MAX_VARS", 0)
-            big = solve_lp([1.0, 2.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
-            assert big.backend == "scipy"
-            assert big.certificate is None
+        n = 12  # > the old EXACT_MAX_VARS=8 cutoff
+        big = solve_lp(
+            [1.0] * n,
+            a_ub=[[-1.0] * n] + [[1.0 if j == i else 0.0 for j in range(n)]
+                                 for i in range(n)],
+            b_ub=[-1.0] + [1.0] * n,
+        )
+        assert big.backend == "exact"
+        assert big.certificate is not None and big.certificate.verify()
 
 
 @requires_scipy
-def test_both_mode_cross_checks_and_keeps_scipy_shape():
+def test_cross_check_mode_returns_canonical_exact_vertex():
+    """``both`` (and its alias ``scipy``) is cross-check mode: the caller
+    gets the canonical exact solution — identical to a pure exact solve —
+    and scipy runs alongside purely as a per-solve agreement assertion."""
     solver_mod._SOLVE_CACHE.clear()
-    with lp_backend_forced("scipy"):
-        scipy_solution = solve_lp([2.0, 3.0], a_ub=[[-1.0, -2.0]], b_ub=[-6.0])
+    program = dict(a_ub=[[-1.0, -2.0]], b_ub=[-6.0])
+    with lp_backend_forced("exact"):
+        exact_solution = solve_lp([2.0, 3.0], **program)
     with lp_backend_forced("both"):
-        both = solve_lp([2.0, 3.0], a_ub=[[-1.0, -2.0]], b_ub=[-6.0])
+        both = solve_lp([2.0, 3.0], **program)
+    with lp_backend_forced("scipy"):
+        crossed = solve_lp([2.0, 3.0], **program)
     assert both.backend == "both"
     assert both.certificate is not None and both.certificate.verify()
-    # The primal is byte-compatible with a plain scipy run (trajectory
-    # preservation), the certificate rides along as the exact cross-check.
-    assert list(both.x) == list(scipy_solution.x)
-    assert both.objective == scipy_solution.objective
+    assert both.certificate == exact_solution.certificate
+    assert list(both.x) == list(exact_solution.x)
+    assert both.x_rational == exact_solution.x_rational
     assert both.objective_rational == both.certificate.objective
+    assert crossed is both  # scipy and both resolve to one cross-check entry
 
 
-def test_solve_cache_is_backend_keyed():
+def test_solve_cache_is_keyed_on_resolved_backend():
+    """The byte memo keys on what the policy *resolves to*, so ``auto``
+    and forced ``exact`` share one entry (they are the same solve)."""
     solver_mod._SOLVE_CACHE.clear()
     program = ([1.0, 1.0], [[-1.0, -1.0]], [-1.0])
     with lp_backend_forced("exact"):
         first = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
         again = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
-    assert again is first  # memo hit within one backend
+    assert again is first  # memo hit within one policy
+    with lp_backend_forced("auto"):
+        auto_solution = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
+    assert auto_solution is first  # auto resolves to exact: same entry
     if HAVE_SCIPY:
         with lp_backend_forced("scipy"):
-            scipy_solution = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
-        assert scipy_solution is not first
-        assert scipy_solution.backend == "scipy"
-        assert first.backend == "exact"
+            crossed = solve_lp(program[0], a_ub=program[1], b_ub=program[2])
+        # Cross-check mode re-solves once (distinct memo entry) but the
+        # solution content is the same canonical vertex.
+        assert crossed is not first
+        assert crossed.backend == "both"
+        assert crossed.x_rational == first.x_rational
+        assert crossed.certificate == first.certificate
 
 
 @requires_scipy
-def test_lattice_memo_is_backend_keyed():
-    """An in-process backend switch must not be served the other
-    backend's cached LLP/CLLP solution (FD-lattices are interned)."""
+def test_lattice_memo_is_policy_free():
+    """Canonical vertices made LLP/CLLP solutions backend-independent, so
+    an in-process policy switch now *shares* the lattice memo entry
+    (previously each policy solved and cached the program separately)."""
     lattice, inputs = fig5_lattice()
     logs = {name: 4.0 for name in inputs}
     with lp_backend_forced("scipy"):
         scipy_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
     with lp_backend_forced("exact"):
         exact_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
-    assert exact_solution is not scipy_solution
+    assert exact_solution is scipy_solution  # one memo entry, all policies
     assert exact_solution.certificate is not None
-    assert scipy_solution.certificate is None
-    assert exact_solution.objective == pytest.approx(
-        scipy_solution.objective, abs=1e-9
-    )
+    assert exact_solution.certificate.verify()
+
+
+def test_lattice_memo_hits_across_auto_and_exact():
+    """Regression (PR 8 satellite): ``auto`` and forced ``exact`` resolve
+    to the same backend, so the same program must be solved once, not
+    cached twice under two policy strings."""
+    lattice, inputs = fig5_lattice()
+    logs = {name: 6.0 for name in inputs}
+    lattice._lp_memo.clear()
+    solver_mod._SOLVE_CACHE.clear()
+    with lp_backend_forced("auto"):
+        auto_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
+    with lp_backend_forced("exact"):
+        exact_solution = LatticeLinearProgram(lattice, inputs, logs).solve()
+    assert exact_solution is auto_solution  # memo hit, no second solve
+    assert auto_solution.certificate is not None
+    # And at the byte-memo level too: exactly one solution object.
+    with lp_backend_forced("auto"):
+        first = solve_lp([1.0, 3.0], a_ub=[[-1.0, -1.0]], b_ub=[-2.0])
+    with lp_backend_forced("exact"):
+        second = solve_lp([1.0, 3.0], a_ub=[[-1.0, -1.0]], b_ub=[-2.0])
+    assert second is first
 
 
 # ----------------------------------------------------------------------
