@@ -34,7 +34,11 @@ Policy (mirrors PERFORMANCE.md):
   or when a full-size E17 workload's recorded speedup fell below the
   baseline's ``min_speedup_required`` — timing noise on shared CI
   runners is not a correctness signal, but the trajectory should be
-  visible in the log.
+  visible in the log.  When the two trajectories record differing host
+  CPU counts (the top-level ``host`` block, emitted since PR9), every
+  timing warning is annotated as cross-host — the E17 ≥1.5× shard floor
+  in particular has never been measured on a ≥4-core box, and the
+  trajectory files now say so machine-readably.
 """
 
 from __future__ import annotations
@@ -64,12 +68,38 @@ def find_default_baseline() -> Path | None:
     return max(candidates)[1] if candidates else None
 
 
+def host_note(baseline: dict, fresh: dict) -> str:
+    """Cross-host qualifier for wall-clock comparisons.
+
+    Trajectories record their machine's parallelism in a top-level
+    ``host`` block (``cpu_count`` and the resolved shard worker count)
+    since PR9.  When the two files come from differently-provisioned
+    machines, every wall-clock and speedup comparison is apples to
+    oranges — in particular the E17 ≥1.5× shard floor cannot be judged
+    against a baseline taken on a 1-core box.  Returns a suffix to
+    append to timing warnings, or ``""`` when the hosts match (or
+    either file predates the ``host`` block).
+    """
+    base_host = baseline.get("host") or {}
+    fresh_host = fresh.get("host") or {}
+    base_cpus = base_host.get("cpu_count")
+    fresh_cpus = fresh_host.get("cpu_count")
+    if not base_cpus or not fresh_cpus or base_cpus == fresh_cpus:
+        return ""
+    return (
+        f" [cross-host: baseline ran on {base_cpus} CPUs, fresh on "
+        f"{fresh_cpus} — wall-clock and parallel-speedup comparisons "
+        "are not like-for-like]"
+    )
+
+
 def compare(
     baseline: dict, fresh: dict, strict_e17: bool = False
 ) -> tuple[list[str], list[str]]:
     """Returns (failures, warnings)."""
     failures: list[str] = []
     warnings: list[str] = []
+    note = host_note(baseline, fresh)
     base_e16 = baseline.get("e16", {})
     fresh_e16 = fresh.get("e16", {})
 
@@ -110,12 +140,12 @@ def compare(
         warnings.append(
             f"E16 wall-clock regressed: baseline {base_wall}s vs fresh "
             f"{fresh_wall}s (> {WALL_CLOCK_SLACK}x; timing only — not "
-            "failing the gate)"
+            f"failing the gate){note}"
         )
 
     _compare_e17(
         baseline.get("e17", {}), fresh.get("e17", {}), failures, warnings,
-        strict=strict_e17,
+        strict=strict_e17, note=note,
     )
     _compare_serve(baseline.get("serve"), fresh.get("serve"), warnings)
     return failures, warnings
@@ -174,6 +204,7 @@ def _compare_e17(
     failures: list[str],
     warnings: list[str],
     strict: bool = False,
+    note: str = "",
 ) -> None:
     """The large-frontier gate: counts fail, timings warn.
 
@@ -182,7 +213,9 @@ def _compare_e17(
     with an ``e17`` section and a fresh sweep sharing *none* of its
     workloads is a failure (the suite silently vanished).  ``strict``
     (the ndarray on-vs-off CI cross gate) demands identical workload
-    sets instead.
+    sets instead.  ``note`` (from :func:`host_note`) is appended to every
+    timing warning when the two trajectories come from hosts with
+    differing CPU counts.
     """
     base_workloads = base_e17.get("workloads", {})
     fresh_workloads = fresh_e17.get("workloads", {})
@@ -230,7 +263,7 @@ def _compare_e17(
         if base_enc and fresh_enc and fresh_enc > base_enc * WALL_CLOCK_SLACK:
             warnings.append(
                 f"E17 encoded wall-clock regressed at {name}: baseline "
-                f"{base_enc}s vs fresh {fresh_enc}s"
+                f"{base_enc}s vs fresh {fresh_enc}s{note}"
             )
     min_speedup = base_e17.get("min_speedup_required")
     if min_speedup and fresh_e17.get("level") == "full":
@@ -244,7 +277,8 @@ def _compare_e17(
             ):
                 warnings.append(
                     f"E17 speedup at {name} fell below the gated floor: "
-                    f"{speedup}x < {min_speedup}x (baseline {base_speedup}x)"
+                    f"{speedup}x < {min_speedup}x (baseline "
+                    f"{base_speedup}x){note}"
                 )
 
 

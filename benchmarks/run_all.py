@@ -27,6 +27,9 @@ generations honestly:
   shard speedups, peak RSS, and the shard configuration (workers,
   cpu_count, env mode — the ``shard`` sub-object).  ``--quick`` runs
   the smoke sizes only; the full ≥1M-row sweep runs otherwise;
+* ``host`` — the machine's parallelism (``cpu_count`` and the resolved
+  shard worker count), so wall-clock comparisons between trajectories
+  from different machines can be qualified by ``check_regression.py``;
 * ``serve`` — the PR6 serving suite (``bench_pr6_serve``): closed-loop
   latency percentiles and QPS, open-loop overload behavior, and the
   chaos run's rejection/degradation/failure rates.  Compared warn-only
@@ -173,10 +176,22 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    import os
+
+    from repro.engine import shard
+
     payload = {
         "tag": args.tag,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Host parallelism, recorded at the top level so that
+        # check_regression.py can qualify wall-clock comparisons between
+        # trajectories taken on differently-provisioned machines (e.g. the
+        # E17 shard floor needs ≥4 cores to be expressible at all).
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "shard_workers": shard.active_workers(),
+        },
     }
     if not args.quick and not args.e17_only:
         print("bench suite:")

@@ -416,6 +416,54 @@ class Database:
         _lru_put(self._tuple_plans, key, plan)
         return plan
 
+    def run_plan(
+        self,
+        source_schema: Sequence[str],
+        vars_seq: Sequence[str],
+        encoded: bool = False,
+    ) -> ExpansionPlan | None:
+        """Compile (and cache) the *segment* plan binding ``vars_seq`` in
+        order from ``source_schema`` — the concatenation of the per-depth
+        single-step plans the generic join's determined run would execute
+        one at a time.
+
+        Returns ``None`` unless every per-depth plan is exactly one step
+        appending exactly its variable: the segment must replay the same
+        guard/UDF choices (first-applicable-fd against each depth's own
+        narrow goal), so it is built by concatenation, never by
+        recompiling toward a union goal — that keeps step counts, fd
+        application order, and therefore ``tuples_touched`` bit-identical
+        to the per-depth execution.  The fused pipeline then collapses
+        the whole dense chain into one gather (see
+        :mod:`~repro.engine.fused`).
+        """
+        source_schema = tuple(source_schema)
+        vars_seq = tuple(vars_seq)
+        key = ("run", source_schema, vars_seq, encoded, self._plan_salt())
+        cached = _lru_get(self._tuple_plans, key)
+        if cached is not None:
+            return cached if isinstance(cached, ExpansionPlan) else None
+        schema = source_schema
+        steps: list = []
+        plan: ExpansionPlan | None = None
+        for var in vars_seq:
+            sub = self.expansion_plan(
+                schema, frozenset(schema) | {var}, encoded=encoded
+            )
+            if len(sub.steps) != 1 or sub.out_schema != schema + (var,):
+                plan = None
+                break
+            steps.append(sub.steps[0])
+            schema = sub.out_schema
+        else:
+            plan = ExpansionPlan(
+                source_schema, schema, tuple(steps), encoded=encoded
+            )
+        # Negative results cache too (a non-ExpansionPlan marker): the
+        # generic join asks once per (frontier schema, run) per query.
+        _lru_put(self._tuple_plans, key, plan if plan is not None else key)
+        return plan
+
     def relation_plan(
         self, source_schema: Sequence[str], encoded: bool = False
     ) -> RelationExpansionPlan:

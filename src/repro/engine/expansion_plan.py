@@ -50,6 +50,7 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None
 
 from repro.engine import frontier as _frontier
+from repro.engine import fused as _fused
 from repro.engine import shard as _shard
 from repro.engine.cancellation import checkpoint
 
@@ -169,7 +170,7 @@ class ExpansionPlan:
 
     __slots__ = (
         "source_schema", "out_schema", "steps", "encoded", "_positions",
-        "execute", "_execute_batch_rows", "_nd_specs",
+        "execute", "_execute_batch_rows", "_nd_specs", "_fused_pipelines",
     )
 
     def __init__(
@@ -187,6 +188,9 @@ class ExpansionPlan:
         self.execute = self._compile()
         self._execute_batch_rows = self._compile_batch()
         self._nd_specs = None  # ndarray step specs, compiled on first use
+        # Generated fused pipelines, keyed by fused.pipeline_key();
+        # compiled lazily from (and invalidated with) _nd_specs.
+        self._fused_pipelines: dict = {}
 
     def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
         """Positions of ``attrs`` in :attr:`out_schema`."""
@@ -421,7 +425,7 @@ class ExpansionPlan:
                 return tuple(positions)
         return tuple(range(width))
 
-    def execute_batch_ndarray(self, block, counter=None):
+    def execute_batch_ndarray(self, block, counter=None, step_alive=None):
         """Run the plan over an ``(n, len(source_schema))`` int64 frontier
         block (encoded plans only); see
         :meth:`execute_batch_ndarray_local` for the kernel contract.
@@ -433,13 +437,23 @@ class ExpansionPlan:
         local kernel for any worker count.  Every block caller (the
         chain/CSMA/SMA/generic seams, ``Database.expand_rows`` and the
         roundtrip entry points) inherits sharding through this one
-        dispatch.
+        dispatch.  ``step_alive`` (an optional list) receives the
+        alive-row count of every plan step, shard-merged by exact sums.
         """
         if self.steps and _shard.shard_engaged(block.shape[0]):
-            return _shard.run_plan_sharded(self, block, counter)
-        return self.execute_batch_ndarray_local(block, counter)
+            return _shard.run_plan_sharded(self, block, counter, step_alive)
+        return self.execute_batch_ndarray_local(block, counter, step_alive)
 
-    def execute_batch_ndarray_local(self, block, counter=None):
+    def _fused_pipeline(self):
+        """The generated fused pipeline for the current configuration
+        (compiled once per plan, cached alongside ``_nd_specs``)."""
+        key = _fused.pipeline_key()
+        fn = self._fused_pipelines.get(key)
+        if fn is None:
+            fn = self._fused_pipelines[key] = _fused.compile_pipeline(self)
+        return fn
+
+    def execute_batch_ndarray_local(self, block, counter=None, step_alive=None):
         """Run the plan over an ``(n, len(source_schema))`` int64 frontier
         block (encoded plans only), unsharded.
 
@@ -455,8 +469,18 @@ class ExpansionPlan:
         sort/searchsorted key joins on the lexicographic void view; UDF
         steps decode and evaluate only the masked-in rows.  Counter
         totals are bit-identical to the row-loop backend: each step
-        charges exactly the rows alive when it runs.
+        charges exactly the rows alive when it runs.  ``step_alive``
+        (optional list) receives each step's alive-row count (0 for
+        steps short-circuited by a dead frontier).
+
+        Under ``REPRO_FUSE`` (``auto``/``on``, the default) the whole
+        spec list runs as one generated pipeline with consecutive dense
+        gathers composed into fused tables — same outputs, same counter
+        totals, same per-step counts, fewer passes (``REPRO_FUSE=off``
+        keeps this per-step loop).
         """
+        if self.steps and _fused.fuse_engaged():
+            return self._fused_pipeline()(block, counter, step_alive)
         np = _np
         n = block.shape[0]
         # zeros, not empty: appended cells of rows that dangle mid-plan
@@ -472,30 +496,54 @@ class ExpansionPlan:
         m = n
         touched = 0
         cursor = ncols
-        for spec in self._ndarray_specs():
+        specs = self._ndarray_specs()
+        profiled = _fused.PROFILE_STEPS
+        for i, spec in enumerate(specs):
             if m == 0:
+                if step_alive is not None:
+                    step_alive.extend((0,) * (len(specs) - i))
                 break
             checkpoint()  # per plan step over the whole block
+            if profiled:
+                t0 = _fused.perf_counter()
+                rows0 = m
             touched += m
+            if step_alive is not None:
+                step_alive.append(m)
             kind = spec[0]
             if kind == "udf":
                 _, positions, fn, width = spec
                 if mask is None:
                     if positions:
-                        out[:, cursor] = list(
-                            map(fn, *(out[:, p].tolist() for p in positions))
+                        out[:, cursor] = np.fromiter(
+                            map(fn, *(out[:, p].tolist() for p in positions)),
+                            np.int64,
+                            count=n,
                         )
                     else:
-                        out[:, cursor] = [fn() for _ in range(n)]
+                        out[:, cursor] = np.fromiter(
+                            (fn() for _ in range(n)), np.int64, count=n
+                        )
                 else:
                     alive = np.flatnonzero(mask)
                     if positions:
-                        out[alive, cursor] = list(
-                            map(fn, *(out[alive, p].tolist() for p in positions))
+                        out[alive, cursor] = np.fromiter(
+                            map(
+                                fn,
+                                *(out[alive, p].tolist() for p in positions),
+                            ),
+                            np.int64,
+                            count=m,
                         )
                     else:
-                        out[alive, cursor] = [fn() for _ in range(m)]
+                        out[alive, cursor] = np.fromiter(
+                            (fn() for _ in range(m)), np.int64, count=m
+                        )
                 cursor += 1
+                if profiled:
+                    _fused.profile_record(
+                        "udf", rows0, _fused.perf_counter() - t0
+                    )
                 continue
             if kind == "dense":
                 _, pos, size, valid, images, width = spec
@@ -516,6 +564,10 @@ class ExpansionPlan:
             cursor += width
             mask = hit if mask is None else mask & hit
             m = int(np.count_nonzero(mask))
+            if profiled:
+                _fused.profile_record(
+                    spec[0], rows0, _fused.perf_counter() - t0
+                )
         if counter is not None and touched:
             counter.add(touched)
         return out, mask

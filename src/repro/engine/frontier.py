@@ -33,6 +33,7 @@ import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from repro.engine import fused as _fused
 from repro.engine.cancellation import checkpoint
 
 try:  # pragma: no cover - the image bakes numpy in
@@ -109,23 +110,26 @@ def ndarray_engaged(n: int) -> bool:
         return False
     if mode in _ON:
         return True
-    if _shard_forces_blocks():
+    if _shard_forces_blocks() or _fused.fuse_forced_on():
         return True
     return n >= NDARRAY_MIN_ROWS
 
 
 def ndarray_forced_on() -> bool:
-    """Is the backend *forced* on (``REPRO_BATCH_NDARRAY=on``, or the
-    sharded backend forced via ``REPRO_SHARD=on``)?  Callers with extra
-    engagement heuristics (e.g. generic join's determined-run length)
-    bypass them under force, so the differential variants and the CI
-    cross gate exercise the block path everywhere it can run."""
+    """Is the backend *forced* on (``REPRO_BATCH_NDARRAY=on``, or forced
+    transitively via ``REPRO_SHARD=on`` / ``REPRO_FUSE=on``)?  Callers
+    with extra engagement heuristics (e.g. generic join's determined-run
+    length) bypass them under force, so the differential variants and
+    the CI cross gate exercise the block path everywhere it can run.
+    Shards and pipelines only exist on blocks, so forcing either forces
+    blocks (unless blocks are themselves explicitly ``off``, which
+    wins)."""
     if np is None:
         return False
     mode = active_mode()
     if mode in _OFF:
         return False
-    return mode in _ON or _shard_forces_blocks()
+    return mode in _ON or _shard_forces_blocks() or _fused.fuse_forced_on()
 
 
 def ndarray_roundtrip_engaged(n: int) -> bool:
@@ -295,11 +299,7 @@ def key_hits(struct, block, positions):
     if kind == "empty":
         return np.zeros(n, dtype=bool), np.zeros(n, dtype=np.int64)
     probes = _probe_array(struct, block, positions)
-    nk = len(sorted_keys)
-    idx = np.searchsorted(sorted_keys, probes)
-    slot = np.minimum(idx, nk - 1)
-    hit = (idx < nk) & (sorted_keys[slot] == probes)
-    return hit, slot
+    return _fused.sorted_lookup(sorted_keys, probes)
 
 
 def block_isin(block, positions, struct):

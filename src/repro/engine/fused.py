@@ -1,0 +1,612 @@
+"""Fused plan pipelines — compile the query, not the tuple.
+
+The ndarray backend (PR 5) vectorized each plan *step*; E17 showed the
+remaining cost is what happens **between** steps: per-step Python
+dispatch over ``_ndarray_specs()``, an intermediate mask AND plus
+``count_nonzero`` per step, and a dense-chain frontier that is gathered
+k times when one composed gather would do.  This module removes all
+three, in the order the worst-case-optimal-join literature suggests —
+first compose, then compile:
+
+* **Gather-table composition** (:func:`compose_fused_specs`): a run of
+  consecutive ``GUARD_DENSE`` steps whose key column is the run's entry
+  column or a column the run itself appended collapses into one flat
+  table over the entry attribute's code domain.  Per entry code the
+  composed table stores the full appended image row *and* ``surv`` — how
+  many of the run's steps that entry survives before dangling (capped at
+  the run length).  One gather then replaces k gathers, one ``sv == k``
+  compare replaces k mask ANDs, and ``min(sv+1, k)`` *is* the exact
+  per-row charge the unfused loop would have accumulated (each original
+  step still charges the rows alive when it runs — bit-identical
+  ``tuples_touched``).  Out-of-range codes (values interned after the
+  plan compiled) and fd-:data:`~repro.engine.expansion_plan.INCONSISTENT`
+  entries dangle exactly as before: both compose to ``surv`` short of
+  the run length.  Dead rows keep gathering the clipped slot-0 chain, so
+  even the never-read cells of the output block are bit-identical to the
+  step loop (the shard scatter-merge determinism contract).
+* **Generated pipelines** (:func:`compile_pipeline`): one exec-compiled
+  function per plan — mirroring the per-tuple executor codegen in
+  :mod:`~repro.engine.expansion_plan` — that runs the whole fused spec
+  list with no per-step dispatch, no dead-branch checks (mask-is-None
+  and empty-table branches resolve at *codegen* time), and mask
+  short-circuiting baked in.  ``execute_batch_ndarray_local`` becomes a
+  thin call into the cached pipeline, so the shard backend and every
+  block seam (chain stage-2/3, SMA/CSMA SM-joins, generic BFS, LFTJ)
+  inherit fusion for free.
+* **An optional compiled-kernel seam**: the three hot primitives —
+  :func:`dense_probe` (dense gather+mask), :func:`sorted_lookup`
+  (searchsorted key join), :func:`compact` (mask compaction) — dispatch
+  to numba-jitted kernels under ``REPRO_FUSE_NATIVE`` when numba is
+  importable (an optional extra in ``setup.py``, import-guarded exactly
+  like scipy), and fall back to the numpy expressions bit-identically.
+
+Knobs follow the house pattern:
+
+* ``REPRO_FUSE`` — ``auto`` (default: fuse whenever the block backend
+  runs; fusion is a strict constant-factor win so auto means on), ``on``
+  (additionally *forces* the block backend everywhere it can run, like
+  ``REPRO_SHARD=on``), ``off`` (the per-step spec loop of PR 5).
+* ``REPRO_FUSE_NATIVE`` — ``auto`` (numba if importable), ``on`` (same;
+  the no-numba degradation to numpy stays graceful and is proved in
+  CI), ``off`` (pure numpy).
+* ``REPRO_PROFILE_STEPS=1`` — per-spec-kind wall time and row counts
+  accumulated during block execution (:func:`profile_snapshot`),
+  surfaced by ``bench_e17_large_frontier.py``.
+
+The differential suite (``tests/differential.py``) pins fused-on vs
+fused-off to bit-identical work profiles and order-independent result
+digests across all five engines, shard on and off; CI adds a tier-1 run
+under ``REPRO_FUSE=on`` and an E17 fused-on/off cross gate.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter
+
+try:  # pragma: no cover - the image bakes numpy in
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+_ON = frozenset({"1", "on", "force", "always", "true", "yes"})
+_OFF = frozenset({"0", "off", "never", "false", "no"})
+
+#: ``auto`` (fuse whenever blocks run), ``on`` (fuse + force blocks) or
+#: ``off`` (the per-step spec loop).  Mutable module state so the
+#: differential harness can force both modes.
+FUSE_MODE = os.environ.get("REPRO_FUSE", "").strip().lower() or "auto"
+
+#: ``auto``/``on`` (numba kernels when importable), ``off`` (numpy only).
+FUSE_NATIVE_MODE = (
+    os.environ.get("REPRO_FUSE_NATIVE", "").strip().lower() or "auto"
+)
+
+#: Per-context override for the serving layer's degradation chain: one
+#: query's fallback stage runs with fusion off without touching the
+#: process-global knob other worker threads are using.
+_MODE_OVERRIDE: ContextVar[str | None] = ContextVar(
+    "repro_fuse_mode_override", default=None
+)
+
+
+def active_mode() -> str:
+    """The fuse mode in force for the current context."""
+    override = _MODE_OVERRIDE.get()
+    return FUSE_MODE if override is None else override
+
+
+@contextmanager
+def mode_override(mode: str):
+    """Force ``mode`` (``auto``/``on``/``off``) for the dynamic extent of
+    the block, in this thread/context only."""
+    token = _MODE_OVERRIDE.set(mode)
+    try:
+        yield
+    finally:
+        _MODE_OVERRIDE.reset(token)
+
+
+def fuse_engaged() -> bool:
+    """Does a block execution route through the generated pipeline?
+    ``auto`` means yes: fusion never changes counts or results, only the
+    constant factor, so there is no threshold to tune."""
+    if np is None:
+        return False
+    return active_mode() not in _OFF
+
+
+def fuse_forced_on() -> bool:
+    """Is fusion *forced* (``REPRO_FUSE=on``)?  Forcing fusion also
+    forces the block backend (via ``frontier.ndarray_forced_on``):
+    pipelines only exist on blocks, so the differential variants and the
+    CI cross gate exercise the fused path everywhere it can run."""
+    if np is None:
+        return False
+    return active_mode() in _ON
+
+
+# ----------------------------------------------------------------------
+# The optional compiled-kernel seam (REPRO_FUSE_NATIVE)
+# ----------------------------------------------------------------------
+
+_NUMBA_CHECKED = False
+_NUMBA = None  # the module when importable, else None
+_NATIVE_KERNELS: dict | None | bool = None  # dict once built, False if broken
+
+
+def _numba():
+    """Import-guarded numba, checked once (exactly the scipy pattern)."""
+    global _NUMBA_CHECKED, _NUMBA
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:  # pragma: no cover - numba is an optional extra
+            import numba as _nb
+
+            _NUMBA = _nb
+        except ImportError:
+            _NUMBA = None
+    return _NUMBA
+
+
+def native_active() -> bool:
+    """Are the numba kernels in force?  ``off`` never; ``auto``/``on``
+    when numba imports and the kernels compile.  ``on`` without numba
+    degrades to pure numpy (proved in CI) — the seam is an accelerator,
+    not a dependency."""
+    return _native_kernels() is not None
+
+
+def _native_kernels():
+    global _NATIVE_KERNELS
+    if FUSE_NATIVE_MODE in _OFF or np is None:
+        return None
+    if _NATIVE_KERNELS is None:
+        if _numba() is None:
+            _NATIVE_KERNELS = False
+        else:  # pragma: no cover - exercised only with numba installed
+            try:
+                _NATIVE_KERNELS = _build_native_kernels()
+            except Exception:
+                _NATIVE_KERNELS = False
+    return _NATIVE_KERNELS or None
+
+
+def _build_native_kernels() -> dict:  # pragma: no cover - needs numba
+    """Compile the three hot kernels.  Bodies replicate the numpy
+    expressions exactly under the code contract (cells are non-negative
+    int64 dictionary codes), so the fallback is bit-identical."""
+    numba = _numba()
+    njit = numba.njit(cache=False, nogil=True)
+
+    @njit
+    def dense_probe_nb(codes, size, valid):
+        n = codes.shape[0]
+        hit = np.empty(n, dtype=np.bool_)
+        slot = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            c = codes[i]
+            if c < size:
+                slot[i] = c
+                hit[i] = valid[c]
+            else:
+                slot[i] = 0
+                hit[i] = False
+        return hit, slot
+
+    @njit
+    def sorted_lookup_nb(sorted_keys, probes):
+        n = probes.shape[0]
+        nk = sorted_keys.shape[0]
+        hit = np.empty(n, dtype=np.bool_)
+        slot = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            idx = np.searchsorted(sorted_keys, probes[i])
+            s = idx if idx < nk else nk - 1
+            slot[i] = s
+            hit[i] = idx < nk and sorted_keys[s] == probes[i]
+        return hit, slot
+
+    @njit
+    def compact_nb(mask):
+        return np.flatnonzero(mask)
+
+    return {
+        "dense_probe": dense_probe_nb,
+        "sorted_lookup": sorted_lookup_nb,
+        "compact": compact_nb,
+    }
+
+
+def dense_probe(codes, size, valid):
+    """``(hit, slot)`` for a dense flat-table probe: ``slot`` is the code
+    clipped to slot 0 out of range, ``hit`` marks in-range codes whose
+    table entry is valid.  (``size`` is the table length; ``size == 0``
+    is handled by callers at codegen time.)"""
+    kernels = _native_kernels()
+    if kernels is not None and codes.dtype == np.int64:
+        return kernels["dense_probe"](codes, size, valid)
+    inrange = codes < size
+    slot = np.where(inrange, codes, 0)
+    return inrange & valid[slot], slot
+
+
+def sorted_lookup(sorted_keys, probes):
+    """``(hit, slot)`` for a searchsorted key join: first matching index
+    in ``sorted_keys`` per probe (clipped; meaningful only where
+    ``hit``).  The native kernel engages for int64 keys only — packed
+    void keys stay on numpy (numba has no void dtype)."""
+    kernels = _native_kernels()
+    if (
+        kernels is not None
+        and probes.dtype == np.int64
+        and sorted_keys.dtype == np.int64
+    ):
+        return kernels["sorted_lookup"](sorted_keys, probes)
+    nk = sorted_keys.shape[0]
+    idx = np.searchsorted(sorted_keys, probes)
+    slot = np.minimum(idx, nk - 1)
+    hit = (idx < nk) & (sorted_keys[slot] == probes)
+    return hit, slot
+
+
+def compact(mask):
+    """Alive-row indices of a boolean mask (``np.flatnonzero``)."""
+    kernels = _native_kernels()
+    if kernels is not None:
+        return kernels["compact"](mask)
+    return np.flatnonzero(mask)
+
+
+# ----------------------------------------------------------------------
+# Per-step profiling (REPRO_PROFILE_STEPS=1)
+# ----------------------------------------------------------------------
+
+#: Truthy env flag; mutable so benches can flip it in-process.
+PROFILE_STEPS = (
+    os.environ.get("REPRO_PROFILE_STEPS", "").strip().lower() in _ON
+)
+
+#: kind → [calls, rows, wall seconds].  Guarded by the GIL per += — the
+#: counters are advisory (profiling only), never part of the
+#: bit-identical contract.
+_PROFILE: dict[str, list] = {}
+
+
+def profile_record(kind: str, rows: int, seconds: float) -> None:
+    entry = _PROFILE.get(kind)
+    if entry is None:
+        entry = _PROFILE.setdefault(kind, [0, 0, 0.0])
+    entry[0] += 1
+    entry[1] += rows
+    entry[2] += seconds
+
+
+def profile_snapshot(reset: bool = True) -> dict:
+    """``{kind: {"calls", "rows", "wall_s"}}`` accumulated since the last
+    reset — per spec kind (``dense``/``sparse``/``udf``) plus ``fused``
+    for composed dense runs, so a fusion win is attributable per step
+    kind rather than a single aggregate number."""
+    snap = {
+        kind: {"calls": c, "rows": r, "wall_s": round(w, 6)}
+        for kind, (c, r, w) in sorted(_PROFILE.items())
+    }
+    if reset:
+        _PROFILE.clear()
+    return snap
+
+
+# ----------------------------------------------------------------------
+# Gather-table composition
+# ----------------------------------------------------------------------
+
+def _composable(spec) -> bool:
+    """Dense specs worth composing: a non-empty table appending at least
+    one column.  (A zero-width or empty-table dense guard kills every
+    row at that step; it stays a plain spec and the pipeline's
+    short-circuit handles it.)"""
+    return spec[0] == "dense" and spec[2] > 0 and spec[5] > 0
+
+
+def compose_fused_specs(specs, source_width: int):
+    """Collapse runs of consecutive composable dense specs whose key
+    column is already materialized *within the run* (the entry column or
+    a column the run appended) into ``("fused", entry_pos, size, surv,
+    images, width, nsteps)`` specs.
+
+    ``surv[c]`` is how many run steps entry code ``c`` survives (capped
+    at ``nsteps``); ``images[c]`` is the full appended row gathered
+    through the clipped slot-0 chain — exactly the cells the per-step
+    loop writes, dangling rows included.  Runs of length 1 stay plain
+    ``dense`` specs.
+    """
+    out: list = []
+    cursor = source_width
+    run: list | None = None  # [entry_pos, run_cursor, size, surv, cols, k]
+
+    def flush():
+        nonlocal run
+        if run is None:
+            return
+        entry_pos, _, size, surv, cols, k, plain = run
+        run = None
+        if k == 1:
+            out.append(plain)
+            return
+        images = (
+            np.column_stack(cols)
+            if cols
+            else np.zeros((size, 0), dtype=np.int64)
+        )
+        out.append(
+            ("fused", entry_pos, size, surv, images, images.shape[1], k)
+        )
+
+    for spec in specs:
+        width = spec[5] if spec[0] == "dense" else (
+            1 if spec[0] == "udf" else spec[4]
+        )
+        if _composable(spec):
+            _, pos, size, valid, images, w = spec
+            if run is not None:
+                entry_pos, run_cursor, size0, surv, cols, k, _plain = run
+                if pos == entry_pos:
+                    key = np.arange(size0, dtype=np.int64)
+                elif run_cursor <= pos < run_cursor + len(cols):
+                    key = cols[pos - run_cursor]
+                else:
+                    key = None
+                if key is not None:
+                    # Compose: probe this step's table with each entry's
+                    # current chain value.  ``slot`` clips exactly like
+                    # the per-step loop, so dangled entries keep
+                    # following the deterministic slot-0 garbage chain.
+                    inrange = key < size
+                    slot = np.where(inrange, key, 0)
+                    hit = inrange & valid[slot]
+                    surv += (surv == k) & hit
+                    gathered = images[slot]
+                    for j in range(w):
+                        cols.append(np.ascontiguousarray(gathered[:, j]))
+                    run[5] = k + 1
+                    cursor += width
+                    continue
+                flush()
+            # Start a new run at this spec (its own table is step 0:
+            # key = the entry code itself).
+            surv = valid.astype(np.int64)
+            cols = [np.ascontiguousarray(images[:, j]) for j in range(w)]
+            run = [spec[1], cursor, size, surv, cols, 1, spec]
+            cursor += width
+            continue
+        flush()
+        out.append(spec)
+        cursor += width
+    flush()
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Pipeline codegen
+# ----------------------------------------------------------------------
+
+def pipeline_key() -> tuple:
+    """Cache key for a plan's compiled pipeline.  Only the profiling
+    flag changes the *generated code* — the native seam dispatches
+    inside the primitives, so one pipeline serves both."""
+    return (bool(PROFILE_STEPS),)
+
+
+def compile_pipeline(plan):
+    """Exec-compile one function running ``plan``'s whole fused spec
+    list over an int64 block: ``pipeline(block, counter=None,
+    step_alive=None) -> (out, mask)``.
+
+    The contract is ``ExpansionPlan.execute_batch_ndarray_local``'s,
+    bit-identically — same output block (dead cells included), same
+    mask, same counter total.  ``step_alive``, when a list is passed,
+    receives the alive-row count of every *original* plan step (fused
+    runs fan their per-step counts back out via a ``surv`` bincount;
+    short-circuited steps append 0) — the generic join's determined-run
+    seam uses it to keep per-depth stats exact.
+
+    Dead branches are resolved at codegen time: whether ``mask`` can
+    still be ``None``, whether a table is empty, whether a step appends
+    columns — none of it is re-checked per call.
+    """
+    # Function-level imports: frontier imports this module at load time,
+    # so the reverse edge must stay out of module scope.
+    from repro.engine import frontier as _frontier
+    from repro.engine.cancellation import checkpoint as _checkpoint
+
+    specs = plan._ndarray_specs()
+    fused_specs = compose_fused_specs(specs, len(plan.source_schema))
+    total_orig = len(specs)
+    profiled = bool(PROFILE_STEPS)
+
+    ns: dict = {
+        "np": np,
+        "checkpoint": _checkpoint,
+        "dense_probe": dense_probe,
+        "compact": compact,
+        "key_hits": _frontier.key_hits,
+        "_prof": profile_record,
+        "_pc": perf_counter,
+    }
+    w_out = len(plan.out_schema)
+    ncols = len(plan.source_schema)
+    lines = [
+        "def pipeline(block, counter=None, step_alive=None):",
+        "    n = block.shape[0]",
+        f"    out = np.zeros((n, {w_out}), dtype=np.int64)",
+    ]
+    if ncols:
+        lines.append(f"    out[:, :{ncols}] = block")
+    lines.append("    mask = None")
+    lines.append("    touched = 0")
+
+    cursor = ncols
+    mask_none = True  # compile-time: no masking spec emitted yet
+    orig_done = 0
+
+    def alive_expr() -> str:
+        return "n" if mask_none else "m"
+
+    def emit_early_return(remaining: int):
+        lines.append("    if not m:")
+        if remaining:
+            lines.append("        if step_alive is not None:")
+            lines.append(
+                f"            step_alive.extend((0,) * {remaining})"
+            )
+        lines.append("        if counter is not None and touched:")
+        lines.append("            counter.add(touched)")
+        lines.append("        return out, mask")
+
+    for i, spec in enumerate(fused_specs):
+        kind = spec[0]
+        lines.append("    checkpoint()")
+        if profiled:
+            lines.append("    _t0 = _pc()")
+            lines.append(f"    _rows0 = {alive_expr()}")
+        if kind == "udf":
+            _, positions, fn, width = spec
+            ns[f"fn{i}"] = fn
+            lines.append(f"    touched += {alive_expr()}")
+            lines.append("    if step_alive is not None:")
+            lines.append(f"        step_alive.append({alive_expr()})")
+            if mask_none:
+                if positions:
+                    args = ", ".join(
+                        f"out[:, {p}].tolist()" for p in positions
+                    )
+                    lines.append(
+                        f"    out[:, {cursor}] = np.fromiter("
+                        f"map(fn{i}, {args}), np.int64, count=n)"
+                    )
+                else:
+                    lines.append(
+                        f"    out[:, {cursor}] = np.fromiter("
+                        f"(fn{i}() for _ in range(n)), np.int64, count=n)"
+                    )
+            else:
+                lines.append("    alive = compact(mask)")
+                if positions:
+                    args = ", ".join(
+                        f"out[alive, {p}].tolist()" for p in positions
+                    )
+                    lines.append(
+                        f"    out[alive, {cursor}] = np.fromiter("
+                        f"map(fn{i}, {args}), np.int64, count=m)"
+                    )
+                else:
+                    lines.append(
+                        f"    out[alive, {cursor}] = np.fromiter("
+                        f"(fn{i}() for _ in range(m)), np.int64, count=m)"
+                    )
+            cursor += width
+            orig_done += 1
+            if profiled:
+                lines.append(
+                    "    _prof('udf', _rows0, _pc() - _t0)"
+                )
+            continue
+        if kind == "dense":
+            _, pos, size, valid, images, width = spec
+            lines.append(f"    touched += {alive_expr()}")
+            lines.append("    if step_alive is not None:")
+            lines.append(f"        step_alive.append({alive_expr()})")
+            if size:
+                ns[f"valid{i}"] = valid
+                ns[f"images{i}"] = images
+                lines.append(
+                    f"    hit, slot = dense_probe(out[:, {pos}], {size}, "
+                    f"valid{i})"
+                )
+                if width:
+                    lines.append(
+                        f"    out[:, {cursor}:{cursor + width}] = "
+                        f"images{i}[slot]"
+                    )
+            else:
+                lines.append("    hit = np.zeros(n, dtype=bool)")
+            cursor += width
+            orig_done += 1
+            prof_kind = "dense"
+        elif kind == "sparse":
+            _, positions, struct, images, width = spec
+            ns[f"struct{i}"] = struct
+            ns[f"positions{i}"] = positions
+            lines.append(f"    touched += {alive_expr()}")
+            lines.append("    if step_alive is not None:")
+            lines.append(f"        step_alive.append({alive_expr()})")
+            lines.append(
+                f"    hit, slot = key_hits(struct{i}, out, positions{i})"
+            )
+            if width and images.shape[0]:
+                ns[f"images{i}"] = images
+                lines.append(
+                    f"    out[:, {cursor}:{cursor + width}] = "
+                    f"images{i}[slot]"
+                )
+            cursor += width
+            orig_done += 1
+            prof_kind = "sparse"
+        else:  # fused dense run
+            _, pos, size, surv, images, width, k = spec
+            ns[f"surv{i}"] = surv
+            ns[f"images{i}"] = images
+            lines.append(f"    codes = out[:, {pos}]")
+            lines.append(f"    inr = codes < {size}")
+            lines.append("    slot = np.where(inr, codes, 0)")
+            lines.append(f"    sv = np.where(inr, surv{i}[slot], 0)")
+            # Each original step charges the rows alive when its fused
+            # run executes: a row surviving s < k steps was charged by
+            # steps 0..s (s+1 touches), a full survivor by all k.
+            if mask_none:
+                lines.append(
+                    f"    touched += int(np.minimum(sv + 1, {k}).sum())"
+                )
+            else:
+                lines.append(
+                    f"    touched += int(np.minimum(sv + 1, {k})[mask].sum())"
+                )
+            lines.append("    if step_alive is not None:")
+            lines.append(
+                "        _svm = sv" if mask_none else "        _svm = sv[mask]"
+            )
+            lines.append(
+                f"        _c = np.bincount(_svm, minlength={k + 1})"
+            )
+            lines.append("        _a = int(_svm.shape[0])")
+            for j in range(k):
+                if j:
+                    lines.append(f"        _a -= int(_c[{j - 1}])")
+                lines.append("        step_alive.append(_a)")
+            lines.append(f"    hit = sv == {k}")
+            if width:
+                lines.append(
+                    f"    out[:, {cursor}:{cursor + width}] = images{i}[slot]"
+                )
+            cursor += width
+            orig_done += k
+            prof_kind = "fused"
+        # Masking specs: fold the hit into the mask, short-circuit when
+        # the frontier dies.
+        if mask_none:
+            lines.append("    mask = hit")
+            mask_none = False
+        else:
+            lines.append("    mask = mask & hit")
+        lines.append("    m = int(np.count_nonzero(mask))")
+        if profiled:
+            lines.append(f"    _prof('{prof_kind}', _rows0, _pc() - _t0)")
+        if orig_done < total_orig:
+            emit_early_return(total_orig - orig_done)
+    lines.append("    if counter is not None and touched:")
+    lines.append("        counter.add(touched)")
+    lines.append("    return out, mask")
+    exec("\n".join(lines), ns)
+    return ns["pipeline"]

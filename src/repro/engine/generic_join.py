@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine import frontier as frontier_blocks
+from repro.engine import fused as fused_pipelines
 from repro.engine import shard as frontier_shard
 from repro.engine.cancellation import checkpoint
 from repro.engine.database import Database
@@ -164,7 +165,10 @@ def generic_join(
     # rows re-tuple only at a data-dependent choose depth or the terminal.
     frontier: list[tuple] = [()]
     is_block = False
+    skip_until = 0  # depths already executed by a fused segment plan
     for depth, var in enumerate(order):
+        if depth < skip_until:
+            continue
         checkpoint()  # frontier-block granularity deadline/fault check-in
         n = frontier.shape[0] if is_block else len(frontier)
         if not n:
@@ -191,6 +195,54 @@ def generic_join(
                 if block is not None:
                     frontier, is_block = block, True
             if is_block:
+                # Fused segment: extend the whole determined run through
+                # ONE concatenated plan (one pipeline call, dense chains
+                # composed to a single gather) instead of one plan per
+                # depth.  Only the segment's last depth may carry
+                # verification (intermediate verify would interleave
+                # filtering with plan steps), and the segment is the
+                # concatenation of the per-depth single-step plans, so
+                # per-depth stats/counter charges stay bit-identical —
+                # ``step_alive[j]`` is exactly the frontier size the
+                # per-depth path would have seen at ``depth + j``.
+                seg = 1
+                if fused_pipelines.fuse_engaged():
+                    while (
+                        seg < det_run[depth]
+                        and not verify_paths[depth + seg - 1]
+                    ):
+                        seg += 1
+                seg_plan = (
+                    db.run_plan(
+                        order[:depth],
+                        order[depth:depth + seg],
+                        encoded=encoded,
+                    )
+                    if seg >= 2
+                    else None
+                )
+                if seg_plan is not None:
+                    step_alive: list[int] = []
+                    extended, keep = seg_plan.execute_batch_ndarray(
+                        frontier, counter, step_alive
+                    )
+                    for j in range(1, seg):
+                        alive = step_alive[j]
+                        stats.per_depth[depth + j] += alive
+                        stats.tuples_touched += alive
+                        if counter is not None and alive:
+                            counter.add(alive)
+                    for path in verify_paths[depth + seg - 1]:
+                        keys = path[6]
+                        if keys is None:
+                            keys = path[6] = path[0].key_block(path[1])
+                        hit = frontier_shard.block_isin(
+                            extended, path[5], keys
+                        )
+                        keep = hit if keep is None else keep & hit
+                    frontier = extended if keep is None else extended[keep]
+                    skip_until = depth + seg
+                    continue
                 extended, keep = plan.execute_batch_ndarray(frontier, counter)
                 for path in verify_paths[depth]:
                     keys = path[6]

@@ -50,6 +50,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar, copy_context
 
 from repro.engine import frontier
+from repro.engine import fused
 from repro.engine.cancellation import checkpoint
 
 try:  # pragma: no cover - the image bakes numpy in
@@ -263,10 +264,11 @@ def _map_shards(fn, arg_lists):
 # ----------------------------------------------------------------------
 
 
-def _plan_shard(plan, shard_block):
+def _plan_shard(plan, shard_block, want_steps=False):
     counter = _Counter()
-    out, mask = plan.execute_batch_ndarray_local(shard_block, counter)
-    return out, mask, counter.tuples_touched
+    steps = [] if want_steps else None
+    out, mask = plan.execute_batch_ndarray_local(shard_block, counter, steps)
+    return out, mask, counter.tuples_touched, steps
 
 
 class _Counter:
@@ -282,7 +284,7 @@ class _Counter:
         self.tuples_touched += amount
 
 
-def run_plan_sharded(plan, block, counter=None):
+def run_plan_sharded(plan, block, counter=None, step_alive=None):
     """``ExpansionPlan.execute_batch_ndarray``, sharded.
 
     Hash-partitions the block on the plan's first guard-key columns,
@@ -290,29 +292,38 @@ def run_plan_sharded(plan, block, counter=None):
     merges with :func:`repro.engine.frontier.combine_shard_parts` /
     :func:`~repro.engine.frontier.scatter_part` — the returned
     ``(out, mask)`` and the counter charge are bit-identical to the
-    unsharded call for any worker count.
+    unsharded call for any worker count.  Per-step alive counts
+    (``step_alive``) merge by exact per-step integer sums across shards
+    — associative and partition-independent like the touch totals.
     """
     n = block.shape[0]
     k = min(max(1, active_workers()), n)
     if k <= 1:
-        return plan.execute_batch_ndarray_local(block, counter)
+        return plan.execute_batch_ndarray_local(block, counter, step_alive)
     plan._ndarray_specs()  # compile once, outside the pool
+    if fused.fuse_engaged():
+        plan._fused_pipeline()  # likewise the generated pipeline
     positions = plan.shard_positions()
     indices = [
         idx for idx in frontier.hash_partition(block, positions, k) if len(idx)
     ]
     if len(indices) <= 1:
-        return plan.execute_batch_ndarray_local(block, counter)
+        return plan.execute_batch_ndarray_local(block, counter, step_alive)
+    want_steps = step_alive is not None
     if SHARD_BACKEND == "process" and process_plan_safe(plan):
-        results = _map_shards_process(plan, block, indices)
+        results = _map_shards_process(plan, block, indices, want_steps)
     else:
         results = _map_shards(
-            _plan_shard, [(plan, block[idx]) for idx in indices]
+            _plan_shard,
+            [(plan, block[idx], want_steps) for idx in indices],
         )
     parts = [
         (idx, out, mask, touched)
-        for idx, (out, mask, touched) in zip(indices, results)
+        for idx, (out, mask, touched, _) in zip(indices, results)
     ]
+    if want_steps:
+        merged = [sum(counts) for counts in zip(*(r[3] for r in results))]
+        step_alive.extend(merged)
     out, mask, touched = frontier.scatter_part(
         n, len(plan.out_schema), frontier.combine_shard_parts(parts)
     )
@@ -452,7 +463,7 @@ def _proc_pool(size: int):
 _PROC_PLAN_CACHE: dict = {}
 
 
-def _process_worker(spec_bytes, shm_name, shape):
+def _process_worker(spec_bytes, shm_name, shape, want_steps=False):
     """Runs in a worker process: rebuild (or reuse) the plan, attach the
     shared-memory input block, run the unsharded kernel, return the
     result by value."""
@@ -474,11 +485,12 @@ def _process_worker(spec_bytes, shm_name, shape):
     finally:
         shm.close()
     counter = _Counter()
-    out, mask = plan.execute_batch_ndarray_local(block, counter)
-    return out, mask, counter.tuples_touched
+    steps = [] if want_steps else None
+    out, mask = plan.execute_batch_ndarray_local(block, counter, steps)
+    return out, mask, counter.tuples_touched, steps
 
 
-def _map_shards_process(plan, block, indices):
+def _map_shards_process(plan, block, indices, want_steps=False):
     """Dispatch plan shards to the process pool, inputs via shared
     memory.  Cancellation is checked at the dispatch boundaries only
     (hooks cannot cross the process boundary)."""
@@ -504,7 +516,11 @@ def _map_shards_process(plan, block, indices):
             view[...] = shard_block
             futures.append(
                 pool.submit(
-                    _process_worker, spec_bytes, shm.name, shard_block.shape
+                    _process_worker,
+                    spec_bytes,
+                    shm.name,
+                    shard_block.shape,
+                    want_steps,
                 )
             )
         results, first_error = [], None

@@ -1,0 +1,318 @@
+"""Fused plan pipelines: composition, codegen, and the knob couplings.
+
+Satellite coverage for the plan-fusion PR:
+
+* **Gather-table composition** — runs of consecutive composable
+  ``GUARD_DENSE`` steps collapse into one ``("fused", ...)`` spec whose
+  ``surv`` table reproduces the per-step charges exactly; codes interned
+  after the tables compiled (and rows keyed through fd-INCONSISTENT
+  entries) dangle through the fused chain just as they do through the
+  step loop.
+* **Pipeline bit-identity** — the generated pipeline's output block
+  (dead cells included), mask, counter total and per-step alive counts
+  are ``np.array_equal`` to the per-step spec loop on the same input.
+* **Engine-level equivalence** —
+  :func:`differential.assert_fusion_equivalence` over the whole fuzz
+  corpus including the mixed-type mid-run interning instances, plus the
+  generic join's fused determined-segment path on the fd-chain shape.
+* **The native seam** — ``REPRO_FUSE_NATIVE=on`` without numba degrades
+  to the numpy expressions (no error, same bits).
+* **Profiling** — ``REPRO_PROFILE_STEPS`` accumulates per-spec-kind
+  calls/rows/wall and resets on snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from differential import (
+    all_instances,
+    assert_fusion_equivalence,
+    fused_forced,
+    mixed_type_midrun_instance,
+    ndarray_forced,
+)
+from repro.datagen.large import fdchain_order, large_fdchain_workload
+from repro.engine import fused
+from repro.engine.database import Database
+from repro.engine.expansion_plan import GUARD_DENSE
+from repro.engine.generic_join import generic_join
+from repro.engine.ops import WorkCounter
+from repro.engine.relation import Relation
+from repro.fds.fd import FD, FDSet
+
+
+def _chain_db(k: int = 3, size: int = 8) -> Database:
+    """``x → a → b → …``: ``k`` dense guard steps in a row."""
+    attrs = list("abcdefghij"[:k])
+    fds = [FD("x", attrs[0])]
+    fds += [FD(a, b) for a, b in zip(attrs, attrs[1:])]
+    prev = "x"
+    relations = []
+    for j, attr in enumerate(attrs):
+        relations.append(
+            Relation(
+                f"G{j}",
+                (prev, attr),
+                [(i, (i * 3 + j) % size) for i in range(size)],
+            )
+        )
+        prev = attr
+    return Database(relations, fds=FDSet(fds, ["x", *attrs]))
+
+
+def _run_both(plan, block):
+    """(out, mask, counter, step_alive) under fused off then on."""
+    results = []
+    for mode in ("off", "on"):
+        counter = WorkCounter()
+        step_alive: list[int] = []
+        with fused_forced(mode):
+            plan._fused_pipelines.clear()
+            out, mask = plan.execute_batch_ndarray_local(
+                block.copy(), counter, step_alive
+            )
+        results.append((out, mask, counter.tuples_touched, step_alive))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Gather-table composition
+# ----------------------------------------------------------------------
+
+def test_dense_chain_composes_to_one_fused_spec():
+    db = _chain_db(k=4)
+    plan = db.expansion_plan(("x",), encoded=True)
+    assert [s[0] for s in plan.steps] == [GUARD_DENSE] * 4
+    specs = plan._ndarray_specs()
+    fused_specs = fused.compose_fused_specs(specs, len(plan.source_schema))
+    assert len(fused_specs) == 1
+    kind, pos, size, surv, images, width, k = fused_specs[0]
+    assert (kind, pos, width, k) == ("fused", 0, 4, 4)
+    # Every stored x code survives the whole chain (the tables are total
+    # permutations of the same domain).
+    assert int(surv.min()) == 4 and surv.shape == (size,)
+    assert images.shape == (size, 4)
+
+
+def test_single_dense_steps_stay_plain():
+    db = _chain_db(k=1)
+    plan = db.expansion_plan(("x",), encoded=True)
+    specs = plan._ndarray_specs()
+    fused_specs = fused.compose_fused_specs(specs, 1)
+    assert fused_specs == tuple(specs)
+
+
+def test_midrun_interned_codes_dangle_through_fused_chain():
+    """A code interned after the chain's tables compiled is out of range
+    for the composed table too: ``surv`` reads 0 via the in-range guard,
+    the row dangles, and the charge is exactly one touch (step 0 saw it
+    alive, step 1 never ran it) — bit-identical to the step loop."""
+    db = _chain_db(k=3)
+    plan = db.expansion_plan(("x",), encoded=True)
+    x_dict = db.codec.dictionary("x")
+    fresh = x_dict.encode("fresh-value")
+    stored = x_dict.encode(3)
+    block = np.array([[fresh], [stored]], dtype=np.int64)
+    (out_off, mask_off, touched_off, alive_off), (
+        out_on, mask_on, touched_on, alive_on,
+    ) = _run_both(plan, block)
+    assert np.array_equal(out_off, out_on)
+    assert np.array_equal(mask_off, mask_on)
+    assert list(mask_on) == [False, True]
+    assert touched_off == touched_on
+    assert alive_off == alive_on == [2, 1, 1]
+
+
+def test_inconsistent_entries_dangle_and_stop_the_survival_chain():
+    """An fd-violating guard key compiles to an *invalid* dense entry:
+    rows keyed through it dangle in the fused run exactly where the step
+    loop would drop them, and never contribute later-step charges."""
+    fds = FDSet([FD("x", "y"), FD("y", "z")], ["x", "y", "z"])
+    relations = [
+        # x=0 violates x→y (two images): INCONSISTENT, must dangle.
+        Relation("G0", ("x", "y"), [(0, 0), (0, 1), (1, 2), (2, 0)]),
+        Relation("G1", ("y", "z"), [(0, 5), (1, 6), (2, 7)]),
+    ]
+    db = Database(relations, fds=fds)
+    plan = db.expansion_plan(("x",), encoded=True)
+    assert [s[0] for s in plan.steps] == [GUARD_DENSE] * 2
+    specs = plan._ndarray_specs()
+    fused_specs = fused.compose_fused_specs(specs, 1)
+    assert len(fused_specs) == 1 and fused_specs[0][0] == "fused"
+    surv = fused_specs[0][3]
+    code0 = db.codec.dictionary("x").encode(0)
+    assert int(surv[code0]) == 0  # the INCONSISTENT entry never fuses on
+    block = np.array(
+        [[db.codec.dictionary("x").encode(v)] for v in (0, 1, 2)],
+        dtype=np.int64,
+    )
+    (out_off, mask_off, touched_off, alive_off), (
+        out_on, mask_on, touched_on, alive_on,
+    ) = _run_both(plan, block)
+    assert np.array_equal(out_off, out_on)
+    assert np.array_equal(mask_off, mask_on)
+    assert list(mask_on) == [False, True, True]
+    assert touched_off == touched_on
+    assert alive_off == alive_on
+
+
+# ----------------------------------------------------------------------
+# Pipeline bit-identity (dead cells, masks, counts, step_alive)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_pipeline_block_bit_identity(seed):
+    db = _chain_db(k=5, size=16)
+    plan = db.expansion_plan(("x",), encoded=True)
+    rng = np.random.default_rng(seed)
+    # Mix in out-of-range codes: dead rows must keep the same garbage
+    # cells as the step loop (the shard scatter-merge contract).
+    block = rng.integers(0, 24, size=(64, 1), dtype=np.int64)
+    (out_off, mask_off, touched_off, alive_off), (
+        out_on, mask_on, touched_on, alive_on,
+    ) = _run_both(plan, block)
+    assert np.array_equal(out_off, out_on)
+    assert (mask_off is None) == (mask_on is None)
+    if mask_off is not None:
+        assert np.array_equal(mask_off, mask_on)
+    assert touched_off == touched_on
+    assert alive_off == alive_on
+
+
+def test_fuse_off_mode_bypasses_pipelines():
+    db = _chain_db(k=2)
+    plan = db.expansion_plan(("x",), encoded=True)
+    with fused_forced("off"):
+        plan._fused_pipelines.clear()
+        plan.execute_batch_ndarray_local(
+            np.zeros((4, 1), dtype=np.int64), WorkCounter()
+        )
+        assert not plan._fused_pipelines
+    with fused_forced("on"):
+        plan.execute_batch_ndarray_local(
+            np.zeros((4, 1), dtype=np.int64), WorkCounter()
+        )
+        assert plan._fused_pipelines
+
+
+# ----------------------------------------------------------------------
+# Engine-level differential equivalence
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(3))
+def test_fusion_differential(seed):
+    for query, db in all_instances(seed):
+        assert_fusion_equivalence(query, db)
+
+
+def test_fusion_mixed_type_midrun():
+    # The nastiest corpus: mid-run interning must not perturb fused
+    # digests (the off leg runs first and pins the codec).
+    for seed in (7, 11):
+        query, db = mixed_type_midrun_instance(seed)
+        assert_fusion_equivalence(query, db)
+
+
+def test_generic_join_fused_segment_matches_per_depth():
+    """The determined-run segment plan (one pipeline across all fd
+    depths) must be invisible: same rows, same per-depth stats, same
+    counter total as the per-depth execution."""
+    query, db = large_fdchain_workload(4000, encode=True)
+    order = fdchain_order()
+
+    def run(mode):
+        counter = WorkCounter()
+        with fused_forced(mode), ndarray_forced("on"):
+            rel, stats = generic_join(
+                query, db, order=order, fd_aware=True, counter=counter
+            )
+        return rel, stats, counter
+
+    rel_off, stats_off, counter_off = run("off")
+    rel_on, stats_on, counter_on = run("on")
+    assert sorted(rel_off.tuples) == sorted(rel_on.tuples)
+    assert stats_off.tuples_touched == stats_on.tuples_touched
+    assert stats_off.per_depth == stats_on.per_depth
+    assert counter_off.tuples_touched == counter_on.tuples_touched
+
+
+# ----------------------------------------------------------------------
+# The native seam degrades gracefully
+# ----------------------------------------------------------------------
+
+def test_native_seam_degrades_to_numpy_without_numba():
+    saved = (
+        fused.FUSE_NATIVE_MODE,
+        fused._NATIVE_KERNELS,
+        fused._NUMBA_CHECKED,
+        fused._NUMBA,
+    )
+    try:
+        fused.FUSE_NATIVE_MODE = "on"
+        fused._NATIVE_KERNELS = None
+        fused._NUMBA_CHECKED = False
+        fused._NUMBA = None
+        have_numba = fused._numba() is not None
+        # With numba absent the primitives must fall back silently.
+        codes = np.array([0, 2, 9], dtype=np.int64)
+        valid = np.array([True, False, True], dtype=bool)
+        hit, slot = fused.dense_probe(codes, 3, valid)
+        assert list(hit) == [True, True, False]
+        assert list(slot) == [0, 2, 0]
+        keys = np.array([1, 3, 5], dtype=np.int64)
+        hit, slot = fused.sorted_lookup(keys, np.array([3, 6], dtype=np.int64))
+        assert list(hit) == [True, False]
+        assert list(fused.compact(np.array([True, False, True]))) == [0, 2]
+        if not have_numba:
+            assert not fused.native_active()
+    finally:
+        (
+            fused.FUSE_NATIVE_MODE,
+            fused._NATIVE_KERNELS,
+            fused._NUMBA_CHECKED,
+            fused._NUMBA,
+        ) = saved
+
+
+def test_native_off_never_builds_kernels():
+    saved = fused.FUSE_NATIVE_MODE
+    try:
+        fused.FUSE_NATIVE_MODE = "off"
+        assert not fused.native_active()
+    finally:
+        fused.FUSE_NATIVE_MODE = saved
+
+
+# ----------------------------------------------------------------------
+# Per-step profiling
+# ----------------------------------------------------------------------
+
+def test_profile_snapshot_accumulates_and_resets():
+    db = _chain_db(k=3)
+    plan = db.expansion_plan(("x",), encoded=True)
+    saved = fused.PROFILE_STEPS
+    try:
+        fused.PROFILE_STEPS = True
+        fused.profile_snapshot()  # clear anything previous tests left
+        block = np.arange(8, dtype=np.int64).reshape(8, 1)
+        with fused_forced("on"):
+            plan._fused_pipelines.clear()
+            plan.execute_batch_ndarray_local(block, WorkCounter())
+        snap = fused.profile_snapshot()
+        assert "fused" in snap
+        assert snap["fused"]["calls"] == 1
+        assert snap["fused"]["rows"] == 8
+        assert snap["fused"]["wall_s"] >= 0
+        assert fused.profile_snapshot() == {}  # reset happened
+        # The unfused loop profiles per original spec kind.
+        with fused_forced("off"):
+            plan._fused_pipelines.clear()
+            plan.execute_batch_ndarray_local(block.copy(), WorkCounter())
+        snap = fused.profile_snapshot()
+        assert snap["dense"]["calls"] == 3
+    finally:
+        fused.PROFILE_STEPS = saved
+        fused.profile_snapshot()
