@@ -67,6 +67,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import config
 from repro.core.chain_algorithm import chain_algorithm
 from repro.core.csma import csma
 from repro.core.sma import submodularity_algorithm
@@ -138,9 +139,9 @@ def shard_worker_count() -> int:
     when set, else min(4, cpu_count) but never fewer than 2 — the plane
     must actually fan out even on a 1-CPU box (there it measures the
     overhead honestly; the speedup floor is cpu-gated separately)."""
-    env = os.environ.get("REPRO_SHARD_WORKERS", "").strip()
-    if env:
-        return max(1, int(env))
+    workers = config.get("REPRO_SHARD_WORKERS", default=0)
+    if workers:
+        return max(1, workers)
     return max(2, min(4, os.cpu_count() or 1))
 
 #: Smoke sizes run in CI (seconds); full sizes are the ≥1M-row frontiers
@@ -492,18 +493,14 @@ def run_sweep(level: str = "full") -> dict:
         "shard": {
             "workers": shard_worker_count(),
             "cpu_count": cpus,
-            "mode_env": os.environ.get("REPRO_SHARD", "").strip() or "auto",
-            "backend_env": (
-                os.environ.get("REPRO_SHARD_BACKEND", "").strip() or "thread"
-            ),
+            "mode_env": config.get("REPRO_SHARD"),
+            "backend_env": config.get("REPRO_SHARD_BACKEND"),
             "min_speedup_required": SHARD_MIN_SPEEDUP,
             "speedup_gated": cpus >= SHARD_GATE_MIN_CPUS,
         },
         "fuse": {
-            "mode_env": os.environ.get("REPRO_FUSE", "").strip() or "auto",
-            "native_env": (
-                os.environ.get("REPRO_FUSE_NATIVE", "").strip() or "auto"
-            ),
+            "mode_env": config.get("REPRO_FUSE"),
+            "native_env": config.get("REPRO_FUSE_NATIVE"),
             "native_active": frontier_fused.native_active(),
             "min_speedup_required": FUSE_MIN_SPEEDUP,
             "gate_workload": FUSE_GATE_WORKLOAD,

@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-khamis-ns16",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of Khamis-Ngo-Suciu (PODS'16): output-size bounds "
         "and worst-case-optimal join algorithms over FD lattices"
@@ -15,6 +15,10 @@ setup(
             # Drive the demo multi-tenant service and print a JSON report
             # (latency percentiles, QPS, rejection/degradation rates).
             "repro-serve=repro.serve.cli:main",
+            # The AST invariant checker: six codebase-contract rules,
+            # the committed zero-findings baseline, and the knob-matrix
+            # docs drift gate (see PERFORMANCE.md §8).
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     install_requires=[

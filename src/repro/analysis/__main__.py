@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — same entry point as ``repro-lint``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,184 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    repro-lint [paths...]            # default: src
+    repro-lint src tests benchmarks --strict
+    repro-lint --json src            # machine-readable findings
+    repro-lint --check-docs          # PERFORMANCE.md knob-matrix drift
+    repro-lint --write-docs          # regenerate the matrix in place
+    repro-lint --write-baseline src  # accept current findings
+
+Exit status is 0 when no (non-baselined) findings and no docs drift,
+1 otherwise, 2 on usage errors.  ``--strict`` ignores the committed
+baseline entirely — CI runs strict, so the baseline the repo commits is
+*empty* and stays that way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import Analysis, Finding, all_rules
+
+#: Where the committed zero-findings baseline lives, relative to the
+#: repo root (= the directory ``repro-lint`` is invoked from).
+DEFAULT_BASELINE = "src/repro/analysis/baseline.json"
+
+#: The generated knob matrix lives in PERFORMANCE.md between the
+#: ``repro-lint:knob-matrix`` markers.
+DEFAULT_DOCS = "PERFORMANCE.md"
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    p = Path(path)
+    if not p.is_file():
+        return set()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    return {
+        (f["rule"], f["path"], f["message"]) for f in data.get("findings", [])
+    }
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in findings
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def check_docs(docs_path: str) -> list[str]:
+    from repro import config
+
+    p = Path(docs_path)
+    if not p.is_file():
+        return [f"{docs_path}: not found (expected the knob matrix here)"]
+    return [f"{docs_path}: {p_}" for p_ in config.check_docs(p.read_text(encoding="utf-8"))]
+
+
+def write_docs(docs_path: str) -> None:
+    from repro import config
+
+    p = Path(docs_path)
+    p.write_text(config.rewrite_docs(p.read_text(encoding="utf-8")), encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="ignore the baseline; every finding fails",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    parser.add_argument(
+        "--docs",
+        default=DEFAULT_DOCS,
+        help=f"docs file for the knob matrix (default: {DEFAULT_DOCS})",
+    )
+    parser.add_argument(
+        "--check-docs",
+        action="store_true",
+        help="also fail when the docs knob matrix drifted from the registry",
+    )
+    parser.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the docs knob matrix from the registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in sorted(all_rules().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+
+    if args.write_docs:
+        write_docs(args.docs)
+        print(f"regenerated knob matrix in {args.docs}")
+        return 0
+
+    rule_names = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        analysis = Analysis(rule_names)
+        findings = analysis.run_paths(args.paths or ["src"])
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    if not args.strict:
+        baselined = load_baseline(args.baseline)
+        findings = [f for f in findings if f.fingerprint() not in baselined]
+
+    docs_problems: list[str] = []
+    if args.check_docs:
+        docs_problems = check_docs(args.docs)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "docs_drift": docs_problems,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        for problem in docs_problems:
+            print(f"docs-drift: {problem}")
+        if not findings and not docs_problems:
+            print("repro-lint: clean")
+
+    return 1 if (findings or docs_problems) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,358 @@
+"""The ``repro-lint`` rule framework: findings, pragmas, registry, runner.
+
+Everything here is deliberately boring stdlib ``ast`` machinery so the
+analyzer can run on any interpreter the repo supports (the no-scipy CI
+leg included).  The interesting parts — what the rules actually enforce
+— live in :mod:`repro.analysis.rules`.
+
+Architecture
+------------
+* :class:`ModuleInfo` — one parsed file: source, AST (with parent links
+  attached), the pragma map, and whether the file is *engine code*
+  (under ``src/repro/``), which scopes the stricter rules.
+* :class:`Rule` — a named check with a severity; ``check(module, ctx)``
+  yields :class:`Finding`\\ s.  Rules register themselves via
+  :func:`register`.
+* :class:`AnalysisContext` — cross-file state built in a first pass:
+  the project-wide exception-class graph (so ``raise LPError(...)`` in
+  one module is judged against ``class LPError(Exception)`` in another)
+  and the knob registry from :mod:`repro.config`.
+* :class:`Analysis` — the two-pass runner: collect files, build the
+  context, run every rule, drop pragma-suppressed findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Directory names never scanned (fixture corpora are *intentional*
+#: violations; caches and VCS internals are noise).
+EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", "lint_fixtures", ".hypothesis", "node_modules"}
+)
+
+#: Names of every builtin exception type, the roots of the allowed
+#: raise taxonomy (``repro.errors`` classes all derive from these).
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline identity: line numbers drift under unrelated
+        edits, so the committed baseline matches on (rule, path,
+        message) only."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.rule}] {self.message}"
+        )
+
+
+class ModuleInfo:
+    """One parsed source file plus its pragma map."""
+
+    def __init__(self, path: str, source: str, *, is_engine: bool | None = None):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        attach_parents(self.tree)
+        posix = path.replace("\\", "/")
+        if is_engine is None:
+            is_engine = "src/repro/" in posix or posix.startswith("repro/")
+        #: Engine code (under ``src/repro/``) is held to the stricter
+        #: rules (raise taxonomy, broad-except classification, message
+        #: string-matching); tests and benchmarks are not.
+        self.is_engine = is_engine
+        self.disabled_lines: dict[int, set[str]] = {}
+        self.disabled_file: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            for kind, names in _PRAGMA.findall(line):
+                rules = {n.strip() for n in names.split(",") if n.strip()}
+                if kind == "disable-file":
+                    self.disabled_file |= rules
+                else:
+                    self.disabled_lines.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.disabled_file or "all" in self.disabled_file:
+            return True
+        at_line = self.disabled_lines.get(finding.line, ())
+        return finding.rule in at_line or "all" in at_line
+
+    def ends_with(self, *suffixes: str) -> bool:
+        posix = self.path.replace("\\", "/")
+        return posix.endswith(suffixes)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Give every node a ``_rl_parent`` link so rules can climb."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._rl_parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    parent = getattr(node, "_rl_parent", None)
+    while parent is not None:
+        yield parent
+        parent = getattr(parent, "_rl_parent", None)
+
+
+def terminal_name(node: ast.AST | None) -> str | None:
+    """The last identifier of a ``Name``/``Attribute``/``Call`` chain
+    (``a.b.c`` → ``"c"``; ``f().run`` → ``"run"``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    return None
+
+
+def dotted_name(node: ast.AST | None) -> str | None:
+    """``a.b.c`` for pure Name/Attribute chains, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def const_str(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class AnalysisContext:
+    """Cross-file state shared by every rule invocation."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        #: class name → tuple of base terminal names, across every
+        #: scanned file.  Names are assumed project-unique (they are).
+        self.class_graph: dict[str, tuple[str, ...]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = []
+                    for b in node.bases:
+                        if isinstance(b, ast.Subscript):  # Generic[...]
+                            b = b.value
+                        name = terminal_name(b)
+                        if name:
+                            bases.append(name)
+                    self.class_graph.setdefault(node.name, tuple(bases))
+        # The knob registry (stdlib-only import).
+        from repro import config
+
+        self.knob_names = frozenset(config.KNOBS)
+        self.retired_knobs = dict(config.RETIRED)
+        self._exc_memo: dict[str, bool] = {}
+        self._derive_memo: dict[tuple[str, str], bool] = {}
+
+    def is_exception_class(self, name: str) -> bool | None:
+        """Does ``name`` (transitively) derive from a builtin exception?
+        ``None`` when the name is unknown to the scanned tree — callers
+        should not guess."""
+        if name in BUILTIN_EXCEPTIONS:
+            return True
+        if name not in self.class_graph:
+            return None
+        memo = self._exc_memo
+        if name in memo:
+            return memo[name]
+        memo[name] = False  # cycle guard
+        result = False
+        for base in self.class_graph[name]:
+            judged = self.is_exception_class(base)
+            if judged:
+                result = True
+                break
+        memo[name] = result
+        return result
+
+    def has_specific_builtin_root(self, name: str) -> bool:
+        """Does ``name``'s ancestry reach a builtin exception *other
+        than* bare ``Exception``/``BaseException``?  That is the house
+        bar for domain-error roots outside the ReproError taxonomy:
+        ``class LPError(RuntimeError)`` pins catch semantics,
+        ``class LPError(Exception)`` pins nothing."""
+        for base in self.class_graph.get(name, ()):
+            if base in BUILTIN_EXCEPTIONS:
+                if base not in ("Exception", "BaseException"):
+                    return True
+            elif base in self.class_graph and self.has_specific_builtin_root(
+                base
+            ):
+                return True
+        return False
+
+    def derives_from(self, name: str, root: str) -> bool:
+        """Does class ``name`` (transitively) list ``root`` among its
+        bases, per the scanned class graph?"""
+        if name == root:
+            return True
+        key = (name, root)
+        memo = self._derive_memo
+        if key in memo:
+            return memo[key]
+        memo[key] = False  # cycle guard
+        result = any(
+            self.derives_from(base, root)
+            for base in self.class_graph.get(name, ())
+        )
+        memo[key] = result
+        return result
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``severity``/``description``
+    and implement :meth:`check`."""
+
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule_cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    # Importing the rules module populates the registry.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def collect_files(paths: Iterable[str]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files or directories), with
+    the standard exclusions, deterministically ordered."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                out.append(p)
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for f in sorted(p.rglob("*.py")):
+            if not EXCLUDED_DIRS.intersection(f.parts):
+                out.append(f)
+    return out
+
+
+def display_path(path: Path) -> str:
+    """Stable, cwd-relative posix path for findings and baselines."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+class Analysis:
+    """The two-pass runner."""
+
+    def __init__(self, rule_names: Iterable[str] | None = None):
+        registry = all_rules()
+        if rule_names is None:
+            selected = registry
+        else:
+            unknown = set(rule_names) - set(registry)
+            if unknown:
+                raise ValueError(f"unknown rules: {sorted(unknown)}")
+            selected = {n: registry[n] for n in rule_names}
+        self.rules = [cls() for _, cls in sorted(selected.items())]
+
+    def run_modules(self, modules: list[ModuleInfo]) -> list[Finding]:
+        ctx = AnalysisContext(modules)
+        findings: list[Finding] = []
+        for module in modules:
+            for rule in self.rules:
+                for f in rule.check(module, ctx):
+                    if not module.suppressed(f):
+                        findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def run_paths(self, paths: Iterable[str]) -> list[Finding]:
+        modules = []
+        errors: list[Finding] = []
+        for path in collect_files(paths):
+            shown = display_path(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                modules.append(ModuleInfo(shown, source))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                errors.append(
+                    Finding(
+                        rule="parse",
+                        path=shown,
+                        line=getattr(exc, "lineno", 1) or 1,
+                        col=0,
+                        message=f"file does not parse: {exc}",
+                    )
+                )
+        return errors + self.run_modules(modules)

@@ -17,10 +17,10 @@ differentially tested for identical outputs *and* identical work counts.
 from __future__ import annotations
 
 import math
-import os
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
+from repro import config
 from repro.engine import frontier
 from repro.engine.dictionary import Codec
 from repro.engine.expansion_plan import (
@@ -42,16 +42,14 @@ from repro.fds.udf import UDF, UDFRegistry
 
 #: Dictionary encoding is the default data plane; ``REPRO_ENCODE=0``
 #: reverts every new Database to the decoded (PR3) kernel.
-_ENCODE_DEFAULT = os.environ.get("REPRO_ENCODE", "").strip().lower() not in (
-    "0", "false", "no", "off"
-)
+_ENCODE_DEFAULT = config.get("REPRO_ENCODE")
 
 #: LRU cap shared by the per-database compiled-kernel caches (tuple plans,
 #: relation plans, guard lookups, udf filters).  Every entry memoizes a
 #: pure compilation, so eviction only costs a recompile — the cap exists
 #: for long-uptime serving, where a tenant's query mix churns through far
 #: more (schema, target, plane) combinations than any one benchmark run.
-PLAN_CACHE_MAX = int(os.environ.get("REPRO_PLAN_CACHE_MAX", "") or 512)
+PLAN_CACHE_MAX = config.get("REPRO_PLAN_CACHE_MAX")
 
 
 def _lru_get(cache: OrderedDict, key):

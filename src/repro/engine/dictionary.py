@@ -72,6 +72,10 @@ class Dictionary:
 
     __slots__ = ("values", "_codes", "_lock")
 
+    #: ``repro-lint``'s lock-discipline contract: interning mutates these
+    #: under ``self._lock`` (the lock-free hit path only *reads*).
+    _locked_fields = ("values", "_codes")
+
     def __init__(self) -> None:
         self.values: list = []
         self._codes: dict = {}

@@ -40,7 +40,6 @@ joins, UDFs on masked-in rows only).  All three charge identical counts.
 
 from __future__ import annotations
 
-import os
 from operator import itemgetter
 from typing import Callable, Sequence
 
@@ -49,6 +48,7 @@ try:  # numpy accelerates the columnwise guard path; never required.
 except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None
 
+from repro import config
 from repro.engine import frontier as _frontier
 from repro.engine import fused as _fused
 from repro.engine import shard as _shard
@@ -59,26 +59,21 @@ UDF = 1
 GUARD_DENSE = 2
 
 
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    return int(raw) if raw else default
-
-
 #: Frontier size at which ``execute_batch`` switches from the generated
 #: row-loop to the columnwise backend.  Measured crossover (see
 #: PERFORMANCE.md): below ~32k rows the two are within noise of each other
 #: and the row-loop avoids the transposition; at ~100k+ the columnwise
 #: functional-map application pulls ahead (~1.1-1.2x on guard chains).
-COLUMN_MIN_ROWS = _env_int("REPRO_BATCH_COLUMN_MIN", 32768)
+COLUMN_MIN_ROWS = config.get("REPRO_BATCH_COLUMN_MIN")
 #: Alive-row count at which a single-attribute integer guard step
 #: deduplicates lookups through numpy (``np.unique`` + gather) on the
 #: *raw* plane.  Dict probes on small int keys are cheaper than the sort,
 #: so this is an opt-in for workloads with fat keys / expensive hashes.
-NUMPY_MIN_ROWS = _env_int("REPRO_BATCH_NUMPY_MIN", 1 << 20)
+NUMPY_MIN_ROWS = config.get("REPRO_BATCH_NUMPY_MIN")
 #: The same threshold for dictionary-encoded plans, where keys are ints by
 #: construction (no per-cell gate) — the unique-key path engages by
 #: default on large encoded frontiers.
-NUMPY_MIN_ROWS_ENCODED = _env_int("REPRO_BATCH_NUMPY_MIN_ENCODED", 1 << 16)
+NUMPY_MIN_ROWS_ENCODED = config.get("REPRO_BATCH_NUMPY_MIN_ENCODED")
 #: The unique-key path engages only when keys repeat at least this often on
 #: average — otherwise the O(m log m) sort buys nothing over m dict probes.
 _DEDUP_PAYOFF = 4

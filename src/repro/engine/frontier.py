@@ -29,10 +29,10 @@ Python objects and never enter a block.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from repro import config
 from repro.engine import fused as _fused
 from repro.engine.cancellation import checkpoint
 
@@ -42,22 +42,17 @@ except ImportError:  # pragma: no cover
     np = None
 
 
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    return int(raw) if raw else default
-
-
 #: Row count at which ``auto`` mode routes an encoded batch through the
 #: block backend.  Below it the generated row-loop's lower constant wins;
 #: above it ``np.take``/searchsorted amortize the boundary conversions.
-NDARRAY_MIN_ROWS = _env_int("REPRO_BATCH_NDARRAY_MIN", 4096)
+NDARRAY_MIN_ROWS = config.get("REPRO_BATCH_NDARRAY_MIN")
 
-_ON = frozenset({"1", "on", "force", "always", "true", "yes"})
-_OFF = frozenset({"0", "off", "never", "false", "no"})
+_ON = config.ON_VALUES
+_OFF = config.OFF_VALUES
 
 #: ``auto`` (threshold), ``on`` (every encoded batch) or ``off`` (never).
 #: Mutable module state so the differential harness can force both modes.
-NDARRAY_MODE = os.environ.get("REPRO_BATCH_NDARRAY", "").strip().lower() or "auto"
+NDARRAY_MODE = config.get("REPRO_BATCH_NDARRAY")
 
 #: Per-context mode override: the serving layer's degradation chain runs
 #: one query's fallback stage with the block backend off *without*

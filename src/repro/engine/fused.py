@@ -61,28 +61,28 @@ under ``REPRO_FUSE=on`` and an E17 fused-on/off cross gate.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 from time import perf_counter
+
+from repro import config
+from repro.errors import classify
 
 try:  # pragma: no cover - the image bakes numpy in
     import numpy as np
 except ImportError:  # pragma: no cover
     np = None
 
-_ON = frozenset({"1", "on", "force", "always", "true", "yes"})
-_OFF = frozenset({"0", "off", "never", "false", "no"})
+_ON = config.ON_VALUES
+_OFF = config.OFF_VALUES
 
 #: ``auto`` (fuse whenever blocks run), ``on`` (fuse + force blocks) or
 #: ``off`` (the per-step spec loop).  Mutable module state so the
 #: differential harness can force both modes.
-FUSE_MODE = os.environ.get("REPRO_FUSE", "").strip().lower() or "auto"
+FUSE_MODE = config.get("REPRO_FUSE")
 
 #: ``auto``/``on`` (numba kernels when importable), ``off`` (numpy only).
-FUSE_NATIVE_MODE = (
-    os.environ.get("REPRO_FUSE_NATIVE", "").strip().lower() or "auto"
-)
+FUSE_NATIVE_MODE = config.get("REPRO_FUSE_NATIVE")
 
 #: Per-context override for the serving layer's degradation chain: one
 #: query's fallback stage runs with fusion off without touching the
@@ -136,6 +136,12 @@ _NUMBA_CHECKED = False
 _NUMBA = None  # the module when importable, else None
 _NATIVE_KERNELS: dict | None | bool = None  # dict once built, False if broken
 
+#: When numba imports but kernel compilation fails, the classified fault
+#: (an :class:`~repro.errors.EngineFault` with the original traceback as
+#: ``__cause__``) is kept here — the degradation to numpy is silent on
+#: the hot path but never *unobservable*.
+NATIVE_KERNEL_FAULT = None
+
 
 def _numba():
     """Import-guarded numba, checked once (exactly the scipy pattern)."""
@@ -160,7 +166,7 @@ def native_active() -> bool:
 
 
 def _native_kernels():
-    global _NATIVE_KERNELS
+    global _NATIVE_KERNELS, NATIVE_KERNEL_FAULT
     if FUSE_NATIVE_MODE in _OFF or np is None:
         return None
     if _NATIVE_KERNELS is None:
@@ -169,7 +175,10 @@ def _native_kernels():
         else:  # pragma: no cover - exercised only with numba installed
             try:
                 _NATIVE_KERNELS = _build_native_kernels()
-            except Exception:
+            except Exception as exc:
+                # Degrade to the numpy fallbacks, but keep the classified
+                # fault observable instead of swallowing it.
+                NATIVE_KERNEL_FAULT = classify(exc, backend="fuse-native")
                 _NATIVE_KERNELS = False
     return _NATIVE_KERNELS or None
 
@@ -265,9 +274,7 @@ def compact(mask):
 # ----------------------------------------------------------------------
 
 #: Truthy env flag; mutable so benches can flip it in-process.
-PROFILE_STEPS = (
-    os.environ.get("REPRO_PROFILE_STEPS", "").strip().lower() in _ON
-)
+PROFILE_STEPS = config.get("REPRO_PROFILE_STEPS")
 
 #: kind → [calls, rows, wall seconds].  Guarded by the GIL per += — the
 #: counters are advisory (profiling only), never part of the

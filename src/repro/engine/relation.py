@@ -22,17 +22,16 @@ Three kernel-level optimizations keep derived relations cheap:
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
+
+from repro import config
 
 # Opt-in re-validation of the ``distinct=True`` fast path (set
 # REPRO_CHECK_DISTINCT=1; the test suite enables it).  Each call site's
 # distinctness rests on an injectivity argument — this flag re-checks those
 # arguments at runtime without taxing production construction.
-_CHECK_DISTINCT = os.environ.get("REPRO_CHECK_DISTINCT", "").strip().lower() not in (
-    "", "0", "false", "no", "off"
-)
+_CHECK_DISTINCT = config.get("REPRO_CHECK_DISTINCT")
 
 # Registry of interned (schema, positions, varset) triples, keyed by the
 # schema tuple.  Interning is a sharing optimization only — each relation

@@ -42,13 +42,13 @@ copies the frontier through a pipe.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from contextvars import ContextVar, copy_context
 
+from repro import config
 from repro.engine import frontier
 from repro.engine import fused
 from repro.engine.cancellation import checkpoint
@@ -59,30 +59,23 @@ except ImportError:  # pragma: no cover
     np = None
 
 
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    return int(raw) if raw else default
-
-
-_ON = frozenset({"1", "on", "force", "always", "true", "yes"})
-_OFF = frozenset({"0", "off", "never", "false", "no"})
+_ON = config.ON_VALUES
+_OFF = config.OFF_VALUES
 
 #: ``auto`` (threshold + >1 worker), ``on`` (every block), ``off``.
 #: Mutable module state so the differential harness can force all modes.
-SHARD_MODE = os.environ.get("REPRO_SHARD", "").strip().lower() or "auto"
+SHARD_MODE = config.get("REPRO_SHARD")
 
 #: Worker count.  Mutable module state (the shard-count sweep sets it);
 #: the pool grows to the largest count ever requested.
-SHARD_WORKERS = _env_int("REPRO_SHARD_WORKERS", os.cpu_count() or 1)
+SHARD_WORKERS = config.get("REPRO_SHARD_WORKERS")
 
 #: ``auto``-mode row threshold: below it the submit/join overhead beats
 #: any parallel win (a shard must amortize a pool handoff, ~100µs).
-SHARD_MIN_ROWS = _env_int("REPRO_SHARD_MIN", 65536)
+SHARD_MIN_ROWS = config.get("REPRO_SHARD_MIN")
 
 #: ``thread`` or ``process`` (see the module docstring).
-SHARD_BACKEND = (
-    os.environ.get("REPRO_SHARD_BACKEND", "").strip().lower() or "thread"
-)
+SHARD_BACKEND = config.get("REPRO_SHARD_BACKEND")
 
 #: Per-context overrides: the serving layer's degradation chain disables
 #: sharding for one query's fallback stage without touching the global
@@ -250,7 +243,9 @@ def _map_shards(fn, arg_lists):
     for future in futures:
         try:
             results.append(future.result())
-        except BaseException as exc:  # noqa: BLE001 - re-raised below
+        # Capture-then-re-raise: every future is drained before the
+        # first failure propagates (the raise sits after the loop).
+        except BaseException as exc:  # noqa: BLE001  # repro-lint: disable=error-taxonomy
             if first_error is None:
                 first_error = exc
             results.append(None)
@@ -515,7 +510,10 @@ def _map_shards_process(plan, block, indices, want_steps=False):
             )
             view[...] = shard_block
             futures.append(
-                pool.submit(
+                # Process workers run in a fresh interpreter: contextvars
+                # cannot cross the boundary, so there is nothing to
+                # snapshot (worker state travels in spec_bytes instead).
+                pool.submit(  # repro-lint: disable=context-propagation
                     _process_worker,
                     spec_bytes,
                     shm.name,
@@ -527,7 +525,8 @@ def _map_shards_process(plan, block, indices, want_steps=False):
         for future in futures:
             try:
                 results.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
+            # Capture-then-re-raise, as in _map_shards above.
+            except BaseException as exc:  # noqa: BLE001  # repro-lint: disable=error-taxonomy
                 if first_error is None:
                     first_error = exc
                 results.append(None)

@@ -41,7 +41,6 @@ sweeps, planner calls and CSMA restarts.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -51,6 +50,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import config
 from repro.lp.exact import (
     ExactCertificate,
     LPError,
@@ -91,12 +91,14 @@ _BACKEND_OVERRIDE: ContextVar[str | None] = ContextVar(
 
 def lp_backend() -> str:
     """The backend policy in force: the contextual override when one is
-    installed, the env knob ``REPRO_LP_BACKEND`` otherwise."""
+    installed, the env knob ``REPRO_LP_BACKEND`` otherwise.  Unknown
+    policies raise :class:`~repro.config.ConfigError` (a ``ValueError``)
+    whether they arrive via the env or the override."""
     value = _BACKEND_OVERRIDE.get()
     if value is None:
-        value = os.environ.get("REPRO_LP_BACKEND", "auto").strip().lower() or "auto"
+        return config.get("REPRO_LP_BACKEND")
     if value not in _BACKENDS:
-        raise ValueError(
+        raise config.ConfigError(
             f"REPRO_LP_BACKEND must be one of {_BACKENDS}, got {value!r}"
         )
     return value

@@ -39,10 +39,10 @@ does this): a comma-separated ``site:probability`` list, e.g.
 
 from __future__ import annotations
 
-import os
 import random
 import threading
 
+from repro import config
 from repro.errors import QueryTimeout
 
 SITES = ("worker", "engine", "alloc", "timeout", "shard")
@@ -142,11 +142,11 @@ class FaultInjector:
     @classmethod
     def from_env(cls, environ=None) -> "FaultInjector":
         """Build from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED`` (an
-        unarmed injector when the knob is absent)."""
-        environ = os.environ if environ is None else environ
-        seed = int(environ.get("REPRO_FAULTS_SEED", "") or 0)
+        unarmed injector when the knob is absent).  ``environ`` may be
+        any mapping (the CLI passes its parsed flags through one)."""
+        seed = config.get("REPRO_FAULTS_SEED", environ=environ)
         injector = cls(seed=seed)
-        spec = environ.get("REPRO_FAULTS", "").strip()
+        spec = config.get("REPRO_FAULTS", environ=environ)
         if not spec:
             return injector
         for part in spec.split(","):

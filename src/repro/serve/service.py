@@ -48,6 +48,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import nullcontext
+from contextvars import copy_context
 from dataclasses import dataclass, field
 
 from repro.core.planner import Planner
@@ -198,6 +199,11 @@ def _run_engine(engine: str, query: Query, db: Database):
 class QueryService:
     """Thread-pool query executor with admission control and degradation."""
 
+    #: ``repro-lint``'s lock-discipline contract: every write to these
+    #: fields (the shared metrics counters) must sit inside a
+    #: ``with self._metrics_lock`` block.
+    _locked_fields = ("_counters",)
+
     def __init__(
         self,
         max_workers: int = 4,
@@ -307,8 +313,13 @@ class QueryService:
             self._counters["submitted"] += 1
         start = time.perf_counter()
         try:
+            # Run the worker inside a contextvars snapshot of the
+            # submitting context, so ambient overrides (LP policy, batch
+            # modes) propagate into the pool exactly as shard tasks do.
+            ctx = copy_context()
             return self._pool.submit(
-                self._worker, t, database, query, engine, deadline_s, start
+                ctx.run,
+                self._worker, t, database, query, engine, deadline_s, start,
             )
         except BaseException:
             self._slots.release()

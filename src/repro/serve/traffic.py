@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from contextvars import copy_context
 
 from repro.errors import (
     AdmissionRejected,
@@ -155,7 +156,9 @@ def closed_loop(
 
     start = time.perf_counter()
     threads = [
-        threading.Thread(target=client, args=(c,), daemon=True)
+        threading.Thread(
+            target=copy_context().run, args=(client, c), daemon=True
+        )
         for c in range(clients)
     ]
     for t in threads:

@@ -7,7 +7,10 @@ import os
 # Must be set before repro.engine.relation is imported: re-validates every
 # distinct=True fast-path construction throughout the suite (an inherited
 # empty value counts as unset, hence `or "1"` rather than setdefault).
-os.environ["REPRO_CHECK_DISTINCT"] = os.environ.get("REPRO_CHECK_DISTINCT") or "1"
+# Raw read by design — this bootstrap runs before repro.config can load.
+os.environ["REPRO_CHECK_DISTINCT"] = (
+    os.environ.get("REPRO_CHECK_DISTINCT") or "1"  # repro-lint: disable=knob-discipline
+)
 
 import pytest
 

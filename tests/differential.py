@@ -69,7 +69,8 @@ from repro.query.query import Atom, Query
 @contextmanager
 def lp_backend_forced(backend: str):
     """Temporarily force ``REPRO_LP_BACKEND`` for a differential run."""
-    saved = os.environ.get("REPRO_LP_BACKEND")
+    # Save/restore of the raw variable, not a knob read.
+    saved = os.environ.get("REPRO_LP_BACKEND")  # repro-lint: disable=knob-discipline
     os.environ["REPRO_LP_BACKEND"] = backend
     try:
         yield

@@ -1,0 +1,6 @@
+"""Violates codegen-hygiene: exec/eval outside the codegen whitelist."""
+
+
+def build(src):
+    exec(src)
+    return eval("1 + 1")

@@ -1,0 +1,7 @@
+"""Conforms to codegen-hygiene: compile() needs no whitelist; the
+whitelisted exec-with-namespace form is exercised in test_repro_lint.py
+with a codegen-module path."""
+
+
+def build(src):
+    return compile(src, "<generated>", "exec")

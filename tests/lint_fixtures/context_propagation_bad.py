@@ -1,0 +1,13 @@
+"""Violates context-propagation: bare submit / Thread target."""
+
+import threading
+
+
+def fan_out(pool, fn):
+    pool.submit(fn, 1)
+
+
+def spawn(fn):
+    t = threading.Thread(target=fn, args=(1,))
+    t.start()
+    return t

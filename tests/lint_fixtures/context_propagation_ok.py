@@ -1,0 +1,15 @@
+"""Conforms to context-propagation: callables route through ctx.run."""
+
+import threading
+from contextvars import copy_context
+
+
+def fan_out(pool, fn):
+    ctx = copy_context()
+    pool.submit(ctx.run, fn, 1)
+
+
+def spawn(fn):
+    t = threading.Thread(target=copy_context().run, args=(fn, 1))
+    t.start()
+    return t

@@ -1,0 +1,33 @@
+"""Violates error-taxonomy (scanned as engine code): bare except, broad
+swallow, message string-matching, a taxonomy-less exception class."""
+
+
+class LocalError(Exception):
+    pass
+
+
+def swallow_everything(g):
+    try:
+        return g()
+    except:
+        return None
+
+
+def swallow_broad(g):
+    try:
+        return g()
+    except Exception:
+        return None
+
+
+def match_message(g):
+    try:
+        return g()
+    except ValueError as exc:
+        if "boom" in str(exc):
+            return None
+        raise
+
+
+def raise_untyped():
+    raise LocalError("no catch semantics")

@@ -1,0 +1,25 @@
+"""Conforms to error-taxonomy (scanned as engine code)."""
+
+from repro.errors import classify
+
+
+class GoodError(RuntimeError):
+    """A domain root pinning specific stdlib catch semantics."""
+
+
+def classify_broad(g):
+    try:
+        return g()
+    except Exception as exc:
+        return classify(exc, backend="fixture")
+
+
+def reraise_broad(g):
+    try:
+        return g()
+    except Exception:
+        raise
+
+
+def typed_raises():
+    raise GoodError("specific")

@@ -1,0 +1,16 @@
+"""Violates lock-discipline: declared field written outside the lock."""
+
+import threading
+
+
+class Counter:
+    _locked_fields = ("total", "by_key")
+
+    def __init__(self):
+        self.total = 0  # __init__ is exempt: no concurrent access yet
+        self.by_key = {}
+        self._lock = threading.Lock()
+
+    def bump(self, key):
+        self.total += 1
+        self.by_key[key] = self.by_key.get(key, 0) + 1

@@ -1,0 +1,21 @@
+"""Conforms to lock-discipline: every declared-field write is locked."""
+
+import threading
+
+
+class Counter:
+    _locked_fields = ("total", "by_key")
+
+    def __init__(self):
+        self.total = 0
+        self.by_key = {}
+        self._lock = threading.Lock()
+
+    def bump(self, key):
+        with self._lock:
+            self.total += 1
+            self.by_key[key] = self.by_key.get(key, 0) + 1
+
+    def snapshot(self):
+        # Reads of locked fields are not the rule's business.
+        return self.total, dict(self.by_key)

@@ -1,0 +1,6 @@
+"""Violates optional-dep-guard: unguarded module-level optional imports."""
+
+import scipy.optimize
+from numba import njit
+
+__all__ = ["scipy", "njit"]

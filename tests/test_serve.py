@@ -10,6 +10,7 @@ state machine — *which* stage answers, *which* typed error escapes,
 
 import threading
 from contextlib import contextmanager
+from contextvars import copy_context
 
 import pytest
 
@@ -326,7 +327,10 @@ def test_dictionary_interning_is_thread_safe():
             local[value] = d.encode(value)
         results.append(local)
 
-    threads = [threading.Thread(target=intern, args=(k,)) for k in range(8)]
+    threads = [
+        threading.Thread(target=copy_context().run, args=(intern, k))
+        for k in range(8)
+    ]
     for t in threads:
         t.start()
     for t in threads:
@@ -364,7 +368,10 @@ def test_shared_codec_concurrent_queries_match_serial_work():
         out, stats = generic_join(TRIANGLE, dbs[i], fd_aware=True)
         outcomes[i] = (set(out.tuples), stats.tuples_touched)
 
-    threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+    threads = [
+        threading.Thread(target=copy_context().run, args=(run, i))
+        for i in (0, 1)
+    ]
     for t in threads:
         t.start()
     for t in threads:

@@ -19,13 +19,13 @@ own injector when the env knob is absent, so it never silently runs
 fault-free.
 """
 
-import os
 import threading
 from contextlib import contextmanager
 
 import numpy as np
 import pytest
 
+from repro import config
 from repro.engine import frontier, shard
 from repro.engine.cancellation import Deadline, checkpoint_scope
 from repro.engine.expansion_plan import GUARD, ExpansionPlan
@@ -46,9 +46,9 @@ RESULT_TIMEOUT_S = 60.0
 
 def chaos_injector() -> FaultInjector:
     """The CI-provided fault spec when present, a default storm otherwise."""
-    if os.environ.get("REPRO_FAULTS", "").strip():
+    if config.get("REPRO_FAULTS"):
         return FaultInjector.from_env()
-    injector = FaultInjector(seed=int(os.environ.get("REPRO_FAULTS_SEED", "7")))
+    injector = FaultInjector(seed=config.get("REPRO_FAULTS_SEED", default=7))
     injector.arm("worker", probability=0.03)
     injector.arm("engine", probability=0.05)
     injector.arm("alloc", probability=0.03)
